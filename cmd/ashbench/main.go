@@ -1,0 +1,25 @@
+// Command ashbench regenerates the paper's Table 4: the cost of
+// integrated and non-integrated message data manipulation (copying,
+// internet checksumming, byte swapping) on DECstation 3100 and 5000/200
+// machine models, comparing modular separate passes, a hand-integrated
+// single pass, and the ASH system's dynamically generated pass.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ash"
+)
+
+func main() {
+	rows, err := ash.RunTable4()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ashbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(ash.FormatTable4(rows))
+	fmt.Println("\npaper (Table 4, us):")
+	fmt.Println("  DEC3100: separate-uncached 1630/3190, separate 1290/2230, C 1120/1750, ASH 1060/1600")
+	fmt.Println("  DEC5000: separate-uncached  812/1640, separate  656/1280, C  597/976,  ASH  455/836")
+}

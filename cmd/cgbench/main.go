@@ -1,0 +1,86 @@
+// Command cgbench regenerates the paper's headline code-generation-cost
+// comparison (abstract, §5.1, §5.3, §7): VCODE against the DCG-style
+// IR-building baseline, plus the hard-coded-register and raw-emitter fast
+// paths, reported as host nanoseconds per generated instruction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cgbench"
+	"repro/internal/core"
+	"repro/internal/dcg"
+	"repro/internal/mips"
+)
+
+func main() {
+	iters := flag.Int("iters", 2000, "workload repetitions per system")
+	flag.Parse()
+
+	bk := mips.New()
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cgbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	measure := func(f func() (int, error)) float64 {
+		// One warm-up, then time.
+		n, err := f()
+		die(err)
+		start := time.Now()
+		for i := 0; i < *iters; i++ {
+			if n, err = f(); err != nil {
+				die(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(*iters*n)
+	}
+
+	asm := core.NewAsm(bk)
+	vcode := measure(func() (int, error) {
+		_, n, err := cgbench.EmitVCODE(asm, cgbench.Blocks, false)
+		return n, err
+	})
+	hard := measure(func() (int, error) {
+		_, n, err := cgbench.EmitVCODE(asm, cgbench.Blocks, true)
+		return n, err
+	})
+	g := dcg.New(bk)
+	dcgNs := measure(func() (int, error) {
+		_, n, err := cgbench.EmitDCG(g, cgbench.Blocks)
+		return n, err
+	})
+	buf := core.NewBuf(16 * cgbench.Blocks)
+	raw := measure(func() (int, error) {
+		buf.Reset()
+		t0, t1 := core.GPR(8), core.GPR(9)
+		for j := 0; j < cgbench.Blocks; j++ {
+			k := int64(j&15 + 1)
+			_ = bk.ALUImm(buf, core.OpAdd, core.TypeI, t0, t1, k)
+			_ = bk.ALUImm(buf, core.OpLsh, core.TypeI, t1, t0, 3)
+			_ = bk.ALU(buf, core.OpXor, core.TypeI, t0, t0, t1)
+			_ = bk.Load(buf, core.TypeI, t1, t0, k*4)
+			_ = bk.ALU(buf, core.OpAdd, core.TypeI, t1, t1, t0)
+			_ = bk.Store(buf, core.TypeI, t1, t0, k*4)
+			_ = bk.ALUImm(buf, core.OpSub, core.TypeI, t0, t0, 7)
+			_ = bk.ALUImm(buf, core.OpAnd, core.TypeI, t1, t1, 0xff)
+			_, _ = bk.BranchImm(buf, core.OpBlt, core.TypeI, t0, 1000)
+			_ = bk.ALU(buf, core.OpOr, core.TypeI, t0, t0, t1)
+		}
+		return 10 * cgbench.Blocks, nil
+	})
+
+	rows := []cgbench.Result{
+		{System: "VCODE (virtual registers)", NsPerInsn: vcode, Ratio: 1},
+		{System: "VCODE (hard-coded regs)", NsPerInsn: hard, Ratio: hard / vcode},
+		{System: "raw emitters (macro analog)", NsPerInsn: raw, Ratio: raw / vcode},
+		{System: "DCG (IR trees)", NsPerInsn: dcgNs, Ratio: dcgNs / vcode},
+	}
+	fmt.Print(cgbench.Format(rows))
+	fmt.Printf("\nDCG/VCODE = %.1fx, DCG/raw = %.1fx\n", dcgNs/vcode, dcgNs/raw)
+}

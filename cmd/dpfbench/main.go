@@ -1,0 +1,51 @@
+// Command dpfbench regenerates the paper's Table 3: average time to
+// classify TCP/IP headers destined for one of ten TCP/IP filters, under
+// DPF (dynamic code generation via VCODE), PATHFINDER (pattern-matching
+// interpreter) and MPF (bytecode interpreter), all costed on a
+// DEC5000/200-class machine model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dpf"
+)
+
+func main() {
+	filters := flag.Int("filters", 10, "number of installed TCP/IP session filters")
+	trials := flag.Int("trials", 100000, "classification trials to average over")
+	sweep := flag.Bool("sweep", false, "also sweep the filter count (scaling series)")
+	flag.Parse()
+
+	rows, err := dpf.RunTable3(*filters, *trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dpfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(dpf.FormatTable3(rows))
+	var mpf, pf, d float64
+	for _, r := range rows {
+		switch r.Engine {
+		case "MPF":
+			mpf = r.Micros
+		case "PATHFINDER":
+			pf = r.Micros
+		case "DPF":
+			d = r.Micros
+		}
+	}
+	fmt.Printf("\nDPF speedup: %.1fx over PATHFINDER, %.1fx over MPF\n", pf/d, mpf/d)
+	fmt.Println("paper (Table 3): DPF ~10x over PATHFINDER, ~20x over MPF")
+
+	if *sweep {
+		pts, err := dpf.RunScaling([]int{1, 2, 5, 10, 20, 50}, min(*trials, 2000))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dpfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(dpf.FormatScaling(pts))
+	}
+}

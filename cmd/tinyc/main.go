@@ -1,0 +1,90 @@
+// Command tinyc compiles a tiny-C source file at runtime with VCODE as
+// the target machine and runs a function from it on a simulated target.
+//
+//	tinyc -target mips -entry main -args 10,20 prog.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+	"repro/internal/sparc"
+	"repro/internal/tinyc"
+)
+
+func main() {
+	target := flag.String("target", "mips", "target architecture: mips, sparc, alpha")
+	entry := flag.String("entry", "main", "function to run")
+	argsFlag := flag.String("args", "", "comma-separated arguments (int or float literals)")
+	stats := flag.Bool("stats", true, "print executed instruction/cycle counts")
+	trace := flag.Bool("trace", false, "disassemble every executed instruction to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tinyc [-target T] [-entry F] [-args a,b,...] FILE.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	die(err)
+
+	var machine *core.Machine
+	switch *target {
+	case "mips":
+		m := mem.New(1<<24, false)
+		machine = core.NewMachine(mips.New(), mips.NewCPU(m), m)
+	case "sparc":
+		m := mem.New(1<<24, true)
+		machine = core.NewMachine(sparc.New(), sparc.NewCPU(m), m)
+	case "alpha":
+		m := mem.New(1<<24, false)
+		machine = core.NewMachine(alpha.New(), alpha.NewCPU(m), m)
+	default:
+		die(fmt.Errorf("unknown target %q", *target))
+	}
+
+	prog, err := tinyc.Parse(string(src))
+	die(err)
+	c := tinyc.NewCompiler(machine)
+	die(c.Compile(prog))
+
+	var args []core.Value
+	if *argsFlag != "" {
+		for _, s := range strings.Split(*argsFlag, ",") {
+			s = strings.TrimSpace(s)
+			if strings.ContainsAny(s, ".eE") {
+				f, err := strconv.ParseFloat(s, 64)
+				die(err)
+				args = append(args, core.D(f))
+			} else {
+				v, err := strconv.ParseInt(s, 0, 32)
+				die(err)
+				args = append(args, core.I(int32(v)))
+			}
+		}
+	}
+
+	if *trace {
+		machine.SetTrace(os.Stderr)
+	}
+	got, err := c.Run(*entry, args...)
+	die(err)
+	fmt.Printf("%s(%s) = %v\n", *entry, *argsFlag, got)
+	if *stats {
+		fmt.Printf("[%s: %d instructions, %d cycles]\n",
+			*target, machine.CPU().Insns(), machine.CPU().Cycles())
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tinyc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Command vasm assembles a VCODE assembly file (see internal/vasm for the
+// syntax, which uses the paper's instruction naming) onto a simulated
+// target and runs one of its functions.
+//
+//	vasm -target sparc -entry fact -args 6 fact.vs
+//	vasm -dis prog.vs            # print the generated machine code
+//	vasm -trace prog.vs          # disassemble each executed instruction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+	"repro/internal/sparc"
+	"repro/internal/vasm"
+)
+
+func main() {
+	target := flag.String("target", "mips", "target architecture: mips, sparc, alpha")
+	entry := flag.String("entry", "", "function to run (default: first in file)")
+	argsFlag := flag.String("args", "", "comma-separated arguments (int or float literals)")
+	dis := flag.Bool("dis", false, "print the generated code for each function")
+	trace := flag.Bool("trace", false, "disassemble each executed instruction to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vasm [flags] FILE.vs")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	die(err)
+
+	var machine *core.Machine
+	var backend core.Backend
+	switch *target {
+	case "mips":
+		m := mem.New(1<<24, false)
+		bk := mips.New()
+		backend = bk
+		machine = core.NewMachine(bk, mips.NewCPU(m), m)
+	case "sparc":
+		m := mem.New(1<<24, true)
+		bk := sparc.New()
+		backend = bk
+		machine = core.NewMachine(bk, sparc.NewCPU(m), m)
+	case "alpha":
+		m := mem.New(1<<24, false)
+		bk := alpha.New()
+		backend = bk
+		machine = core.NewMachine(bk, alpha.NewCPU(m), m)
+	default:
+		die(fmt.Errorf("unknown target %q", *target))
+	}
+
+	prog, err := vasm.Assemble(machine, string(src))
+	die(err)
+
+	if *dis {
+		for _, name := range prog.Order {
+			fn := prog.Funcs[name]
+			fmt.Printf("%s: (%d words, entry +%d)\n", name, len(fn.Words), fn.Entry)
+			for i := fn.Entry; i < len(fn.Words); i++ {
+				pc := fn.Addr() + 4*uint64(i)
+				fmt.Printf("  %08x: %08x  %s\n", pc, fn.Words[i], backend.Disasm(fn.Words[i], pc))
+			}
+		}
+	}
+
+	name := *entry
+	if name == "" && len(prog.Order) > 0 {
+		name = prog.Order[0]
+	}
+	var args []core.Value
+	if *argsFlag != "" {
+		for _, s := range strings.Split(*argsFlag, ",") {
+			s = strings.TrimSpace(s)
+			if strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0x") {
+				f, err := strconv.ParseFloat(s, 64)
+				die(err)
+				args = append(args, core.D(f))
+			} else {
+				v, err := strconv.ParseInt(s, 0, 64)
+				die(err)
+				args = append(args, core.I(int32(v)))
+			}
+		}
+	}
+	if *trace {
+		machine.SetTrace(os.Stderr)
+	}
+	got, err := prog.Run(name, args...)
+	die(err)
+	fmt.Printf("%s(%s) = %v  [%d insns, %d cycles]\n",
+		name, *argsFlag, got, machine.CPU().Insns(), machine.CPU().Cycles())
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vasm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "VCODE: a
+// Retargetable, Extensible, Very Fast Dynamic Code Generation System"
+// (Dawson R. Engler, PLDI 1996).
+//
+// The VCODE system itself lives in internal/core; its three ports (MIPS,
+// SPARC, Alpha) pair binary encoders with cycle-counted simulators that
+// execute the generated code.  The paper's baseline (DCG) and its three
+// experimental clients (a tiny-C compiler, the DPF packet-filter system,
+// and the ASH message-pipeline system) are built on top.  See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-vs-measured
+// results; bench_test.go in this directory regenerates every table.
+package repro

@@ -1,0 +1,162 @@
+// Marshal: the capability the paper highlights in §2 — VCODE clients can
+// construct functions, and calls to them, whose arity and argument types
+// are chosen at runtime.  Automatic systems cannot easily do this; VCODE
+// clients just loop over a runtime type vector.
+//
+// We build, from a []core.Type decided "at runtime":
+//
+//  1. a checksum-style function over that signature (it combines all its
+//     arguments into one integer), and
+//  2. a marshaling stub that unpacks a memory buffer into exactly that
+//     argument list and calls the function — the shape of RPC argument
+//     marshaling code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+func buildCombiner(bk core.Backend, params []core.Type) (*core.Func, error) {
+	a := core.NewAsm(bk)
+	a.SetName("combiner")
+	args, err := a.BeginTypes(params, core.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := a.GetReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := a.GetReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	a.Seti(acc, 0)
+	for i, t := range params {
+		switch t {
+		case core.TypeD:
+			a.Cvd2i(tmp, args[i])
+		case core.TypeI:
+			a.Movi(tmp, args[i])
+		default:
+			a.Cvt(t, core.TypeI, tmp, args[i])
+		}
+		a.Mulii(acc, acc, 31)
+		a.Addi(acc, acc, tmp)
+	}
+	a.Reti(acc)
+	return a.End()
+}
+
+// buildUnmarshaler generates func(p) int: read each argument of the
+// runtime-chosen signature from the buffer at p and call target with
+// them.
+func buildUnmarshaler(bk core.Backend, params []core.Type, target *core.Func) (*core.Func, error) {
+	a := core.NewAsm(bk)
+	a.SetName("unmarshal")
+	args, err := a.Begin("%p", core.NonLeaf)
+	if err != nil {
+		return nil, err
+	}
+	buf := args[0]
+	// Build the call signature string at runtime.
+	sig := ""
+	for _, t := range params {
+		sig += "%" + t.Letter()
+	}
+	// Load each argument from the buffer into a fresh register.
+	regs := make([]core.Reg, len(params))
+	off := int64(0)
+	for i, t := range params {
+		var r core.Reg
+		if t.IsFloat() {
+			r, err = a.GetFReg(core.Temp)
+		} else {
+			r, err = a.GetReg(core.Temp)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sz := int64(t.Size(bk.PtrBytes()))
+		off = (off + sz - 1) &^ (sz - 1)
+		a.LdI(t, r, buf, off)
+		off += sz
+		regs[i] = r
+	}
+	a.StartCall(sig)
+	for i, r := range regs {
+		a.SetArg(i, r)
+	}
+	a.CallFunc(target)
+	res, err := a.GetReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	a.RetVal(core.TypeI, res)
+	a.Reti(res)
+	return a.End()
+}
+
+func main() {
+	bk := mips.New()
+	m := mem.New(1<<22, false)
+	machine := core.NewMachine(bk, mips.NewCPU(m), m)
+
+	// The signature arrives at runtime (imagine an RPC schema).
+	params := []core.Type{core.TypeI, core.TypeD, core.TypeU, core.TypeI, core.TypeD}
+	fmt.Print("runtime signature: (")
+	for i, t := range params {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(t.CName())
+	}
+	fmt.Println(") -> int")
+
+	combiner, err := buildCombiner(bk, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stub, err := buildUnmarshaler(bk, params, combiner)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Direct call with marshaled Go values.
+	argv := []core.Value{core.I(3), core.D(2.5), core.U(7), core.I(-4), core.D(100)}
+	direct, err := machine.Call(combiner, argv...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct call:      combiner(...) = %d\n", direct.Int())
+
+	// Same values serialized into a simulated-memory buffer, decoded by
+	// the generated stub.
+	bufAddr, err := machine.Alloc(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	off := uint64(0)
+	for i, t := range params {
+		sz := uint64(t.Size(bk.PtrBytes()))
+		off = (off + sz - 1) &^ (sz - 1)
+		if err := machine.Mem().Store(bufAddr+off, int(sz), argv[i].Bits); err != nil {
+			log.Fatal(err)
+		}
+		off += sz
+	}
+	viaStub, err := machine.Call(stub, core.P(bufAddr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unmarshaled call: unmarshal(buf) = %d\n", viaStub.Int())
+	if direct.Int() != viaStub.Int() {
+		log.Fatal("marshaling mismatch")
+	}
+	fmt.Println("results agree.")
+}

@@ -1,0 +1,76 @@
+// tinyc example (§4.1): compile a C-like program at runtime with VCODE as
+// the target machine, then run the same compiler back end — unchanged —
+// on all three architectures VCODE is ported to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+	"repro/internal/sparc"
+	"repro/internal/tinyc"
+)
+
+const src = `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+
+double mean(double a, double b) {
+	return (a + b) / 2.0;
+}
+
+int main(int n) {
+	int f = fib(n);
+	double m = mean((double)f, 100.0);
+	return f * 1000 + (int)m;
+}
+`
+
+func main() {
+	fmt.Print("source:", src)
+	type target struct {
+		name string
+		mk   func() *core.Machine
+	}
+	targets := []target{
+		{"mips", func() *core.Machine {
+			m := mem.New(1<<24, false)
+			return core.NewMachine(mips.New(), mips.NewCPU(m), m)
+		}},
+		{"sparc", func() *core.Machine {
+			m := mem.New(1<<24, true)
+			return core.NewMachine(sparc.New(), sparc.NewCPU(m), m)
+		}},
+		{"alpha", func() *core.Machine {
+			m := mem.New(1<<24, false)
+			return core.NewMachine(alpha.New(), alpha.NewCPU(m), m)
+		}},
+	}
+	prog, err := tinyc.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tg := range targets {
+		machine := tg.mk()
+		c := tinyc.NewCompiler(machine)
+		if err := c.Compile(prog); err != nil {
+			log.Fatalf("%s: %v", tg.name, err)
+		}
+		words := 0
+		for _, fn := range c.Funcs() {
+			words += len(fn.Words)
+		}
+		got, err := c.Run("main", core.I(15))
+		if err != nil {
+			log.Fatalf("%s: %v", tg.name, err)
+		}
+		fmt.Printf("%-6s main(15) = %d   (%d machine words generated, %d insns executed, %d cycles)\n",
+			tg.name, got.Int(), words, machine.CPU().Insns(), machine.CPU().Cycles())
+	}
+}

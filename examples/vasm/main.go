@@ -1,0 +1,90 @@
+// vasm example: the textual face of the VCODE instruction set.  A small
+// assembly program — written once in the paper's instruction naming — is
+// assembled and run on all three simulated targets, and its generated
+// machine code is shown for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+	"repro/internal/sparc"
+	"repro/internal/vasm"
+)
+
+const src = `
+; sum of the first n odd numbers (= n*n), with a helper call
+.func odd (%i) leaf        ; odd(i) = 2*i + 1
+    addi    arg0, arg0, arg0
+    addii   arg0, arg0, 1
+    reti    arg0
+.end
+
+.func sumodd (%i)
+.reg n   var i             ; arg0 arrives in a caller-saved argument
+.reg i   var i             ; register -- move it somewhere that
+.reg acc var i             ; survives the calls below
+.reg t   temp i
+    movi    n, arg0
+    seti    i, 0
+    seti    acc, 0
+loop:
+    bgei    i, n, done
+    startcall (%i)
+    setarg  0, i
+    call    odd
+    retval  i, t
+    addi    acc, acc, t
+    addii   i, i, 1
+    jmp     loop
+done:
+    reti    acc
+.end
+`
+
+func main() {
+	type target struct {
+		name    string
+		backend core.Backend
+		machine *core.Machine
+	}
+	mmem := mem.New(1<<24, false)
+	smem := mem.New(1<<24, true)
+	amem := mem.New(1<<24, false)
+	mipsBk, sparcBk, alphaBk := mips.New(), sparc.New(), alpha.New()
+	targets := []target{
+		{"mips", mipsBk, core.NewMachine(mipsBk, mips.NewCPU(mmem), mmem)},
+		{"sparc", sparcBk, core.NewMachine(sparcBk, sparc.NewCPU(smem), smem)},
+		{"alpha", alphaBk, core.NewMachine(alphaBk, alpha.NewCPU(amem), amem)},
+	}
+	fmt.Print("source:", src, "\n")
+	for _, tg := range targets {
+		prog, err := vasm.Assemble(tg.machine, src)
+		if err != nil {
+			log.Fatalf("%s: %v", tg.name, err)
+		}
+		got, err := prog.Run("sumodd", core.I(12))
+		if err != nil {
+			log.Fatalf("%s: %v", tg.name, err)
+		}
+		words := len(prog.Funcs["odd"].Words) + len(prog.Funcs["sumodd"].Words)
+		fmt.Printf("%-6s sumodd(12) = %d   (%d machine words, %d insns, %d cycles)\n",
+			tg.name, got.Int(), words, tg.machine.CPU().Insns(), tg.machine.CPU().Cycles())
+	}
+
+	// Show the inner helper's code on one target.
+	m2 := mem.New(1<<22, false)
+	machine := core.NewMachine(mipsBk, mips.NewCPU(m2), m2)
+	prog, err := vasm.Assemble(machine, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nodd() on MIPS:")
+	for _, line := range mips.DisasmFunc(mipsBk, prog.Funcs["odd"]) {
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,380 @@
+// Package ash reproduces the paper's §4.3 experiment: ASHs (application
+// safe handlers) use VCODE to compose message data operations —
+// copying, internet checksumming, byte swapping — into a single
+// specialized pass over memory, instead of one modular pass per
+// operation.  Three implementations of each operation pipeline are built:
+//
+//   - Separate: one loop per operation (the modular composition whose
+//     cost the paper attacks): copy src->dst, then checksum dst, then
+//     byte-swap dst in place;
+//   - CIntegrated: a hand-integrated single-pass loop of the quality a C
+//     compiler produces (one word per iteration, straight-line body);
+//   - ASH: the dynamically generated loop VCODE emits — specialized to
+//     exactly the requested operations, constants preloaded, unrolled.
+//
+// All three run as generated MIPS code on the cycle-counted simulator
+// under a DECstation machine model, so Table 4's cached/uncached rows
+// fall out of the cache model (write-through, no write-allocate — which
+// is why the separate checksum pass over the freshly written destination
+// misses even when the source was cached).
+package ash
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+// Pipeline selects the data operations composed with the copy.
+type Pipeline struct {
+	Checksum bool
+	Swap     bool
+}
+
+func (p Pipeline) String() string {
+	s := "copy"
+	if p.Checksum {
+		s += "+checksum"
+	}
+	if p.Swap {
+		s += "+byteswap"
+	}
+	return s
+}
+
+// Method names one implementation strategy.
+type Method string
+
+// The three compared implementations.
+const (
+	Separate    Method = "separate"
+	CIntegrated Method = "C integrated"
+	ASH         Method = "ASH"
+)
+
+// System owns a simulated machine and compiles/runs message pipelines.
+type System struct {
+	machine *core.Machine
+	backend *mips.Backend
+	cpu     *mips.CPU
+	conf    mem.MachineConfig
+
+	src, dst uint64
+	capBytes int
+
+	funcs map[string][]*core.Func
+}
+
+// NewSystem builds a system on the given machine model with buffers of
+// capBytes.
+func NewSystem(conf mem.MachineConfig, capBytes int) (*System, error) {
+	bk := mips.New()
+	m := conf.Build(false)
+	cpu := mips.NewCPU(m)
+	mc := core.NewMachine(bk, cpu, m)
+	s := &System{machine: mc, backend: bk, cpu: cpu, conf: conf, capBytes: capBytes,
+		funcs: make(map[string][]*core.Func)}
+	var err error
+	if s.src, err = mc.Alloc(capBytes); err != nil {
+		return nil, err
+	}
+	if s.dst, err = mc.Alloc(capBytes); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Machine exposes the simulated machine.
+func (s *System) Machine() *core.Machine { return s.machine }
+
+// Funcs returns (compiling on first use) the function chain implementing
+// a pipeline with a method.  Separate returns one function per pass;
+// the integrated methods return a single function.
+func (s *System) Funcs(m Method, p Pipeline) ([]*core.Func, error) {
+	key := fmt.Sprintf("%s/%s", m, p)
+	if fs, ok := s.funcs[key]; ok {
+		return fs, nil
+	}
+	var fs []*core.Func
+	var err error
+	switch m {
+	case Separate:
+		fs, err = s.compileSeparate(p)
+	case CIntegrated:
+		f, e := s.compileIntegrated(p, 1)
+		fs, err = []*core.Func{f}, e
+	case ASH:
+		f, e := s.compileIntegrated(p, 4)
+		fs, err = []*core.Func{f}, e
+	default:
+		return nil, fmt.Errorf("ash: unknown method %q", m)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fs {
+		if err := s.machine.Install(f); err != nil {
+			return nil, err
+		}
+	}
+	s.funcs[key] = fs
+	return fs, nil
+}
+
+// Run processes msg through the pipeline with the given method and
+// returns the cycle cost and the computed checksum (0 when the pipeline
+// does not checksum).  When flush is true the data cache is invalidated
+// first (the table's "uncached" rows); otherwise a warm-up run has
+// usually already populated it.
+func (s *System) Run(m Method, p Pipeline, msg []byte, flush bool) (cycles uint64, sum uint16, err error) {
+	if len(msg) > s.capBytes {
+		return 0, 0, fmt.Errorf("ash: message of %d bytes exceeds buffer", len(msg))
+	}
+	if len(msg)%16 != 0 {
+		return 0, 0, fmt.Errorf("ash: message length must be a multiple of 16 (got %d)", len(msg))
+	}
+	fs, err := s.Funcs(m, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.machine.Mem().WriteBytes(s.src, msg); err != nil {
+		return 0, 0, err
+	}
+	if flush {
+		s.machine.Mem().FlushCache()
+	}
+	s.cpu.ResetStats()
+	for _, f := range fs {
+		v, cerr := s.machine.Call(f, core.P(s.src), core.P(s.dst), core.I(int32(len(msg))))
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		// The checksum comes from the pass that computed it (the only
+		// pass in the integrated methods, the middle pass when
+		// separate).
+		if p.Checksum && (m != Separate || f.Name == "ash-checksum") {
+			sum = uint16(v.Uint())
+		}
+	}
+	return s.cpu.Cycles(), sum, nil
+}
+
+// Dst reads back the destination buffer (for verification).
+func (s *System) Dst(n int) ([]byte, error) {
+	return s.machine.Mem().ReadBytes(s.dst, n)
+}
+
+// --- reference implementations (for tests) ---
+
+// RefChecksum is the 16-bit ones-complement internet checksum of the
+// buffer, summed over little-endian halfwords.
+func RefChecksum(b []byte) uint16 {
+	var acc uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		acc += uint32(binary.LittleEndian.Uint16(b[i:]))
+	}
+	for acc>>16 != 0 {
+		acc = acc&0xffff + acc>>16
+	}
+	return uint16(acc)
+}
+
+// RefSwap returns the buffer with the bytes of each halfword swapped.
+func RefSwap(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i := 0; i+1 < len(b); i += 2 {
+		out[i], out[i+1] = b[i+1], b[i]
+	}
+	return out
+}
+
+// --- code generation ---
+
+// loopRegs are the registers common to every generated pass.
+type loopRegs struct {
+	src, dst, n core.Reg
+	end, acc    core.Reg
+	maskLo, tmp core.Reg
+	tmp2        core.Reg
+}
+
+func (s *System) begin(a *core.Asm, name string) (loopRegs, error) {
+	var r loopRegs
+	a.SetName(name)
+	args, err := a.Begin("%p%p%i", core.Leaf)
+	if err != nil {
+		return r, err
+	}
+	r.src, r.dst, r.n = args[0], args[1], args[2]
+	get := func() core.Reg {
+		reg, gerr := a.GetReg(core.Temp)
+		if gerr != nil && err == nil {
+			err = gerr
+		}
+		return reg
+	}
+	r.end, r.acc, r.maskLo, r.tmp, r.tmp2 = get(), get(), get(), get(), get()
+	if err != nil {
+		return r, err
+	}
+	a.Addp(r.end, r.src, r.n)
+	a.Setu(r.acc, 0)
+	return r, nil
+}
+
+// emitChecksumWord adds the two halfwords of w into acc (4 instructions).
+func emitChecksumWord(a *core.Asm, r loopRegs, w core.Reg) {
+	a.Andui(r.tmp, w, 0xffff)
+	a.Addu(r.acc, r.acc, r.tmp)
+	a.Rshui(r.tmp, w, 16)
+	a.Addu(r.acc, r.acc, r.tmp)
+}
+
+// emitSwapWord byte-swaps each halfword of w in place (5 instructions;
+// the 0x00ff00ff mask register is preloaded outside the loop — part of
+// what specialization buys).
+func emitSwapWord(a *core.Asm, r loopRegs, w core.Reg) {
+	a.Andu(r.tmp, w, r.maskLo)
+	a.Lshui(r.tmp, r.tmp, 8)
+	a.Rshui(r.tmp2, w, 8)
+	a.Andu(r.tmp2, r.tmp2, r.maskLo)
+	a.Oru(w, r.tmp, r.tmp2)
+}
+
+// emitFold folds the 32-bit accumulator into the final 16-bit checksum.
+func emitFold(a *core.Asm, r loopRegs) {
+	for i := 0; i < 2; i++ {
+		a.Rshui(r.tmp, r.acc, 16)
+		a.Andui(r.acc, r.acc, 0xffff)
+		a.Addu(r.acc, r.acc, r.tmp)
+	}
+}
+
+// compileIntegrated generates the single-pass loop processing `unroll`
+// words per iteration.  unroll=1 is the hand-integrated "C" code shape;
+// unroll=4 is what the ASH system emits.
+func (s *System) compileIntegrated(p Pipeline, unroll int) (*core.Func, error) {
+	a := core.NewAsm(s.backend)
+	r, err := s.begin(a, fmt.Sprintf("ash-%s-x%d", p, unroll))
+	if err != nil {
+		return nil, err
+	}
+	if p.Swap {
+		a.Setu(r.maskLo, 0x00ff00ff)
+	}
+	w, err := a.GetReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	top := a.NewLabel()
+	a.Bind(top)
+	for i := 0; i < unroll; i++ {
+		a.Ldui(w, r.src, int64(4*i))
+		if p.Checksum {
+			emitChecksumWord(a, r, w)
+		}
+		if p.Swap {
+			emitSwapWord(a, r, w)
+		}
+		a.Stui(w, r.dst, int64(4*i))
+	}
+	a.Addpi(r.src, r.src, int64(4*unroll))
+	a.Addpi(r.dst, r.dst, int64(4*unroll))
+	a.Bltp(r.src, r.end, top)
+	if p.Checksum {
+		emitFold(a, r)
+	}
+	a.Retu(r.acc)
+	return a.End()
+}
+
+// compileSeparate generates one loop per operation: copy, then checksum
+// over the destination, then byte-swap the destination in place.
+func (s *System) compileSeparate(p Pipeline) ([]*core.Func, error) {
+	var fs []*core.Func
+
+	// Pass 1: copy.
+	a := core.NewAsm(s.backend)
+	r, err := s.begin(a, "ash-copy")
+	if err != nil {
+		return nil, err
+	}
+	w, err := a.GetReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	top := a.NewLabel()
+	a.Bind(top)
+	a.Ldui(w, r.src, 0)
+	a.Stui(w, r.dst, 0)
+	a.Addpi(r.src, r.src, 4)
+	a.Addpi(r.dst, r.dst, 4)
+	a.Bltp(r.src, r.end, top)
+	a.Retu(r.acc)
+	f, err := a.End()
+	if err != nil {
+		return nil, err
+	}
+	fs = append(fs, f)
+
+	// Pass 2: checksum over dst.
+	if p.Checksum {
+		a := core.NewAsm(s.backend)
+		r, err := s.begin(a, "ash-checksum")
+		if err != nil {
+			return nil, err
+		}
+		w, err := a.GetReg(core.Temp)
+		if err != nil {
+			return nil, err
+		}
+		// end tracks dst in this pass.
+		a.Addp(r.end, r.dst, r.n)
+		top := a.NewLabel()
+		a.Bind(top)
+		a.Ldui(w, r.dst, 0)
+		emitChecksumWord(a, r, w)
+		a.Addpi(r.dst, r.dst, 4)
+		a.Bltp(r.dst, r.end, top)
+		emitFold(a, r)
+		a.Retu(r.acc)
+		f, err := a.End()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+
+	// Pass 3: byte swap dst in place, preserving the checksum in the
+	// return value (the driver returns the last call's value).
+	if p.Swap {
+		a := core.NewAsm(s.backend)
+		r, err := s.begin(a, "ash-swap")
+		if err != nil {
+			return nil, err
+		}
+		a.Setu(r.maskLo, 0x00ff00ff)
+		w, err := a.GetReg(core.Temp)
+		if err != nil {
+			return nil, err
+		}
+		a.Addp(r.end, r.dst, r.n)
+		top := a.NewLabel()
+		a.Bind(top)
+		a.Ldui(w, r.dst, 0)
+		emitSwapWord(a, r, w)
+		a.Stui(w, r.dst, 0)
+		a.Addpi(r.dst, r.dst, 4)
+		a.Bltp(r.dst, r.end, top)
+		a.Retu(r.acc)
+		f, err := a.End()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}

@@ -1,0 +1,129 @@
+package ash
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func testMsg(n int) []byte {
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(i*31 + 7)
+	}
+	return msg
+}
+
+// TestMethodsProduceSameResults checks all three implementations against
+// the Go reference for every pipeline.
+func TestMethodsProduceSameResults(t *testing.T) {
+	sys, err := NewSystem(mem.DEC5000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMsg(1024)
+	for _, p := range []Pipeline{{}, {Checksum: true}, {Swap: true}, {Checksum: true, Swap: true}} {
+		wantDst := msg
+		if p.Swap {
+			wantDst = RefSwap(msg)
+		}
+		wantSum := uint16(0)
+		if p.Checksum {
+			wantSum = RefChecksum(msg)
+		}
+		for _, m := range []Method{Separate, CIntegrated, ASH} {
+			_, sum, err := sys.Run(m, p, msg, false)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m, p, err)
+			}
+			if p.Checksum && sum != wantSum {
+				t.Errorf("%s/%s: checksum %#x, want %#x", m, p, sum, wantSum)
+			}
+			dst, err := sys.Dst(len(msg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst, wantDst) {
+				t.Errorf("%s/%s: destination buffer differs from reference", m, p)
+			}
+		}
+	}
+}
+
+// TestChecksumQuick property-tests the generated checksum code against
+// the reference over random messages.
+func TestChecksumQuick(t *testing.T) {
+	sys, err := NewSystem(mem.Uncosted, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint32, blocks uint8) bool {
+		n := (int(blocks%64) + 1) * 16
+		msg := make([]byte, n)
+		s := seed
+		for i := range msg {
+			s = s*1664525 + 1013904223
+			msg[i] = byte(s >> 24)
+		}
+		_, sum, err := sys.Run(ASH, Pipeline{Checksum: true}, msg, false)
+		return err == nil && sum == RefChecksum(msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntegrationOrdering checks Table 4's qualitative claims: ASH beats
+// the hand-integrated loop, which beats separate passes; flushing the
+// cache hurts separate passes more than it hurts the integrated one.
+func TestIntegrationOrdering(t *testing.T) {
+	sys, err := NewSystem(mem.DEC5000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMsg(4096)
+	p := Pipeline{Checksum: true, Swap: true}
+	cost := func(m Method, flush bool) uint64 {
+		// Warm, then measure.
+		if _, _, err := sys.Run(m, p, msg, false); err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := sys.Run(m, p, msg, flush)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	sep := cost(Separate, false)
+	sepU := cost(Separate, true)
+	ci := cost(CIntegrated, false)
+	ashc := cost(ASH, false)
+	if !(ashc < ci && ci < sep && sep < sepU) {
+		t.Errorf("ordering wrong: ash=%d < C=%d < separate=%d < separate-uncached=%d", ashc, ci, sep, sepU)
+	}
+	// The integration benefit must grow when the separate passes start
+	// from a cold cache (they re-touch memory the cache no longer
+	// holds), the paper's "factor of two with a flush" observation.
+	if float64(sepU)/float64(ashc) <= float64(sep)/float64(ashc) {
+		t.Errorf("uncached integration benefit (%.2fx) should exceed cached (%.2fx)",
+			float64(sepU)/float64(ashc), float64(sep)/float64(ashc))
+	}
+}
+
+// TestTable4Runs smoke-tests the full table.
+func TestTable4Runs(t *testing.T) {
+	rows, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.CkMicros <= 0 || r.SwMicros <= r.CkMicros {
+			t.Errorf("%s/%s: implausible cells %v/%v", r.Machine, r.Method, r.CkMicros, r.SwMicros)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package ash
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Stage is one modular message data operation, written in terms of VCODE
+// instructions (the paper's point: "by writing each data processing step
+// in terms of VCODE it is possible for clients to write code that is more
+// efficient than if it were written in a high-level language"), which the
+// ASH system composes with others into a single dynamically generated
+// pass over memory.
+type Stage struct {
+	Name string
+	// Setup emits pre-loop code (load masks and constants into
+	// registers — specialization the static separate-pass world pays
+	// for on every call).
+	Setup func(a *core.Asm, r *StageRegs)
+	// Word emits the per-word processing; w holds the current message
+	// word and may be transformed in place.
+	Word func(a *core.Asm, r *StageRegs, w core.Reg)
+	// Finish emits post-loop code; a stage producing a summary value
+	// (e.g. a checksum) moves it into r.Acc.
+	Finish func(a *core.Asm, r *StageRegs)
+}
+
+// StageRegs exposes the registers a stage may use.
+type StageRegs struct {
+	// Acc is the pipeline's summary accumulator (returned by the
+	// generated function).
+	Acc core.Reg
+	// Tmp are per-stage scratch registers, valid within one emitted
+	// fragment.
+	Tmp [2]core.Reg
+	// Const are registers a stage may fill in Setup and rely on in
+	// every Word (one per stage; ask for more via Asm.GetReg).
+	Const core.Reg
+}
+
+// ChecksumStage is the internet-checksum stage expressed through the
+// Stage interface.
+func ChecksumStage() Stage {
+	return Stage{
+		Name: "checksum",
+		Word: func(a *core.Asm, r *StageRegs, w core.Reg) {
+			a.Andui(r.Tmp[0], w, 0xffff)
+			a.Addu(r.Acc, r.Acc, r.Tmp[0])
+			a.Rshui(r.Tmp[0], w, 16)
+			a.Addu(r.Acc, r.Acc, r.Tmp[0])
+		},
+		Finish: func(a *core.Asm, r *StageRegs) {
+			for i := 0; i < 2; i++ {
+				a.Rshui(r.Tmp[0], r.Acc, 16)
+				a.Andui(r.Acc, r.Acc, 0xffff)
+				a.Addu(r.Acc, r.Acc, r.Tmp[0])
+			}
+		},
+	}
+}
+
+// SwapStage byte-swaps each halfword of every word.
+func SwapStage() Stage {
+	return Stage{
+		Name: "byteswap",
+		Setup: func(a *core.Asm, r *StageRegs) {
+			a.Setu(r.Const, 0x00ff00ff)
+		},
+		Word: func(a *core.Asm, r *StageRegs, w core.Reg) {
+			a.Andu(r.Tmp[0], w, r.Const)
+			a.Lshui(r.Tmp[0], r.Tmp[0], 8)
+			a.Rshui(r.Tmp[1], w, 8)
+			a.Andu(r.Tmp[1], r.Tmp[1], r.Const)
+			a.Oru(w, r.Tmp[0], r.Tmp[1])
+		},
+	}
+}
+
+// XorStage is the kind of stage a client protocol layer adds: XOR every
+// word with a key chosen at composition time (a toy obfuscation layer).
+func XorStage(key uint32) Stage {
+	return Stage{
+		Name: fmt.Sprintf("xor[%#x]", key),
+		Setup: func(a *core.Asm, r *StageRegs) {
+			a.Setu(r.Const, int64(key))
+		},
+		Word: func(a *core.Asm, r *StageRegs, w core.Reg) {
+			a.Xoru(w, w, r.Const)
+		},
+	}
+}
+
+// CompileStages dynamically composes the stages — in order — into one
+// copying loop over the message, unrolled `unroll` words per iteration.
+// The generated function has the same (src, dst, nbytes) -> word
+// signature as the builtin pipelines.
+func (s *System) CompileStages(stages []Stage, unroll int) (*core.Func, error) {
+	if unroll < 1 {
+		return nil, fmt.Errorf("ash: unroll must be >= 1")
+	}
+	a := core.NewAsm(s.backend)
+	name := "ash"
+	for _, st := range stages {
+		name += "+" + st.Name
+	}
+	a.SetName(name)
+	args, err := a.Begin("%p%p%i", core.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	src, dst, n := args[0], args[1], args[2]
+	get := func() (core.Reg, error) { return a.GetReg(core.Temp) }
+	end, err := get()
+	if err != nil {
+		return nil, err
+	}
+	acc, err := get()
+	if err != nil {
+		return nil, err
+	}
+	t0, err := get()
+	if err != nil {
+		return nil, err
+	}
+	t1, err := get()
+	if err != nil {
+		return nil, err
+	}
+	w, err := get()
+	if err != nil {
+		return nil, err
+	}
+	a.Addp(end, src, n)
+	a.Setu(acc, 0)
+
+	// Per-stage constant registers, filled by Setup.
+	regs := make([]*StageRegs, len(stages))
+	for i, st := range stages {
+		r := &StageRegs{Acc: acc, Tmp: [2]core.Reg{t0, t1}, Const: core.NoReg}
+		if st.Setup != nil {
+			c, err := a.GetReg(core.Var)
+			if err != nil {
+				return nil, fmt.Errorf("ash: stage %s constants exceed registers: %w", st.Name, err)
+			}
+			r.Const = c
+			st.Setup(a, r)
+		}
+		regs[i] = r
+	}
+
+	top := a.NewLabel()
+	a.Bind(top)
+	for u := 0; u < unroll; u++ {
+		a.Ldui(w, src, int64(4*u))
+		for i, st := range stages {
+			if st.Word != nil {
+				st.Word(a, regs[i], w)
+			}
+		}
+		a.Stui(w, dst, int64(4*u))
+	}
+	a.Addpi(src, src, int64(4*unroll))
+	a.Addpi(dst, dst, int64(4*unroll))
+	a.Bltp(src, end, top)
+	for i, st := range stages {
+		if st.Finish != nil {
+			st.Finish(a, regs[i])
+		}
+	}
+	a.Retu(acc)
+	return a.End()
+}
+
+// RunStages compiles (with 4x unrolling, as the ASH system does),
+// installs and runs a composed pipeline over msg, returning the cycle
+// cost and the accumulator value.
+func (s *System) RunStages(stages []Stage, msg []byte, flush bool) (cycles uint64, acc uint32, err error) {
+	if len(msg) > s.capBytes || len(msg)%16 != 0 {
+		return 0, 0, fmt.Errorf("ash: message must fit the buffer and be a multiple of 16 bytes")
+	}
+	fn, err := s.CompileStages(stages, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.machine.Install(fn); err != nil {
+		return 0, 0, err
+	}
+	if err := s.machine.Mem().WriteBytes(s.src, msg); err != nil {
+		return 0, 0, err
+	}
+	if flush {
+		s.machine.Mem().FlushCache()
+	}
+	s.cpu.ResetStats()
+	v, err := s.machine.Call(fn, core.P(s.src), core.P(s.dst), core.I(int32(len(msg))))
+	if err != nil {
+		return 0, 0, err
+	}
+	return s.cpu.Cycles(), uint32(v.Uint()), nil
+}

@@ -1,0 +1,121 @@
+package ash
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestStagePipelineMatchesBuiltin composes checksum+swap through the
+// Stage interface and checks it produces the same destination bytes and
+// checksum as the builtin pipeline.
+func TestStagePipelineMatchesBuiltin(t *testing.T) {
+	sys, err := NewSystem(mem.DEC5000, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMsg(1024)
+	_, wantSum, err := sys.Run(ASH, Pipeline{Checksum: true, Swap: true}, msg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDst, err := sys.Dst(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), wantDst...)
+
+	_, sum, err := sys.RunStages([]Stage{ChecksumStage(), SwapStage()}, msg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint16(sum) != wantSum {
+		t.Errorf("stage checksum %#x, builtin %#x", sum, wantSum)
+	}
+	dst, err := sys.Dst(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, want) {
+		t.Error("stage pipeline destination differs from builtin")
+	}
+}
+
+// TestClientStageComposition adds a client-defined XOR layer and checks
+// ordering semantics: checksum sees the pre-XOR data when composed first.
+func TestClientStageComposition(t *testing.T) {
+	sys, err := NewSystem(mem.Uncosted, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMsg(256)
+	const key = 0xdeadbeef
+
+	_, sum, err := sys.RunStages([]Stage{ChecksumStage(), XorStage(key)}, msg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint16(sum) != RefChecksum(msg) {
+		t.Errorf("checksum-before-xor = %#x, want %#x", sum, RefChecksum(msg))
+	}
+	dst, err := sys.Dst(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+3 < len(msg); i += 4 {
+		want := binary.LittleEndian.Uint32(msg[i:]) ^ key
+		got := binary.LittleEndian.Uint32(dst[i:])
+		if got != want {
+			t.Fatalf("word %d: %#x, want %#x", i/4, got, want)
+		}
+	}
+
+	// Composed the other way, the checksum covers the XORed words.
+	_, sum2, err := sys.RunStages([]Stage{XorStage(key), ChecksumStage()}, msg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xored, err := sys.Dst(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint16(sum2) != RefChecksum(xored) {
+		t.Errorf("xor-before-checksum = %#x, want %#x", sum2, RefChecksum(xored))
+	}
+	if uint16(sum2) == uint16(sum) {
+		t.Error("orderings should differ for this key")
+	}
+}
+
+// TestThreeStageComposition chains three layers, the modular-composition
+// scenario the paper motivates.
+func TestThreeStageComposition(t *testing.T) {
+	sys, err := NewSystem(mem.DEC5000, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMsg(512)
+	cycles, sum, err := sys.RunStages([]Stage{ChecksumStage(), SwapStage(), XorStage(0x01010101)}, msg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint16(sum) != RefChecksum(msg) {
+		t.Errorf("checksum = %#x, want %#x", sum, RefChecksum(msg))
+	}
+	if cycles == 0 {
+		t.Error("no cycles charged")
+	}
+	dst, err := sys.Dst(len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := RefSwap(msg)
+	for i := 0; i+3 < len(msg); i += 4 {
+		want := binary.LittleEndian.Uint32(swapped[i:]) ^ 0x01010101
+		if got := binary.LittleEndian.Uint32(dst[i:]); got != want {
+			t.Fatalf("word %d: %#x, want %#x", i/4, got, want)
+		}
+	}
+}

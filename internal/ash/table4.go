@@ -1,0 +1,90 @@
+package ash
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Table4Row is one cell block of the paper's Table 4: a machine, a
+// method, and the microsecond cost of each pipeline.
+type Table4Row struct {
+	Machine  string
+	Method   string  // "separate uncached", "separate", "C integrated", "ASH"
+	CkMicros float64 // copy + checksum
+	SwMicros float64 // copy + checksum + byte swap
+}
+
+// Table4Message is the message size processed per trial (the experiment
+// models handler delivery of a large message).
+const Table4Message = 4096
+
+// RunTable4 reproduces Table 4: the cost of integrated and non-integrated
+// memory operations on the two DECstation models.  Rows mirror the
+// paper's: "separate uncached" flushes the data cache before each trial;
+// the other rows run warm.
+func RunTable4() ([]Table4Row, error) {
+	msg := make([]byte, Table4Message)
+	for i := range msg {
+		msg[i] = byte(i*7 + 3)
+	}
+
+	var rows []Table4Row
+	for _, conf := range []mem.MachineConfig{mem.DEC3100, mem.DEC5000} {
+		sys, err := NewSystem(conf, Table4Message)
+		if err != nil {
+			return nil, err
+		}
+		type variant struct {
+			label  string
+			method Method
+			flush  bool
+		}
+		for _, v := range []variant{
+			{"separate uncached", Separate, true},
+			{"separate", Separate, false},
+			{"C integrated", CIntegrated, false},
+			{"ASH", ASH, false},
+		} {
+			row := Table4Row{Machine: conf.Name, Method: v.label}
+			for _, p := range []Pipeline{{Checksum: true}, {Checksum: true, Swap: true}} {
+				// Warm-up run to populate the cache (and the code
+				// path); flushed again below when uncached.
+				if _, _, err := sys.Run(v.method, p, msg, false); err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", conf.Name, v.label, p, err)
+				}
+				cycles, sum, err := sys.Run(v.method, p, msg, v.flush)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", conf.Name, v.label, p, err)
+				}
+				if want := RefChecksum(msg); sum != want {
+					return nil, fmt.Errorf("%s/%s/%s: checksum %#x, want %#x", conf.Name, v.label, p, sum, want)
+				}
+				if p.Swap {
+					row.SwMicros = conf.Micros(cycles)
+				} else {
+					row.CkMicros = conf.Micros(cycles)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the rows in the paper's layout.
+func FormatTable4(rows []Table4Row) string {
+	s := "Table 4: cost of integrated and non-integrated memory operations (us)\n"
+	s += fmt.Sprintf("%-10s %-18s %16s %24s\n", "machine", "method", "copy+checksum", "copy+checksum+byteswap")
+	last := ""
+	for _, r := range rows {
+		m := r.Machine
+		if m == last {
+			m = ""
+		} else {
+			last = r.Machine
+		}
+		s += fmt.Sprintf("%-10s %-18s %16.0f %24.0f\n", m, r.Method, r.CkMicros, r.SwMicros)
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+package cgbench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dcg"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+// Go references for the two benchmark workloads, mirroring EmitVCODE and
+// EmitDCG instruction for instruction, so the functions whose generation
+// cost E1 measures are also verified to be *correct* code.
+
+func refVCODE(m []uint32, n int32) int32 {
+	var r1, r2 int32
+	for i := 0; i < Blocks; i++ {
+		k := int32(i&15 + 1)
+		r1 = n + k
+		r2 = r1 << 3
+		r1 = r1 ^ r2
+		r2 = int32(m[k])
+		r2 = r2 + r1
+		m[k] = uint32(r2)
+		r1 = r1 - 7
+		r2 = r2 & 0xff
+		r1 = r1 | r2
+	}
+	return r1
+}
+
+func refDCG(m []uint32, n int32) int32 {
+	for i := 0; i < Blocks; i++ {
+		k := int32(i&15 + 1)
+		nk := n + k
+		sh := (n + k) << 3
+		t1 := (nk ^ sh) - 7
+		m[k] = uint32((int32(m[k]) + t1) & 0xff)
+	}
+	return n
+}
+
+func run(t *testing.T, machine *core.Machine, fn *core.Func, n int32) (int32, []uint32) {
+	t.Helper()
+	buf, err := machine.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]uint32, 64)
+	for i := range init {
+		init[i] = uint32(i * 3)
+		if err := machine.Mem().Store(buf+uint64(4*i), 4, uint64(init[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := machine.Call(fn, core.P(buf), core.I(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, 64)
+	for i := range out {
+		v, err := machine.Mem().Load(buf+uint64(4*i), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = uint32(v)
+	}
+	return int32(got.Int()), out
+}
+
+// TestWorkloadsCorrect verifies the three E1 workload emitters generate
+// code that matches their Go references, so the cost comparison compares
+// working code generation.
+func TestWorkloadsCorrect(t *testing.T) {
+	bk := mips.New()
+	m := mem.New(1<<22, false)
+	machine := core.NewMachine(bk, mips.NewCPU(m), m)
+
+	check := func(name string, fn *core.Func, ref func([]uint32, int32) int32) {
+		gotRet, gotMem := run(t, machine, fn, 77)
+		wantMem := make([]uint32, 64)
+		for i := range wantMem {
+			wantMem[i] = uint32(i * 3)
+		}
+		wantRet := ref(wantMem, 77)
+		if gotRet != wantRet {
+			t.Errorf("%s: returned %d, reference %d", name, gotRet, wantRet)
+		}
+		for i := range wantMem {
+			if gotMem[i] != wantMem[i] {
+				t.Errorf("%s: mem[%d] = %d, reference %d", name, i, gotMem[i], wantMem[i])
+				break
+			}
+		}
+	}
+
+	a := core.NewAsm(bk)
+	vfn, vinsns, err := EmitVCODE(a, Blocks, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("vcode", vfn, refVCODE)
+
+	a2 := core.NewAsm(bk)
+	hfn, hinsns, err := EmitVCODE(a2, Blocks, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("vcode-hard", hfn, refVCODE)
+
+	g := dcg.New(bk)
+	dfn, dinsns, err := EmitDCG(g, Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("dcg", dfn, refDCG)
+
+	// The per-instruction denominators must agree (within the final
+	// return instruction).
+	if vinsns != hinsns || vinsns-dinsns > 1 || dinsns-vinsns > 1 {
+		t.Errorf("instruction counts diverge: vcode=%d hard=%d dcg=%d", vinsns, hinsns, dinsns)
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+// Buf is the in-place code stream: a flat sequence of 32-bit machine
+// instruction words.  All three supported targets (MIPS, SPARC, Alpha) use
+// fixed 32-bit instruction encodings, so the buffer is word-addressed.
+// Emission is a bounds-check plus an append; there is no intermediate
+// structure of any kind.
+type Buf struct {
+	w []uint32
+}
+
+// NewBuf returns a buffer with capacity for n instructions preallocated.
+func NewBuf(n int) *Buf { return &Buf{w: make([]uint32, 0, n)} }
+
+// Emit appends one instruction word.
+func (b *Buf) Emit(x uint32) { b.w = append(b.w, x) }
+
+// Len returns the number of instruction words emitted so far.
+func (b *Buf) Len() int { return len(b.w) }
+
+// At returns the word at instruction index i.
+func (b *Buf) At(i int) uint32 { return b.w[i] }
+
+// Set overwrites the word at instruction index i (used for backpatching).
+func (b *Buf) Set(i int, x uint32) { b.w[i] = x }
+
+// Truncate discards all words at index n and beyond.
+func (b *Buf) Truncate(n int) { b.w = b.w[:n] }
+
+// Words returns the underlying word slice (not a copy).
+func (b *Buf) Words() []uint32 { return b.w }
+
+// Reset empties the buffer, retaining capacity.
+func (b *Buf) Reset() { b.w = b.w[:0] }

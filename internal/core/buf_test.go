@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+func TestBufBasics(t *testing.T) {
+	b := NewBuf(4)
+	if b.Len() != 0 {
+		t.Fatal("fresh buffer not empty")
+	}
+	for i := uint32(0); i < 10; i++ {
+		b.Emit(i * 100)
+	}
+	if b.Len() != 10 || b.At(3) != 300 {
+		t.Fatalf("emit/At wrong: len=%d at3=%d", b.Len(), b.At(3))
+	}
+	b.Set(3, 42)
+	if b.At(3) != 42 {
+		t.Fatal("Set failed")
+	}
+	b.Truncate(5)
+	if b.Len() != 5 {
+		t.Fatal("Truncate failed")
+	}
+	if len(b.Words()) != 5 {
+		t.Fatal("Words length wrong")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestRotate(t *testing.T) {
+	w := []uint32{1, 2, 3, 4, 5}
+	rotate(w, 2) // left-rotate by 2
+	want := []uint32{3, 4, 5, 1, 2}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("rotate: %v, want %v", w, want)
+		}
+	}
+	one := []uint32{7}
+	rotate(one, 0)
+	if one[0] != 7 {
+		t.Fatal("rotate by 0 changed data")
+	}
+}

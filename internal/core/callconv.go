@@ -1,0 +1,185 @@
+package core
+
+import "fmt"
+
+// CallConv describes a calling convention.  VCODE lets clients substitute
+// conventions on a per-generated-function basis (paper §5.3/§5.4): Clone
+// the backend's DefaultConv, adjust register classes, and pass the result
+// to NewAsmConv.
+type CallConv struct {
+	// IntArgs / FPArgs list the argument registers in order.
+	IntArgs []Reg
+	FPArgs  []Reg
+	// RetInt / RetFP are the result registers.
+	RetInt Reg
+	RetFP  Reg
+	// RA is the link register, SP the stack pointer, Zero the hardwired
+	// zero register (NoReg if none).
+	RA   Reg
+	SP   Reg
+	Zero Reg
+	// CallerSaved / CalleeSaved list allocatable integer registers in
+	// allocation-priority order.  CallerSavedFP / CalleeSavedFP likewise
+	// for the floating-point bank.  Argument registers are listed here
+	// too when they are allocatable once unused by the signature.
+	CallerSaved   []Reg
+	CalleeSaved   []Reg
+	CallerSavedFP []Reg
+	CalleeSavedFP []Reg
+	// StackAlign is the required SP alignment in bytes.
+	StackAlign int
+	// SlotBytes is the width of one outgoing stack-argument slot.
+	SlotBytes int
+	// HardTemp/HardVar back the architecture-independent hard-coded
+	// register names T0,T1,... and S0,S1,... (paper §5.3); HardTempFP
+	// and HardVarFP back FT and FS.  Using these names bypasses the
+	// allocator and roughly halves code generation cost.
+	HardTemp   []Reg
+	HardVar    []Reg
+	HardTempFP []Reg
+	HardVarFP  []Reg
+}
+
+// Clone returns a deep copy of c that the client may freely modify.
+func (c *CallConv) Clone() *CallConv {
+	d := *c
+	d.IntArgs = append([]Reg(nil), c.IntArgs...)
+	d.FPArgs = append([]Reg(nil), c.FPArgs...)
+	d.CallerSaved = append([]Reg(nil), c.CallerSaved...)
+	d.CalleeSaved = append([]Reg(nil), c.CalleeSaved...)
+	d.CallerSavedFP = append([]Reg(nil), c.CallerSavedFP...)
+	d.CalleeSavedFP = append([]Reg(nil), c.CalleeSavedFP...)
+	d.HardTemp = append([]Reg(nil), c.HardTemp...)
+	d.HardVar = append([]Reg(nil), c.HardVar...)
+	d.HardTempFP = append([]Reg(nil), c.HardTempFP...)
+	d.HardVarFP = append([]Reg(nil), c.HardVarFP...)
+	return &d
+}
+
+func removeReg(s []Reg, r Reg) []Reg {
+	out := s[:0:len(s)]
+	for _, x := range s {
+		if x != r {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func containsReg(s []Reg, r Reg) bool {
+	for _, x := range s {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// SetClass dynamically reclassifies register r as caller-saved (Temp),
+// callee-saved (Var), or Unavail.  This is the paper's mechanism for using
+// generated code where normal register conventions do not hold — e.g. an
+// interrupt handler, in which every register is live and must therefore be
+// treated as callee-saved.
+func (c *CallConv) SetClass(r Reg, class RegClass) error {
+	if !r.Valid() {
+		return fmt.Errorf("vcode: SetClass: invalid register %v", r)
+	}
+	if r == c.SP || r == c.RA || r == c.Zero {
+		return fmt.Errorf("vcode: SetClass: register %v is reserved", r)
+	}
+	if r.IsFP() {
+		c.CallerSavedFP = removeReg(c.CallerSavedFP, r)
+		c.CalleeSavedFP = removeReg(c.CalleeSavedFP, r)
+		switch class {
+		case Temp:
+			c.CallerSavedFP = append(c.CallerSavedFP, r)
+		case Var:
+			c.CalleeSavedFP = append(c.CalleeSavedFP, r)
+		}
+		return nil
+	}
+	c.CallerSaved = removeReg(c.CallerSaved, r)
+	c.CalleeSaved = removeReg(c.CalleeSaved, r)
+	switch class {
+	case Temp:
+		c.CallerSaved = append(c.CallerSaved, r)
+	case Var:
+		c.CalleeSaved = append(c.CalleeSaved, r)
+	}
+	return nil
+}
+
+// AllCalleeSaved reclassifies every allocatable register as callee-saved,
+// the configuration an interrupt-handler client needs.
+func (c *CallConv) AllCalleeSaved() {
+	c.CalleeSaved = append(c.CalleeSaved, c.CallerSaved...)
+	c.CallerSaved = nil
+	c.CalleeSavedFP = append(c.CalleeSavedFP, c.CallerSavedFP...)
+	c.CallerSavedFP = nil
+}
+
+// ClassOf returns the current classification of r under c.
+func (c *CallConv) ClassOf(r Reg) RegClass {
+	if r.IsFP() {
+		if containsReg(c.CallerSavedFP, r) {
+			return Temp
+		}
+		if containsReg(c.CalleeSavedFP, r) {
+			return Var
+		}
+		return Unavail
+	}
+	if containsReg(c.CallerSaved, r) {
+		return Temp
+	}
+	if containsReg(c.CalleeSaved, r) {
+		return Var
+	}
+	return Unavail
+}
+
+// argLoc describes where one incoming or outgoing argument lives.
+type argLoc struct {
+	t        Type
+	reg      Reg   // NoReg when on the stack
+	stackOff int64 // offset from SP at entry/call when reg == NoReg
+}
+
+// layoutArgs assigns argument locations for a signature under c: integer
+// and pointer arguments consume IntArgs in order, floating-point arguments
+// consume FPArgs, and overflow goes to ascending stack slots.  stackBytes
+// is the total outgoing stack space (already aligned).
+func (c *CallConv) layoutArgs(params []Type) (locs []argLoc, stackBytes int64) {
+	ni, nf := 0, 0
+	var off int64
+	slot := int64(c.SlotBytes)
+	for _, t := range params {
+		l := argLoc{t: t, reg: NoReg}
+		if t.IsFloat() {
+			if nf < len(c.FPArgs) {
+				l.reg = c.FPArgs[nf]
+				nf++
+			}
+		} else {
+			if ni < len(c.IntArgs) {
+				l.reg = c.IntArgs[ni]
+				ni++
+			}
+		}
+		if l.reg == NoReg {
+			sz := slot
+			if t == TypeD && slot < 8 {
+				sz = 8
+				off = (off + 7) &^ 7
+			}
+			l.stackOff = off
+			off += sz
+		}
+		locs = append(locs, l)
+	}
+	align := int64(c.StackAlign)
+	if align > 0 {
+		off = (off + align - 1) &^ (align - 1)
+	}
+	return locs, off
+}

@@ -1,0 +1,31 @@
+// Package core implements the VCODE dynamic code generation system
+// (Engler, PLDI 1996) in Go.
+//
+// VCODE presents the assembly language of an idealized load-store RISC
+// architecture.  Client programs select instructions through a large family
+// of per-instruction methods (the analog of the paper's C macro layer, see
+// instructions_gen.go) and VCODE transliterates each one to binary machine
+// code immediately, in place: no intermediate representation is built or
+// consumed at runtime.  The only deferred work is exactly what the paper
+// defers — branch/jump backpatching, prologue fill-in, and the per-function
+// floating-point constant pool.
+//
+// A typical client:
+//
+//	a := core.NewAsm(mips.New())              // pick a target backend
+//	args, _ := a.Begin("%i", core.Leaf)       // v_lambda
+//	a.Addii(args[0], args[0], 1)              // ADD Integer Immediate
+//	a.Reti(args[0])                           // RETurn Integer
+//	fn, err := a.End()                        // v_end: link + finish
+//
+// The resulting *Func holds the emitted machine words plus relocations.  A
+// Machine installs it into simulated memory and calls it on the matching
+// cycle-counted CPU simulator:
+//
+//	m := core.NewMachine(mips.New(), mips.NewCPU, memcfg)
+//	ret, err := m.Call(fn, core.I(41))        // ret.Int() == 42
+//
+// The package is deliberately low level: global optimization, instruction
+// scheduling beyond delay-slot filling, and register spilling are the
+// client's responsibility, as in the paper.
+package core

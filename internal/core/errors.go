@@ -1,0 +1,41 @@
+package core
+
+import "errors"
+
+// Sentinel errors reported by the assembler.  The first error encountered
+// while emitting sticks to the Asm and is returned from End, so straight-
+// line client code need not check every instruction (mirroring the paper's
+// macro interface, which had no per-instruction error channel at all).
+var (
+	// ErrRegExhausted is returned by GetReg when the machine's registers
+	// are gone; clients are then responsible for keeping variables on
+	// the stack (paper §3.2).
+	ErrRegExhausted = errors.New("vcode: register allocator exhausted")
+	// ErrLeafCall is reported when a function declared Leaf tries to
+	// emit a call.
+	ErrLeafCall = errors.New("vcode: call emitted in function declared leaf")
+	// ErrBadType is reported when an operation is applied to a type it
+	// does not support.
+	ErrBadType = errors.New("vcode: invalid type for operation")
+	// ErrBadReg is reported when an operand register is invalid or of
+	// the wrong bank for the instruction.
+	ErrBadReg = errors.New("vcode: invalid register operand")
+	// ErrUnboundLabel is reported at End when a referenced label was
+	// never bound.
+	ErrUnboundLabel = errors.New("vcode: unbound label")
+	// ErrBranchRange is reported when a branch displacement does not fit
+	// the target's encoding.
+	ErrBranchRange = errors.New("vcode: branch displacement out of range")
+	// ErrState is reported when the Asm lifecycle is misused (emitting
+	// before Begin or after End, ending twice, ...).
+	ErrState = errors.New("vcode: assembler used in wrong state")
+	// ErrNoHardReg is the "register assertion" failure: the target does
+	// not provide the hard-coded register the client demanded (§5.3).
+	ErrNoHardReg = errors.New("vcode: hard-coded register not available on this target")
+	// ErrDelaySlot is reported when ScheduleDelay is given an
+	// instruction that cannot occupy a delay slot.
+	ErrDelaySlot = errors.New("vcode: instruction cannot be scheduled into delay slot")
+	// ErrUnknownExt is reported when an extension instruction name has
+	// no registered definition.
+	ErrUnknownExt = errors.New("vcode: unknown extension instruction")
+)

@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+func newMips() (*mips.Backend, *core.Machine) {
+	bk := mips.New()
+	m := mem.New(1<<22, false)
+	return bk, core.NewMachine(bk, mips.NewCPU(m), m)
+}
+
+// buildExt1 generates fn(x) { return ext(x) } for a one-source extension.
+func buildExt1(bk core.Backend, name string, t core.Type) (*core.Func, error) {
+	a := core.NewAsm(bk)
+	args, err := a.BeginTypes([]core.Type{t}, core.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	a.Ext(name, t, args[0], args[0])
+	a.Ret(t, args[0])
+	return a.End()
+}
+
+// buildExt2 generates fn(x, y) { return ext(x, y) }.
+func buildExt2(bk core.Backend, name string, t core.Type) (*core.Func, error) {
+	a := core.NewAsm(bk)
+	args, err := a.BeginTypes([]core.Type{t, t}, core.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	a.Ext(name, t, args[0], args[0], args[1])
+	a.Ret(t, args[0])
+	return a.End()
+}
+
+func TestExtBswap(t *testing.T) {
+	bk, m := newMips()
+	b2, err := buildExt1(bk, "bswap2", core.TypeU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := buildExt1(bk, "bswap4", core.TypeU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x uint32) bool {
+		got2, err := m.Call(b2, core.U(x))
+		if err != nil {
+			return false
+		}
+		want2 := uint64(x>>8&0xff | x<<8&0xff00)
+		got4, err := m.Call(b4, core.U(x))
+		if err != nil {
+			return false
+		}
+		want4 := uint64(x>>24 | x>>8&0xff00 | x<<8&0xff0000 | x<<24)
+		return got2.Uint() == want2 && got4.Uint() == want4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtMinMaxAbs(t *testing.T) {
+	bk, m := newMips()
+	minf, err := buildExt2(bk, "min", core.TypeI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxf, err := buildExt2(bk, "max", core.TypeI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absf, err := buildExt1(bk, "abs", core.TypeI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y int32) bool {
+		mn, err := m.Call(minf, core.I(x), core.I(y))
+		if err != nil {
+			return false
+		}
+		mx, err := m.Call(maxf, core.I(x), core.I(y))
+		if err != nil {
+			return false
+		}
+		ab, err := m.Call(absf, core.I(x))
+		if err != nil {
+			return false
+		}
+		wantAbs := int64(x)
+		if wantAbs < 0 {
+			wantAbs = -wantAbs
+		}
+		if x == math.MinInt32 {
+			wantAbs = math.MinInt32 // two's complement abs overflow
+		}
+		return mn.Int() == int64(min32(x, y)) && mx.Int() == int64(max32(x, y)) && ab.Int() == wantAbs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestExtSqrtHardware(t *testing.T) {
+	bk, m := newMips()
+	fn, err := buildExt1(bk, "sqrt", core.TypeD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, 2, 100, 0.25} {
+		got, err := m.Call(fn, core.D(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Float64() != math.Sqrt(x) {
+			t.Errorf("sqrt(%v) = %v", x, got.Float64())
+		}
+	}
+}
+
+func TestExtCmov(t *testing.T) {
+	bk, m := newMips()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%i%i%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r = x; if cond != 0 then r = y.
+	a.Ext("cmovne", core.TypeI, args[0], args[1], args[2])
+	a.Reti(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ x, y, c, want int32 }{
+		{1, 2, 0, 1}, {1, 2, 1, 2}, {5, -7, -1, -7},
+	} {
+		got, err := m.Call(fn, core.I(tc.x), core.I(tc.y), core.I(tc.c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int() != int64(tc.want) {
+			t.Errorf("cmovne(%d,%d,%d) = %d, want %d", tc.x, tc.y, tc.c, got.Int(), tc.want)
+		}
+	}
+}
+
+func TestExtUnknownAndClientDefined(t *testing.T) {
+	bk, _ := newMips()
+	a := core.NewAsm(bk)
+	args, _ := a.Begin("%i", core.Leaf)
+	a.Ext("frobnicate", core.TypeI, args[0], args[0])
+	if !errors.Is(a.Err(), core.ErrUnknownExt) {
+		t.Fatalf("unknown ext: %v", a.Err())
+	}
+
+	// A client-registered family (one "spec line") works immediately and
+	// can even override a builtin.
+	bk2, m := newMips()
+	a2 := core.NewAsm(bk2)
+	a2.DefineExt(&core.ExtDef{
+		Name: "double2", NSrc: 1, Types: []core.Type{core.TypeI},
+		Synth: func(a *core.Asm, t core.Type, rd core.Reg, rs []core.Reg) {
+			a.Addi(rd, rs[0], rs[0])
+		},
+	})
+	args2, _ := a2.Begin("%i", core.Leaf)
+	a2.Ext("double2", core.TypeI, args2[0], args2[0])
+	a2.Reti(args2[0])
+	fn, err := a2.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.I(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 42 {
+		t.Fatalf("double2(21) = %d", got.Int())
+	}
+}
+
+func TestExtWrongArity(t *testing.T) {
+	bk, _ := newMips()
+	a := core.NewAsm(bk)
+	args, _ := a.Begin("%i", core.Leaf)
+	a.Ext("min", core.TypeI, args[0], args[0]) // min wants 2 sources
+	if a.Err() == nil {
+		t.Fatal("arity mismatch should error")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import "fmt"
+
+// RelocKind classifies a relocation left in a Func for the loader.
+type RelocKind uint8
+
+const (
+	// RelocCall marks a call whose absolute target is resolved at
+	// install time.
+	RelocCall RelocKind = iota
+	// RelocAddr marks an absolute-address materialization (constant
+	// pool references, Setfunc).
+	RelocAddr
+)
+
+// Reloc is one unresolved reference in a generated function.  v_end links
+// everything it can; what remains is resolved when a Machine installs the
+// function at its final address.
+type Reloc struct {
+	Kind RelocKind
+	// Sites are the word indices the loader patches.
+	Sites []int
+	// Target, when non-nil, is the referenced function (possibly the
+	// function itself, for constant-pool references).  Otherwise Sym
+	// names a machine symbol (runtime helper, client-registered entry).
+	Target *Func
+	Sym    string
+	// Addend is a byte offset added to the target address.
+	Addend int64
+}
+
+// Func is a dynamically generated function: the finished machine code plus
+// the loader metadata v_end could not resolve in place.
+type Func struct {
+	// Name is a client-chosen label used in diagnostics.
+	Name string
+	// BackendName records which target the code was generated for.
+	BackendName string
+	// Words is the emitted machine code, including the reserved
+	// prologue region and the trailing constant pool.
+	Words []uint32
+	// Entry is the word index of the first executed instruction (the
+	// prologue is written into the tail of its reserved region, so the
+	// entry point is usually a few words past index 0).
+	Entry int
+	// Relocs are the loader's work list.
+	Relocs []Reloc
+	// Params and Result describe the signature for Machine.Call.
+	Params []Type
+	Result Type
+	// StackArgBytes is the incoming stack-argument area the function
+	// expects beyond its register arguments.
+	StackArgBytes int64
+	// FrameBytes is the final activation record size.
+	FrameBytes int64
+	// NumInsns counts the VCODE (source-level) instructions the client
+	// specified; Words may be longer (synthesized sequences) and
+	// includes padding.
+	NumInsns int
+
+	addr      uint64
+	installed bool
+}
+
+// Installed reports whether a Machine has placed the function in memory.
+func (f *Func) Installed() bool { return f.installed }
+
+// Addr returns the base byte address of word 0 after installation.
+func (f *Func) Addr() uint64 { return f.addr }
+
+// EntryAddr returns the callable entry address after installation.
+func (f *Func) EntryAddr() uint64 { return f.addr + 4*uint64(f.Entry) }
+
+// SizeBytes returns the total code+pool size in bytes.
+func (f *Func) SizeBytes() int { return 4 * len(f.Words) }
+
+func (f *Func) String() string {
+	return fmt.Sprintf("func %s[%s]: %d words, entry +%d, %d relocs",
+		f.Name, f.BackendName, len(f.Words), f.Entry, len(f.Relocs))
+}

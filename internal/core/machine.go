@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// CPU is the execution substrate for one target: a cycle-counted simulator
+// that runs the binary code VCODE emits.  Register access uses the same
+// Reg naming as the assembler (GPR/FPR).
+type CPU interface {
+	// PC returns the current program counter.
+	PC() uint64
+	// SetPC jumps the simulator (clearing any pending delay slot).
+	SetPC(pc uint64)
+	// Reg reads an integer register's raw 64-bit contents.
+	Reg(r Reg) uint64
+	// SetReg writes an integer register.
+	SetReg(r Reg, v uint64)
+	// FReg reads a floating-point register: IEEE-754 single bits
+	// (double=false, low 32 bits) or double bits (double=true).  The
+	// width matters on targets that pair FP registers (SPARC).
+	FReg(r Reg, double bool) uint64
+	// SetFReg writes a floating-point register.
+	SetFReg(r Reg, v uint64, double bool)
+	// Step executes one instruction (including any delay slot
+	// bookkeeping) and returns an error on a fault.
+	Step() error
+	// Cycles returns the cycle count including memory stalls.
+	Cycles() uint64
+	// Insns returns the retired instruction count.
+	Insns() uint64
+	// ResetStats zeroes both counters.
+	ResetStats()
+}
+
+// TrapHandler implements a runtime helper in the host: it reads arguments
+// from the CPU per the emulation convention and writes only the result
+// register.
+type TrapHandler func(c CPU, m *mem.Memory)
+
+// Machine binds a backend, its CPU simulator and a simulated memory into a
+// loader and call harness for generated functions.  It plays the role of
+// the linking half of v_end plus the surrounding process: code placement,
+// relocation, runtime helper symbols and the call trampoline.
+type Machine struct {
+	backend Backend
+	cpu     CPU
+	mem     *mem.Memory
+
+	syms  map[string]uint64
+	traps map[uint64]TrapHandler
+
+	codeBase uint64
+	codeNext uint64
+	heapNext uint64
+	heapEnd  uint64
+	stackTop uint64
+	haltAddr uint64
+	trapNext uint64
+	trapEnd  uint64
+
+	// MaxSteps bounds a single Call (guards against runaway generated
+	// code in tests).
+	MaxSteps uint64
+
+	trace io.Writer
+}
+
+// Memory layout of a Machine (all regions within the simulated memory):
+//
+//	0x0000_0040 .. 0x0000_0fff   trap vectors (halt, runtime helpers)
+//	0x0000_1000 ..               installed code, growing up
+//	memsize/2   ..               heap (Machine.Alloc), growing up
+//	memsize     ..               stack, growing down
+const (
+	trapBase = 0x40
+	codeBase = 0x1000
+)
+
+// NewMachine builds a machine around a backend, a CPU simulator for that
+// backend's ISA, and a memory.  The standard runtime helpers (integer
+// division/remainder emulation) are pre-registered.
+func NewMachine(b Backend, cpu CPU, m *mem.Memory) *Machine {
+	mc := &Machine{
+		backend:  b,
+		cpu:      cpu,
+		mem:      m,
+		syms:     make(map[string]uint64),
+		traps:    make(map[uint64]TrapHandler),
+		codeBase: codeBase,
+		codeNext: codeBase,
+		heapNext: m.Size() / 2,
+		heapEnd:  m.Size() - 1<<20,
+		stackTop: m.Size() - 64, // a little headroom above SP
+		trapNext: trapBase + 16,
+		trapEnd:  codeBase,
+		MaxSteps: 1 << 28,
+	}
+	mc.haltAddr = trapBase
+	registerDivHelpers(mc)
+	return mc
+}
+
+// Backend returns the machine's target port.
+func (m *Machine) Backend() Backend { return m.backend }
+
+// CPU returns the simulator (for cycle/instruction statistics).
+func (m *Machine) CPU() CPU { return m.cpu }
+
+// Mem returns the simulated memory.
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// DefineTrap registers a runtime helper under a symbol name, callable from
+// generated code via CallSym.  The handler must follow the emulation
+// convention: read arguments from the argument registers, write only the
+// return register (the paper's emulation routines preserve all
+// caller-saved registers, which lets VCODE call them even from leaves).
+func (m *Machine) DefineTrap(sym string, h TrapHandler) error {
+	if _, dup := m.syms[sym]; dup {
+		return fmt.Errorf("machine: symbol %q already defined", sym)
+	}
+	if m.trapNext+16 > m.trapEnd {
+		return fmt.Errorf("machine: trap table full")
+	}
+	addr := m.trapNext
+	m.trapNext += 16
+	m.syms[sym] = addr
+	m.traps[addr] = h
+	return nil
+}
+
+// DefineSym binds a symbol to an arbitrary address (e.g. a data table the
+// generated code should reference).
+func (m *Machine) DefineSym(sym string, addr uint64) error {
+	if _, dup := m.syms[sym]; dup {
+		return fmt.Errorf("machine: symbol %q already defined", sym)
+	}
+	m.syms[sym] = addr
+	return nil
+}
+
+// Mark captures the machine's code and heap allocation state so that
+// everything installed or allocated afterwards can be reclaimed in one
+// Release — the arena discipline behind the paper's observation that a
+// dynamic function's storage "is easily reclaimed when the function is
+// deallocated" (§5.2).
+type Mark struct {
+	code, heap uint64
+}
+
+// Mark returns the current allocation watermark.
+func (m *Machine) Mark() Mark { return Mark{code: m.codeNext, heap: m.heapNext} }
+
+// Release reclaims all code and heap space allocated since mk was taken.
+// Functions installed after the mark become invalid and must not be
+// called or re-installed.
+func (m *Machine) Release(mk Mark) {
+	if mk.code >= m.codeBase && mk.code <= m.codeNext {
+		m.codeNext = mk.code
+	}
+	if mk.heap <= m.heapNext && mk.heap >= m.mem.Size()/2 {
+		m.heapNext = mk.heap
+	}
+}
+
+// Alloc reserves n bytes of heap, aligned to at least 16 bytes, and
+// returns the simulated address.
+func (m *Machine) Alloc(n int) (uint64, error) {
+	addr := (m.heapNext + 15) &^ 15
+	if addr+uint64(n) > m.heapEnd {
+		return 0, fmt.Errorf("machine: heap exhausted (%d bytes requested)", n)
+	}
+	m.heapNext = addr + uint64(n)
+	return addr, nil
+}
+
+// Install places f (and, recursively, every generated function it
+// references) into simulated code memory and resolves its relocations.
+// Installing an already-installed function is a no-op.
+func (m *Machine) Install(f *Func) error {
+	if f.installed {
+		return nil
+	}
+	if f.BackendName != m.backend.Name() {
+		return fmt.Errorf("machine: %s code installed on %s machine", f.BackendName, m.backend.Name())
+	}
+	addr := (m.codeNext + 15) &^ 15
+	end := addr + uint64(4*len(f.Words))
+	if end > m.heapNext-(m.heapEnd-m.heapNext) && end > m.mem.Size()/2 {
+		return fmt.Errorf("machine: code region exhausted")
+	}
+	f.addr = addr
+	f.installed = true
+	m.codeNext = end
+
+	// Resolve relocations against a patchable view of the words.
+	buf := &Buf{w: f.Words}
+	for _, r := range f.Relocs {
+		var target uint64
+		switch {
+		case r.Target != nil:
+			if err := m.Install(r.Target); err != nil {
+				return err
+			}
+			switch {
+			case r.Kind == RelocCall:
+				target = r.Target.EntryAddr()
+			case r.Addend == relocEntry:
+				target = r.Target.EntryAddr()
+			default:
+				target = r.Target.Addr() + uint64(r.Addend)
+			}
+		default:
+			a, ok := m.syms[r.Sym]
+			if !ok {
+				return fmt.Errorf("machine: undefined symbol %q in %s", r.Sym, f.Name)
+			}
+			target = a + uint64(r.Addend)
+		}
+		var err error
+		switch r.Kind {
+		case RelocCall:
+			err = m.backend.PatchCall(buf, r.Sites, f.addr, target)
+		case RelocAddr:
+			err = m.backend.PatchAddr(buf, r.Sites, target)
+		}
+		if err != nil {
+			return fmt.Errorf("machine: relocating %s: %w", f.Name, err)
+		}
+	}
+
+	// Copy the finished words into simulated memory in target byte
+	// order.
+	bytes := make([]byte, 4*len(f.Words))
+	for i, w := range f.Words {
+		if m.backend.BigEndian() {
+			bytes[4*i] = byte(w >> 24)
+			bytes[4*i+1] = byte(w >> 16)
+			bytes[4*i+2] = byte(w >> 8)
+			bytes[4*i+3] = byte(w)
+		} else {
+			bytes[4*i] = byte(w)
+			bytes[4*i+1] = byte(w >> 8)
+			bytes[4*i+2] = byte(w >> 16)
+			bytes[4*i+3] = byte(w >> 24)
+		}
+	}
+	return m.mem.WriteBytes(addr, bytes)
+}
+
+// Call installs f if needed, marshals args per the backend's default
+// calling convention, runs the simulator until the function returns, and
+// returns the typed result.
+func (m *Machine) Call(f *Func, args ...Value) (Value, error) {
+	if err := m.Install(f); err != nil {
+		return Value{}, err
+	}
+	if len(args) != len(f.Params) {
+		return Value{}, fmt.Errorf("machine: %s takes %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	conv := m.backend.DefaultConv()
+
+	sp := m.stackTop
+	types := make([]Type, len(args))
+	for i, a := range args {
+		types[i] = a.T
+		if a.T != f.Params[i] {
+			return Value{}, fmt.Errorf("machine: %s arg %d: have %s, want %s", f.Name, i, a.T, f.Params[i])
+		}
+	}
+	locs, stackBytes := conv.layoutArgs(types)
+	if stackBytes > 0 {
+		sp -= uint64(stackBytes)
+	}
+	if a := uint64(conv.StackAlign); a > 0 {
+		sp &^= a - 1
+	}
+	for i, loc := range locs {
+		if loc.reg != NoReg {
+			if loc.t.IsFloat() {
+				m.cpu.SetFReg(loc.reg, args[i].Bits, loc.t == TypeD)
+			} else {
+				m.cpu.SetReg(loc.reg, regBits(args[i], m.backend.PtrBytes()))
+			}
+			continue
+		}
+		sz := loc.t.Size(m.backend.PtrBytes())
+		if err := m.mem.Store(sp+uint64(loc.stackOff), sz, args[i].Bits); err != nil {
+			return Value{}, err
+		}
+	}
+
+	m.cpu.SetReg(conv.SP, sp)
+	m.cpu.SetReg(conv.RA, m.retLinkValue(m.haltAddr))
+	m.cpu.SetPC(f.EntryAddr())
+	if err := m.run(conv); err != nil {
+		return Value{}, fmt.Errorf("machine: running %s: %w", f.Name, err)
+	}
+
+	return m.result(f.Result, conv), nil
+}
+
+// retLinkValue converts a desired return target into the value stored in
+// the link register (SPARC's call convention returns to RA+8).
+func (m *Machine) retLinkValue(target uint64) uint64 {
+	return target - uint64(m.backend.RetAddrOffset())
+}
+
+// SetTrace enables (or, with nil, disables) single-step execution
+// tracing: every executed instruction is disassembled to w.  This is the
+// debugging facility the paper lists as VCODE's most critical missing
+// piece (§6.2: "debugging dynamically generated code currently requires
+// stepping through it at the level of host-specific machine code") — the
+// disassembler is generated alongside the encoders, so client-added
+// instructions appear automatically.
+func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
+
+func (m *Machine) run(conv *CallConv) error {
+	var steps uint64
+	for {
+		pc := m.cpu.PC()
+		if pc == m.haltAddr {
+			return nil
+		}
+		if h, ok := m.traps[pc]; ok {
+			if m.trace != nil {
+				fmt.Fprintf(m.trace, "%08x: <trap %s>\n", pc, m.symAt(pc))
+			}
+			h(m.cpu, m.mem)
+			ret := m.cpu.Reg(conv.RA) + uint64(m.backend.RetAddrOffset())
+			m.cpu.SetPC(ret)
+			continue
+		}
+		if m.trace != nil {
+			if w, err := m.mem.FetchWord(pc); err == nil {
+				fmt.Fprintf(m.trace, "%08x: %08x  %s\n", pc, w, m.backend.Disasm(w, pc))
+			}
+		}
+		if err := m.cpu.Step(); err != nil {
+			return err
+		}
+		steps++
+		if steps > m.MaxSteps {
+			return fmt.Errorf("exceeded MaxSteps=%d (runaway generated code?)", m.MaxSteps)
+		}
+	}
+}
+
+func (m *Machine) symAt(addr uint64) string {
+	for name, a := range m.syms {
+		if a == addr {
+			return name
+		}
+	}
+	return "?"
+}
+
+func (m *Machine) result(t Type, conv *CallConv) Value {
+	switch t {
+	case TypeV:
+		return Value{T: TypeV}
+	case TypeF:
+		return Value{T: TypeF, Bits: m.cpu.FReg(conv.RetFP, false) & 0xffffffff}
+	case TypeD:
+		return Value{T: TypeD, Bits: m.cpu.FReg(conv.RetFP, true)}
+	case TypeI:
+		return Value{T: t, Bits: uint64(int64(int32(m.cpu.Reg(conv.RetInt))))}
+	case TypeU:
+		return Value{T: t, Bits: uint64(uint32(m.cpu.Reg(conv.RetInt)))}
+	default:
+		bits := m.cpu.Reg(conv.RetInt)
+		if m.backend.PtrBytes() == 4 {
+			switch t {
+			case TypeL:
+				bits = uint64(int64(int32(bits)))
+			case TypeUL, TypeP:
+				bits = uint64(uint32(bits))
+			}
+		}
+		return Value{T: t, Bits: bits}
+	}
+}
+
+// regBits canonicalizes an argument value for the target's register width.
+func regBits(v Value, ptrBytes int) uint64 {
+	switch v.T {
+	case TypeI:
+		return uint64(int64(int32(v.Bits)))
+	case TypeU:
+		if ptrBytes == 8 {
+			// 32-bit values are held sign-extended (canonical form).
+			return uint64(int64(int32(v.Bits)))
+		}
+		return uint64(uint32(v.Bits))
+	case TypeF:
+		return v.Bits & 0xffffffff
+	default:
+		return v.Bits
+	}
+}
+
+// registerDivHelpers installs the integer division/remainder emulation
+// helpers used by targets without hardware divide (paper §5.2: "on
+// machines that do not provide division in hardware, the VCODE integer
+// division instructions require subroutine calls").
+func registerDivHelpers(m *Machine) {
+	conv := m.backend.DefaultConv()
+	a0, a1, v0 := conv.IntArgs[0], conv.IntArgs[1], conv.RetInt
+	type sem struct {
+		sym string
+		f   func(x, y uint64) uint64
+	}
+	div := func(signed bool, bits int, mod bool) func(x, y uint64) uint64 {
+		return func(x, y uint64) uint64 {
+			if signed {
+				sx, sy := int64(x), int64(y)
+				if bits == 32 {
+					sx, sy = int64(int32(x)), int64(int32(y))
+				}
+				if sy == 0 {
+					return 0
+				}
+				var r int64
+				if mod {
+					r = sx % sy
+				} else {
+					r = sx / sy
+				}
+				if bits == 32 {
+					r = int64(int32(r))
+				}
+				return uint64(r)
+			}
+			ux, uy := x, y
+			if bits == 32 {
+				ux, uy = uint64(uint32(x)), uint64(uint32(y))
+			}
+			if uy == 0 {
+				return 0
+			}
+			var r uint64
+			if mod {
+				r = ux % uy
+			} else {
+				r = ux / uy
+			}
+			if bits == 32 {
+				r = uint64(int64(int32(r)))
+			}
+			return r
+		}
+	}
+	helpers := []sem{
+		{"__div_i", div(true, 32, false)},
+		{"__div_u", div(false, 32, false)},
+		{"__div_l", div(true, 64, false)},
+		{"__div_ul", div(false, 64, false)},
+		{"__mod_i", div(true, 32, true)},
+		{"__mod_u", div(false, 32, true)},
+		{"__mod_l", div(true, 64, true)},
+		{"__mod_ul", div(false, 64, true)},
+	}
+	for _, h := range helpers {
+		f := h.f
+		// Ignoring the error is safe: the table is empty at this point.
+		_ = m.DefineTrap(h.sym, func(c CPU, _ *mem.Memory) {
+			c.SetReg(v0, f(c.Reg(a0), c.Reg(a1)))
+		})
+	}
+}

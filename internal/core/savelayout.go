@@ -1,0 +1,60 @@
+package core
+
+// SaveLayout fixes the position of every callee-saved register within the
+// worst-case register save area (paper §5.2).  Because the area is sized
+// for *all* callee-saved registers up front, each register's slot — and
+// every local variable's offset above the area — is known the moment it is
+// needed, which is what makes in-place generation possible.  The final
+// prologue and epilogue, written at v_end, store and load only the slots
+// actually used.
+//
+// Layout from SP after the frame push:
+//
+//	[0]                       return address
+//	[ptr .. ptr*(1+nGPR))     callee-saved integer registers, conv order
+//	[align8 .. +8*nFPR)       callee-saved FP registers, 8-byte slots
+type SaveLayout struct {
+	conv     *CallConv
+	ptrBytes int
+	fpBase   int64
+	total    int64
+}
+
+// NewSaveLayout computes the layout for a convention on a target with the
+// given pointer size.
+func NewSaveLayout(conv *CallConv, ptrBytes int) SaveLayout {
+	gprEnd := int64(ptrBytes) * int64(1+len(conv.CalleeSaved))
+	fpBase := (gprEnd + 7) &^ 7
+	total := fpBase + 8*int64(len(conv.CalleeSavedFP))
+	if total%8 != 0 {
+		total = (total + 7) &^ 7
+	}
+	return SaveLayout{conv: conv, ptrBytes: ptrBytes, fpBase: fpBase, total: total}
+}
+
+// RAOff returns the return-address slot offset.
+func (l SaveLayout) RAOff() int64 { return 0 }
+
+// GPROff returns the save slot of callee-saved integer register r, or -1
+// if r is not callee-saved under the convention.
+func (l SaveLayout) GPROff(r Reg) int64 {
+	for i, x := range l.conv.CalleeSaved {
+		if x == r {
+			return int64(l.ptrBytes) * int64(1+i)
+		}
+	}
+	return -1
+}
+
+// FPROff returns the save slot of callee-saved FP register r, or -1.
+func (l SaveLayout) FPROff(r Reg) int64 {
+	for i, x := range l.conv.CalleeSavedFP {
+		if x == r {
+			return l.fpBase + 8*int64(i)
+		}
+	}
+	return -1
+}
+
+// Bytes returns the fixed worst-case save area size.
+func (l SaveLayout) Bytes() int64 { return l.total }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Value is a typed machine word used to pass arguments to and receive
+// results from dynamically generated code.
+type Value struct {
+	T Type
+	// Bits holds the raw representation: sign-extended two's complement
+	// for signed integers, zero-extended for unsigned, IEEE-754 bits
+	// for floats.
+	Bits uint64
+}
+
+// I wraps an int as a TypeI value.
+func I(v int32) Value { return Value{TypeI, uint64(int64(v))} }
+
+// U wraps an unsigned as a TypeU value.
+func U(v uint32) Value { return Value{TypeU, uint64(v)} }
+
+// L wraps a long as a TypeL value.
+func L(v int64) Value { return Value{TypeL, uint64(v)} }
+
+// UL wraps an unsigned long as a TypeUL value.
+func UL(v uint64) Value { return Value{TypeUL, v} }
+
+// P wraps a simulated-memory address as a TypeP value.
+func P(addr uint64) Value { return Value{TypeP, addr} }
+
+// F wraps a float as a TypeF value.
+func F(v float32) Value { return Value{TypeF, uint64(math.Float32bits(v))} }
+
+// D wraps a double as a TypeD value.
+func D(v float64) Value { return Value{TypeD, math.Float64bits(v)} }
+
+// Int returns the value as a signed integer.
+func (v Value) Int() int64 {
+	switch v.T {
+	case TypeI:
+		return int64(int32(v.Bits))
+	default:
+		return int64(v.Bits)
+	}
+}
+
+// Uint returns the raw unsigned interpretation.
+func (v Value) Uint() uint64 { return v.Bits }
+
+// Float32 returns the value as a float.
+func (v Value) Float32() float32 { return math.Float32frombits(uint32(v.Bits)) }
+
+// Float64 returns the value as a double.
+func (v Value) Float64() float64 { return math.Float64frombits(v.Bits) }
+
+func (v Value) String() string {
+	switch v.T {
+	case TypeF:
+		return fmt.Sprintf("%v:f", v.Float32())
+	case TypeD:
+		return fmt.Sprintf("%v:d", v.Float64())
+	case TypeU, TypeUL, TypeP:
+		return fmt.Sprintf("%d:%s", v.Bits, v.T)
+	case TypeV:
+		return "void"
+	default:
+		return fmt.Sprintf("%d:%s", v.Int(), v.T)
+	}
+}

@@ -1,0 +1,151 @@
+package dcg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+func newMachine() (*mips.Backend, *core.Machine) {
+	b := mips.New()
+	m := mem.New(1<<22, false)
+	return b, core.NewMachine(b, mips.NewCPU(m), m)
+}
+
+// TestExpressionTree compiles (x + 3) * (x - 1) through the IR path and
+// runs it.
+func TestExpressionTree(t *testing.T) {
+	b, m := newMachine()
+	g := New(b)
+	args, err := g.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty := core.TypeI
+	x := func() *Node { return g.Reg(ty, args[0]) }
+	tree := g.Op(core.OpMul, ty,
+		g.Op(core.OpAdd, ty, x(), g.Imm(ty, 3)),
+		g.Op(core.OpSub, ty, x(), g.Imm(ty, 1)))
+	if err := g.Ret(ty, tree); err != nil {
+		t.Fatal(err)
+	}
+	fn, err := g.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int32{0, 1, 7, -5} {
+		got, err := m.Call(fn, core.I(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(x+3) * int64(x-1)
+		if got.Int() != int64(int32(want)) {
+			t.Errorf("f(%d) = %d, want %d", x, got.Int(), int32(want))
+		}
+	}
+}
+
+// TestImmediateFolding checks the labeller picks the immediate rule: an
+// add with an immediate right child must not materialize the constant.
+func TestImmediateFolding(t *testing.T) {
+	b, _ := newMachine()
+	g := New(b)
+	args, err := g.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty := core.TypeI
+	before := g.Asm().Buf().Len()
+	if err := g.Ret(ty, g.Op(core.OpAdd, ty, g.Reg(ty, args[0]), g.Imm(ty, 5))); err != nil {
+		t.Fatal(err)
+	}
+	// mov arg into temp + addiu + ret move/jump: the imm must not take
+	// its own set instruction.
+	used := g.Asm().Buf().Len() - before
+	if used > 5 {
+		t.Errorf("immediate rule not used: %d words emitted", used)
+	}
+	if _, err := g.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreAndBranch exercises the statement forms: a loop summing a
+// memory cell repeatedly.
+func TestStoreAndBranch(t *testing.T) {
+	b, m := newMachine()
+	addr, err := m.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(b)
+	args, err := g.Begin("%p%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty := core.TypeI
+	// mem[p] = 0; while (n > 0) { mem[p] = mem[p] + n; n = n - 1 } ; return mem[p]
+	if err := g.Store(ty, g.Reg(core.TypeP, args[0]), 0, g.Imm(ty, 0)); err != nil {
+		t.Fatal(err)
+	}
+	top := g.NewLabel()
+	done := g.NewLabel()
+	g.Bind(top)
+	if err := g.Branch(core.OpBle, ty, g.Reg(ty, args[1]), g.Imm(ty, 0), done); err != nil {
+		t.Fatal(err)
+	}
+	sum := g.Op(core.OpAdd, ty, g.Load(ty, g.Reg(core.TypeP, args[0]), 0), g.Reg(ty, args[1]))
+	if err := g.Store(ty, g.Reg(core.TypeP, args[0]), 0, sum); err != nil {
+		t.Fatal(err)
+	}
+	// n = n - 1 via a store into the register through a Ret-less path:
+	// reuse Branch/Store only; decrement with a tree assigned through
+	// memory is clumsy, so decrement directly through the assembler.
+	g.Asm().Subii(args[1], args[1], 1)
+	g.Asm().Jmp(top)
+	g.Bind(done)
+	if err := g.Ret(ty, g.Load(ty, g.Reg(core.TypeP, args[0]), 0)); err != nil {
+		t.Fatal(err)
+	}
+	fn, err := g.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.P(addr), core.I(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 55 {
+		t.Fatalf("sum = %d, want 55", got.Int())
+	}
+}
+
+// TestArenaGrows pins the IR-cost property the E7 benchmark reports:
+// node allocation is proportional to program size.
+func TestArenaGrows(t *testing.T) {
+	b, _ := newMachine()
+	g := New(b)
+	if _, err := g.Begin("%i", core.Leaf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = g.Op(core.OpAdd, core.TypeI, g.Imm(core.TypeI, 1), g.Imm(core.TypeI, 2))
+	}
+	if len(g.arena) != 30 {
+		t.Errorf("arena holds %d nodes, want 30", len(g.arena))
+	}
+	if err := g.Ret(core.TypeI, g.Imm(core.TypeI, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.End(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Begin("%i", core.Leaf); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.arena) != 0 {
+		t.Error("Begin should reset the arena")
+	}
+}

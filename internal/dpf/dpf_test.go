@@ -1,0 +1,190 @@
+package dpf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestFiltersMatchOwnPackets(t *testing.T) {
+	w := NewWorkload(10)
+	for i, f := range w.Filters {
+		for j, pkt := range w.Packets {
+			got := f.Match(pkt)
+			want := i == j
+			if got != want {
+				t.Errorf("filter %d vs packet %d: match=%v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	w := NewWorkload(10)
+	dpfEngine, err := NewDPF(mem.DEC5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{NewMPF(), NewPathfinder(), dpfEngine} {
+		if err := e.Install(w.Filters); err != nil {
+			t.Fatalf("%s: install: %v", e.Name(), err)
+		}
+		if err := Verify(e, w); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestEnginesAgreeQuick fuzzes random port pairs through all three
+// engines and checks they classify identically.
+func TestEnginesAgreeQuick(t *testing.T) {
+	w := NewWorkload(10)
+	dpfEngine, err := NewDPF(mem.DEC5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []Engine{NewMPF(), NewPathfinder(), dpfEngine}
+	for _, e := range engines {
+		if err := e.Install(w.Filters); err != nil {
+			t.Fatalf("%s: install: %v", e.Name(), err)
+		}
+	}
+	ref := func(pkt []byte) int {
+		for _, f := range w.Filters {
+			if f.Match(pkt) {
+				return f.ID
+			}
+		}
+		return 0
+	}
+	f := func(sp, dp uint16, wrongIP bool) bool {
+		src := uint32(0x0a000001)
+		if wrongIP {
+			src = 0x0b0b0b0b
+		}
+		pkt := MakeTCPPacket(src, 0x0a000002, sp, dp, 32)
+		want := ref(pkt)
+		for _, e := range engines {
+			got, _, err := e.Classify(pkt)
+			if err != nil || got != want {
+				t.Logf("%s: got %d want %d err %v (sp=%d dp=%d wrong=%v)", e.Name(), got, want, err, sp, dp, wrongIP)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShortPacketRejected checks the compiled classifier's length guard.
+func TestShortPacketRejected(t *testing.T) {
+	w := NewWorkload(4)
+	d, err := NewDPF(mem.DEC5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(w.Filters); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := d.Classify(w.Packets[0][:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("truncated packet classified as %d, want 0", id)
+	}
+}
+
+// TestDispatchStrategies exercises the three dispatch shapes: sequential
+// (2 filters), binary (hash disabled), and hash.
+func TestDispatchStrategies(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		n       int
+		disable bool
+	}{
+		{"sequential", 2, false},
+		{"binary", 10, true},
+		{"hash", 10, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorkload(tc.n)
+			d, err := NewDPF(mem.DEC5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.DisableHash = tc.disable
+			if err := d.Install(w.Filters); err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(d, w); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDPFOnAllTargets retargets the filter compiler (the paper ran it on
+// MIPS only) and checks identical classification on SPARC (big-endian:
+// loads go through the byte-swap extension) and Alpha (halfword loads are
+// synthesized sequences).
+func TestDPFOnAllTargets(t *testing.T) {
+	w := NewWorkload(10)
+	for _, target := range []string{"mips", "sparc", "alpha"} {
+		t.Run(target, func(t *testing.T) {
+			d, err := NewDPFTarget(target, mem.Uncosted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Install(w.Filters); err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(d, w); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestScalingShape checks how cost grows with filter count: MPF is
+// linear, DPF is flat once hash dispatch engages.
+func TestScalingShape(t *testing.T) {
+	pts, err := RunScaling([]int{5, 10, 40}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if growth := last.Micros["MPF"] / first.Micros["MPF"]; growth < 4 {
+		t.Errorf("MPF should grow ~linearly with filters: 5->40 grew only %.1fx", growth)
+	}
+	if growth := last.Micros["DPF"] / first.Micros["DPF"]; growth > 1.5 {
+		t.Errorf("DPF should stay nearly flat: 5->40 grew %.1fx", growth)
+	}
+}
+
+// TestTable3Shape checks the published ordering and rough magnitudes:
+// DPF about an order of magnitude faster than PATHFINDER and about twice
+// that again over MPF.
+func TestTable3Shape(t *testing.T) {
+	rows, err := RunTable3(10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Engine] = r.Micros
+	}
+	mpf, pf, dpf := byName["MPF"], byName["PATHFINDER"], byName["DPF"]
+	if !(dpf < pf && pf < mpf) {
+		t.Fatalf("ordering wrong: MPF=%.2f PATHFINDER=%.2f DPF=%.2f", mpf, pf, dpf)
+	}
+	if pf/dpf < 4 {
+		t.Errorf("DPF should be several times faster than PATHFINDER; got %.1fx", pf/dpf)
+	}
+	if mpf/dpf < 8 {
+		t.Errorf("DPF should be roughly an order of magnitude over MPF; got %.1fx", mpf/dpf)
+	}
+}

@@ -1,0 +1,111 @@
+package dpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the "small safe language" the paper says packet
+// filters are written in: a conjunction of masked comparisons over
+// message words, e.g.
+//
+//	msg[12:2] == 0x0800 && msg[22:2] & 0xff00 == 0x0600 && msg[36:2] == 4007
+//
+// Each term is msg[offset:size] [& mask] == value with size 2 or 4.
+// ParseFilter compiles the text into the Atom conjunction every engine
+// (interpreted or dynamically compiled) consumes; the language is "safe"
+// in the packet-filter sense — it can only read the message, and every
+// access is bounds-checked by the engines.
+func ParseFilter(id int, src string) (Filter, error) {
+	f := Filter{ID: id}
+	for _, term := range strings.Split(src, "&&") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return Filter{}, fmt.Errorf("dpf: empty term in filter")
+		}
+		atom, err := parseAtom(term)
+		if err != nil {
+			return Filter{}, err
+		}
+		f.Atoms = append(f.Atoms, atom)
+	}
+	if len(f.Atoms) == 0 {
+		return Filter{}, fmt.Errorf("dpf: filter has no terms")
+	}
+	return f, nil
+}
+
+func parseAtom(term string) (Atom, error) {
+	// msg[off:size] [& mask] == value
+	rest, ok := strings.CutPrefix(term, "msg[")
+	if !ok {
+		return Atom{}, fmt.Errorf("dpf: term %q must start with msg[", term)
+	}
+	idx := strings.IndexByte(rest, ']')
+	if idx < 0 {
+		return Atom{}, fmt.Errorf("dpf: term %q missing ]", term)
+	}
+	offSize := strings.SplitN(rest[:idx], ":", 2)
+	if len(offSize) != 2 {
+		return Atom{}, fmt.Errorf("dpf: term %q needs msg[offset:size]", term)
+	}
+	off, err := strconv.ParseInt(strings.TrimSpace(offSize[0]), 0, 32)
+	if err != nil {
+		return Atom{}, fmt.Errorf("dpf: bad offset in %q: %v", term, err)
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(offSize[1]), 0, 32)
+	if err != nil || (size != 2 && size != 4) {
+		return Atom{}, fmt.Errorf("dpf: size in %q must be 2 or 4", term)
+	}
+	if off < 0 || off%size != 0 {
+		return Atom{}, fmt.Errorf("dpf: offset %d in %q must be non-negative and %d-aligned", off, term, size)
+	}
+	rest = strings.TrimSpace(rest[idx+1:])
+
+	fullMask := uint32(0xffff)
+	if size == 4 {
+		fullMask = 0xffffffff
+	}
+	mask := fullMask
+	if m, ok2 := strings.CutPrefix(rest, "&"); ok2 {
+		eq := strings.Index(m, "==")
+		if eq < 0 {
+			return Atom{}, fmt.Errorf("dpf: term %q missing ==", term)
+		}
+		mv, err := strconv.ParseUint(strings.TrimSpace(m[:eq]), 0, 32)
+		if err != nil {
+			return Atom{}, fmt.Errorf("dpf: bad mask in %q: %v", term, err)
+		}
+		mask = uint32(mv) & fullMask
+		rest = m[eq:]
+	}
+	val, ok := strings.CutPrefix(rest, "==")
+	if !ok {
+		return Atom{}, fmt.Errorf("dpf: term %q missing ==", term)
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(val), 0, 33)
+	if err != nil {
+		return Atom{}, fmt.Errorf("dpf: bad value in %q: %v", term, err)
+	}
+	if uint64(v)&uint64(^mask) != 0 {
+		return Atom{}, fmt.Errorf("dpf: value %#x in %q has bits outside mask %#x", v, term, mask)
+	}
+	return Atom{Off: int(off), Size: int(size), Mask: mask, Val: uint32(v)}, nil
+}
+
+// String renders a filter back in the language.
+func (f *Filter) String() string {
+	var b strings.Builder
+	for i, a := range f.Atoms {
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		fmt.Fprintf(&b, "msg[%d:%d]", a.Off, a.Size)
+		if !a.FullMask() {
+			fmt.Fprintf(&b, " & %#x", a.Mask)
+		}
+		fmt.Fprintf(&b, " == %#x", a.Val)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package dpf
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestParseFilterRoundtrip(t *testing.T) {
+	w := NewWorkload(3)
+	for _, f := range w.Filters {
+		src := f.String()
+		got, err := ParseFilter(f.ID, src)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", src, err)
+		}
+		if len(got.Atoms) != len(f.Atoms) {
+			t.Fatalf("%q: %d atoms, want %d", src, len(got.Atoms), len(f.Atoms))
+		}
+		for i := range got.Atoms {
+			if got.Atoms[i] != f.Atoms[i] {
+				t.Errorf("%q atom %d: %+v != %+v", src, i, got.Atoms[i], f.Atoms[i])
+			}
+		}
+	}
+}
+
+// TestParsedFiltersThroughDPF writes filters in the language, compiles
+// them with DPF and classifies.
+func TestParsedFiltersThroughDPF(t *testing.T) {
+	mk := func(id int, dport uint16) Filter {
+		f, err := ParseFilter(id, "msg[12:2] == 0x8 && msg[14:2] & 0x00ff == 0x45 && msg[22:2] & 0xff00 == 0x600 && msg[36:2] == "+itoa(dport))
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return f
+	}
+	// Values above are little-endian raw loads of the header template:
+	// ethertype 0x0800 big-endian reads as 0x0008, proto byte 6 sits in
+	// the high byte of the halfword at 22, the port is byte-swapped.
+	var filters []Filter
+	var pkts [][]byte
+	for i := 0; i < 4; i++ {
+		port := uint16(4000 + 7*i)
+		raw := port>>8 | port<<8 // little-endian halfword of a BE field
+		filters = append(filters, mk(i+1, raw))
+		pkts = append(pkts, MakeTCPPacket(0x0a000001, 0x0a000002, 2000, port, 32))
+	}
+	d, err := NewDPF(mem.DEC5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Install(filters); err != nil {
+		t.Fatal(err)
+	}
+	for i, pkt := range pkts {
+		id, _, err := d.Classify(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i+1 {
+			t.Errorf("packet %d classified as %d", i, id)
+		}
+	}
+}
+
+func itoa(v uint16) string {
+	return "0x" + hex(uint32(v))
+}
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = digits[v&15]
+		v >>= 4
+	}
+	return string(b[i:])
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"pkt[0:2] == 1",
+		"msg[0:3] == 1",
+		"msg[1:2] == 1",          // misaligned
+		"msg[0:2] == 0x10000",    // value exceeds size
+		"msg[0:2] & 0xf == 0x10", // value outside mask
+		"msg[0:2] = 1",
+		"msg[0:2]",
+		"msg[0:2] == 1 && ",
+	} {
+		if _, err := ParseFilter(1, src); err == nil {
+			t.Errorf("%q parsed without error", src)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package dpf
+
+import "fmt"
+
+// MPF models a Mach-Packet-Filter-style engine: each installed filter is
+// compiled to a small stack-free bytecode program, and classification
+// interprets every program in turn until one accepts.  Interpretation
+// cost is charged with an explicit cycle model representing a tight
+// switch-dispatch interpreter on a DEC5000-class machine; the constants
+// are per dynamic bytecode operation.
+type MPF struct {
+	progs []mpfProg
+}
+
+// NewMPF returns an empty engine.
+func NewMPF() *MPF { return &MPF{} }
+
+// Name implements Engine.
+func (m *MPF) Name() string { return "MPF" }
+
+type mpfOp uint8
+
+const (
+	mpfLoadH   mpfOp = iota // acc = load16(off)
+	mpfLoadW                // acc = load32(off)
+	mpfAnd                  // acc &= k
+	mpfJneFail              // if acc != k: reject
+	mpfAccept               // accept with id
+)
+
+type mpfInsn struct {
+	op  mpfOp
+	off int
+	k   uint32
+}
+
+type mpfProg struct {
+	id    int
+	insns []mpfInsn
+}
+
+// Cost model (cycles per dynamic operation, including the interpreter's
+// fetch/decode/dispatch overhead).
+const (
+	mpfDispatch = 5 // fetch + decode + indirect branch
+	mpfLoadCost = 3 // bounds check + packet load
+	mpfALUCost  = 1
+	mpfCmpCost  = 2
+	mpfSetup    = 12 // per-program entry/exit (call, argument setup)
+)
+
+// Install compiles each filter to bytecode.
+func (m *MPF) Install(filters []Filter) error {
+	m.progs = m.progs[:0]
+	for _, f := range filters {
+		var p mpfProg
+		p.id = f.ID
+		for _, a := range f.Atoms {
+			if a.Size == 2 {
+				p.insns = append(p.insns, mpfInsn{op: mpfLoadH, off: a.Off})
+			} else {
+				p.insns = append(p.insns, mpfInsn{op: mpfLoadW, off: a.Off})
+			}
+			if !a.FullMask() {
+				p.insns = append(p.insns, mpfInsn{op: mpfAnd, k: a.Mask})
+			}
+			p.insns = append(p.insns, mpfInsn{op: mpfJneFail, k: a.Val})
+		}
+		p.insns = append(p.insns, mpfInsn{op: mpfAccept})
+		m.progs = append(m.progs, p)
+	}
+	return nil
+}
+
+// Classify interprets each program until one accepts.
+func (m *MPF) Classify(pkt []byte) (int, uint64, error) {
+	var cycles uint64
+	for _, p := range m.progs {
+		cycles += mpfSetup
+		acc := uint32(0)
+		rejected := false
+		for _, in := range p.insns {
+			cycles += mpfDispatch
+			switch in.op {
+			case mpfLoadH:
+				v, ok := loadRaw(pkt, in.off, 2)
+				if !ok {
+					rejected = true
+				}
+				acc = v
+				cycles += mpfLoadCost
+			case mpfLoadW:
+				v, ok := loadRaw(pkt, in.off, 4)
+				if !ok {
+					rejected = true
+				}
+				acc = v
+				cycles += mpfLoadCost
+			case mpfAnd:
+				acc &= in.k
+				cycles += mpfALUCost
+			case mpfJneFail:
+				cycles += mpfCmpCost
+				if acc != in.k {
+					rejected = true
+				}
+			case mpfAccept:
+				return p.id, cycles, nil
+			default:
+				return 0, cycles, fmt.Errorf("mpf: bad opcode %d", in.op)
+			}
+			if rejected {
+				break
+			}
+		}
+	}
+	return 0, cycles, nil
+}

@@ -1,0 +1,116 @@
+package dpf
+
+import "fmt"
+
+// Pathfinder models the PATHFINDER engine (Bailey et al., OSDI 1994): a
+// pattern-based classifier whose filters are merged into a DAG of
+// "cells".  Each cell holds a (offset, size, mask) key and a list of
+// (value -> next cell) lines; classification walks the DAG so prefixes
+// shared between filters are evaluated once.  PATHFINDER interprets its
+// cell structures; the cost model below charges each cell visit and each
+// line comparison.
+type Pathfinder struct {
+	root *pfCell
+}
+
+// NewPathfinder returns an empty engine.
+func NewPathfinder() *Pathfinder { return &Pathfinder{} }
+
+// Name implements Engine.
+func (p *Pathfinder) Name() string { return "PATHFINDER" }
+
+type pfLine struct {
+	val  uint32
+	next *pfCell
+	id   int // non-zero: accept here when next == nil
+}
+
+type pfCell struct {
+	atom  Atom // Val ignored; lines carry the values
+	lines []pfLine
+}
+
+// Cost model (cycles).  PATHFINDER's cells are heavyweight generic
+// pattern-matching structures (header, chain links, postponed-cell
+// bookkeeping); visiting one costs far more than DPF's two or three
+// compiled instructions for the same comparison.
+const (
+	pfCellVisit = 34 // fetch cell, chase links, bounds check, load, mask
+	pfLineCmp   = 8  // fetch line, compare value, advance
+	pfSetup     = 20 // entry overhead per classification
+)
+
+// Install merges the filters into the cell DAG.  Filters must agree on
+// cell structure where their prefixes overlap (true of the protocol
+// filters this model is built for; PATHFINDER proper also handles
+// divergent structures).
+func (p *Pathfinder) Install(filters []Filter) error {
+	p.root = nil
+	for _, f := range filters {
+		if err := insertAtoms(&p.root, f.Atoms, f.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sameKey(a, b Atom) bool {
+	return a.Off == b.Off && a.Size == b.Size && a.Mask == b.Mask
+}
+
+func insertAtoms(cellp **pfCell, atoms []Atom, id int) error {
+	a := atoms[0]
+	if *cellp == nil {
+		*cellp = &pfCell{atom: a}
+	}
+	c := *cellp
+	if !sameKey(c.atom, a) {
+		return fmt.Errorf("pathfinder: divergent cell structure at offset %d", a.Off)
+	}
+	var line *pfLine
+	for j := range c.lines {
+		if c.lines[j].val == a.Val {
+			line = &c.lines[j]
+			break
+		}
+	}
+	if line == nil {
+		c.lines = append(c.lines, pfLine{val: a.Val})
+		line = &c.lines[len(c.lines)-1]
+	}
+	if len(atoms) == 1 {
+		line.id = id
+		return nil
+	}
+	return insertAtoms(&line.next, atoms[1:], id)
+}
+
+// Classify walks the DAG, charging the cost model.
+func (p *Pathfinder) Classify(pkt []byte) (int, uint64, error) {
+	cycles := uint64(pfSetup)
+	c := p.root
+	for c != nil {
+		cycles += pfCellVisit
+		v, ok := loadRaw(pkt, c.atom.Off, c.atom.Size)
+		if !ok {
+			return 0, cycles, nil
+		}
+		v &= c.atom.Mask
+		var matched *pfLine
+		for j := range c.lines {
+			cycles += pfLineCmp
+			if c.lines[j].val == v {
+				matched = &c.lines[j]
+				break
+			}
+		}
+		if matched == nil {
+			return 0, cycles, nil
+		}
+		if matched.next == nil {
+			return matched.id, cycles, nil
+		}
+		c = matched.next
+	}
+	return 0, cycles, nil
+}

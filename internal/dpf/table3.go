@@ -1,0 +1,119 @@
+package dpf
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Table3Row is one engine's result in the Table 3 experiment.
+type Table3Row struct {
+	Engine string
+	Micros float64
+	Cycles float64
+}
+
+// RunTable3 reproduces the paper's Table 3: the average time to classify
+// TCP/IP headers destined for one of nFilters TCP/IP filters, over trials
+// round-robined across the matching packets (the paper averages 100 000
+// trials).  All engines are costed on the same DEC5000-class machine
+// model.
+func RunTable3(nFilters, trials int) ([]Table3Row, error) {
+	w := NewWorkload(nFilters)
+
+	dpfEngine, err := NewDPF(mem.DEC5000)
+	if err != nil {
+		return nil, err
+	}
+	engines := []Engine{NewMPF(), NewPathfinder(), dpfEngine}
+
+	var rows []Table3Row
+	for _, e := range engines {
+		if err := e.Install(w.Filters); err != nil {
+			return nil, fmt.Errorf("%s: install: %w", e.Name(), err)
+		}
+		if err := Verify(e, w); err != nil {
+			return nil, err
+		}
+		var total uint64
+		for i := 0; i < trials; i++ {
+			pkt := w.Packets[i%len(w.Packets)]
+			_, cycles, err := e.Classify(pkt)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.Name(), err)
+			}
+			total += cycles
+		}
+		avg := float64(total) / float64(trials)
+		rows = append(rows, Table3Row{
+			Engine: e.Name(),
+			Cycles: avg,
+			Micros: avg / mem.DEC5000.MHz,
+		})
+	}
+	return rows, nil
+}
+
+// ScalingPoint is one point of the filter-count sweep: how classification
+// cost grows with the number of installed filters under each engine.
+type ScalingPoint struct {
+	Filters int
+	Micros  map[string]float64
+}
+
+// RunScaling sweeps the number of installed filters.  The published
+// systems' characters show up directly: MPF grows linearly (every filter
+// interpreted), PATHFINDER grows with the width of its final dispatch
+// level, and DPF stays nearly flat once its hash dispatch absorbs the
+// port comparison.
+func RunScaling(counts []int, trials int) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, n := range counts {
+		w := NewWorkload(n)
+		dpfEngine, err := NewDPF(mem.DEC5000)
+		if err != nil {
+			return nil, err
+		}
+		pt := ScalingPoint{Filters: n, Micros: map[string]float64{}}
+		for _, e := range []Engine{NewMPF(), NewPathfinder(), dpfEngine} {
+			if err := e.Install(w.Filters); err != nil {
+				return nil, err
+			}
+			if err := Verify(e, w); err != nil {
+				return nil, err
+			}
+			var total uint64
+			for i := 0; i < trials; i++ {
+				_, c, err := e.Classify(w.Packets[i%len(w.Packets)])
+				if err != nil {
+					return nil, err
+				}
+				total += c
+			}
+			pt.Micros[e.Name()] = float64(total) / float64(trials) / mem.DEC5000.MHz
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatScaling renders the sweep as a series.
+func FormatScaling(pts []ScalingPoint) string {
+	s := "classification time (us) vs installed filters\n"
+	s += fmt.Sprintf("%8s %10s %12s %8s\n", "filters", "MPF", "PATHFINDER", "DPF")
+	for _, p := range pts {
+		s += fmt.Sprintf("%8d %10.2f %12.2f %8.2f\n",
+			p.Filters, p.Micros["MPF"], p.Micros["PATHFINDER"], p.Micros["DPF"])
+	}
+	return s
+}
+
+// FormatTable3 renders rows in the paper's style.
+func FormatTable3(rows []Table3Row) string {
+	s := "Table 3: average time to classify TCP/IP headers (10 filters)\n"
+	s += fmt.Sprintf("%-12s %10s %12s\n", "engine", "time (us)", "cycles")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %10.2f %12.1f\n", r.Engine, r.Micros, r.Cycles)
+	}
+	return s
+}

@@ -1,0 +1,56 @@
+package jit
+
+import "repro/internal/core"
+
+// Adaptive is the full shape of the paper's best-known application of
+// dynamic code generation (§1): an interpreter "that compiles frequently
+// used code to machine code and then executes it directly".  Functions
+// are interpreted until they have run Threshold times; the next call
+// compiles them with VCODE and every call thereafter executes machine
+// code.
+type Adaptive struct {
+	m *Machine
+	// Threshold is the call count at which a function becomes hot.
+	Threshold int
+
+	counts   map[*Func]int
+	compiled map[*Func]*core.Func
+}
+
+// NewAdaptive wraps a JIT machine.
+func NewAdaptive(m *Machine, threshold int) *Adaptive {
+	return &Adaptive{
+		m:         m,
+		Threshold: threshold,
+		counts:    map[*Func]int{},
+		compiled:  map[*Func]*core.Func{},
+	}
+}
+
+// Compiled reports whether f has been compiled yet.
+func (ad *Adaptive) Compiled(f *Func) bool { return ad.compiled[f] != nil }
+
+// Calls returns how many times f has been invoked through the wrapper.
+func (ad *Adaptive) Calls(f *Func) int { return ad.counts[f] }
+
+// Call runs f, interpreting while it is cold and compiling it once it
+// crosses the threshold.  It returns the result and the modelled cycle
+// cost of this call.
+func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
+	ad.counts[f]++
+	if fn := ad.compiled[f]; fn != nil {
+		return ad.m.Run(fn, args...)
+	}
+	if ad.counts[f] > ad.Threshold {
+		fn, err := ad.m.Compile(f)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := ad.m.machine.Install(fn); err != nil {
+			return 0, 0, err
+		}
+		ad.compiled[f] = fn
+		return ad.m.Run(fn, args...)
+	}
+	return Interp(f, args...)
+}

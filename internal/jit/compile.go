@@ -1,0 +1,211 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+	"repro/internal/sparc"
+)
+
+// Machine owns a simulated target for JIT-compiled bytecode.
+type Machine struct {
+	machine *core.Machine
+	backend core.Backend
+	cpu     core.CPU
+	conf    mem.MachineConfig
+}
+
+// NewMachine builds a MIPS JIT target with the given cost model.
+func NewMachine(conf mem.MachineConfig) *Machine {
+	m, _ := NewMachineTarget("mips", conf)
+	return m
+}
+
+// NewMachineTarget builds a JIT target on any of the three ports — the
+// JIT's compiler is written against the portable VCODE set, so it
+// retargets for free.
+func NewMachineTarget(target string, conf mem.MachineConfig) (*Machine, error) {
+	var bk core.Backend
+	var cpu core.CPU
+	var m *mem.Memory
+	switch target {
+	case "mips":
+		m = conf.Build(false)
+		bk = mips.New()
+		cpu = mips.NewCPU(m)
+	case "sparc":
+		m = conf.Build(true)
+		bk = sparc.New()
+		cpu = sparc.NewCPU(m)
+	case "alpha":
+		m = conf.Build(false)
+		bk = alpha.New()
+		cpu = alpha.NewCPU(m)
+	default:
+		return nil, fmt.Errorf("jit: unknown target %q", target)
+	}
+	return &Machine{machine: core.NewMachine(bk, cpu, m), backend: bk, cpu: cpu, conf: conf}, nil
+}
+
+// Compile translates a bytecode function to machine code.  Every operand
+// stack slot and local variable is assigned a VCODE register at compile
+// time; stack traffic disappears entirely.
+func (m *Machine) Compile(f *Func) (*core.Func, error) {
+	maxDepth, err := f.Validate()
+	if err != nil {
+		return nil, err
+	}
+	a := core.NewAsm(m.backend)
+	a.SetName(f.Name)
+	params := make([]core.Type, f.NArgs)
+	for i := range params {
+		params[i] = core.TypeI
+	}
+	args, err := a.BeginTypes(params, core.Leaf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register assignment: locals first (persistent), then one register
+	// per operand-stack slot (temporaries — the stack is empty across
+	// no call, and this machine has no calls).
+	vars := make([]core.Reg, f.NVars)
+	for i := range vars {
+		if vars[i], err = a.GetReg(core.Var); err != nil {
+			return nil, fmt.Errorf("jit: %s: locals exceed registers: %w", f.Name, err)
+		}
+	}
+	slots := make([]core.Reg, maxDepth)
+	for i := range slots {
+		if slots[i], err = a.GetReg(core.Temp); err != nil {
+			return nil, fmt.Errorf("jit: %s: stack depth %d exceeds registers: %w", f.Name, maxDepth, err)
+		}
+	}
+
+	labels := make([]core.Label, len(f.Code))
+	needLabel := make([]bool, len(f.Code))
+	for _, in := range f.Code {
+		if in.Op == OpJmp || in.Op == OpJz {
+			needLabel[in.A] = true
+		}
+	}
+	for pc := range f.Code {
+		if needLabel[pc] {
+			labels[pc] = a.NewLabel()
+		}
+	}
+
+	ty := core.TypeI
+	depth := 0
+	for pc, in := range f.Code {
+		if needLabel[pc] {
+			a.Bind(labels[pc])
+		}
+		switch in.Op {
+		case OpPushK:
+			a.Seti(slots[depth], int64(f.Consts[in.A]))
+			depth++
+		case OpLoadArg:
+			a.Movi(slots[depth], args[in.A])
+			depth++
+		case OpLoadVar:
+			a.Movi(slots[depth], vars[in.A])
+			depth++
+		case OpStoreVar:
+			depth--
+			a.Movi(vars[in.A], slots[depth])
+		case OpNeg:
+			a.Negi(slots[depth-1], slots[depth-1])
+		case OpJmp:
+			a.Jmp(labels[in.A])
+			depth = -1 // unreachable until next label; re-established below
+		case OpJz:
+			depth--
+			a.Beqii(slots[depth], 0, labels[in.A])
+		case OpRet:
+			a.Reti(slots[depth-1])
+			depth = -1
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			op := map[Op]core.Op{OpAdd: core.OpAdd, OpSub: core.OpSub,
+				OpMul: core.OpMul, OpDiv: core.OpDiv, OpMod: core.OpMod}[in.Op]
+			a.ALU(op, ty, slots[depth-2], slots[depth-2], slots[depth-1])
+			depth--
+		case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+			op := map[Op]core.Op{OpLt: core.OpBlt, OpLe: core.OpBle, OpGt: core.OpBgt,
+				OpGe: core.OpBge, OpEq: core.OpBeq, OpNe: core.OpBne}[in.Op]
+			set1 := a.NewLabel()
+			a.Br(op, ty, slots[depth-2], slots[depth-1], set1)
+			// Fall-through: 0; taken: 1.  Use the same slot.
+			done := a.NewLabel()
+			a.Seti(slots[depth-2], 0)
+			a.Jmp(done)
+			a.Bind(set1)
+			a.Seti(slots[depth-2], 1)
+			a.Bind(done)
+			depth--
+		default:
+			return nil, fmt.Errorf("jit: %s: unhandled opcode %v", f.Name, in.Op)
+		}
+		if depth < 0 {
+			// After an unconditional transfer the depth is whatever
+			// the next labelled instruction was validated at; recover
+			// it lazily.
+			depth = depthAfter(f, pc+1)
+		}
+	}
+	return a.End()
+}
+
+// depthAfter recomputes the validated stack depth at instruction pc
+// (0 when pc is past the end or unreachable).
+func depthAfter(f *Func, pc int) int {
+	depths := map[int]int{}
+	var walk func(p, d int)
+	walk = func(p, d int) {
+		for p < len(f.Code) {
+			if _, seen := depths[p]; seen {
+				return
+			}
+			depths[p] = d
+			in := f.Code[p]
+			pops, pushes := stackEffect(in.Op)
+			d = d - pops + pushes
+			switch in.Op {
+			case OpJmp:
+				p = in.A
+				continue
+			case OpJz:
+				walk(in.A, d)
+			case OpRet:
+				return
+			}
+			p++
+		}
+	}
+	walk(0, 0)
+	if d, ok := depths[pc]; ok {
+		return d
+	}
+	return 0
+}
+
+// Run executes a compiled function on the simulator, returning the result
+// and cycle cost.
+func (m *Machine) Run(fn *core.Func, args ...int32) (int32, uint64, error) {
+	vals := make([]core.Value, len(args))
+	for i, a := range args {
+		vals[i] = core.I(a)
+	}
+	m.cpu.ResetStats()
+	got, err := m.machine.Call(fn, vals...)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(got.Int()), m.cpu.Cycles(), nil
+}
+
+// Micros converts cycles under the machine's clock.
+func (m *Machine) Micros(c uint64) float64 { return m.conf.Micros(c) }

@@ -1,0 +1,193 @@
+package jit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func refFib(n int32) int32 {
+	a, b := int32(0), int32(1)
+	for ; n > 0; n-- {
+		a, b = b, a+b
+	}
+	return a
+}
+
+func TestInterpSamples(t *testing.T) {
+	for _, tc := range []struct {
+		f    *Func
+		args []int32
+		want int32
+	}{
+		{FibIter(), []int32{10}, 55},
+		{FibIter(), []int32{0}, 0},
+		{SumSquares(), []int32{5}, 55},
+		{Gcd(), []int32{1071, 462}, 21},
+		{Poly(), []int32{10}, 267},
+	} {
+		got, _, err := Interp(tc.f, tc.args...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.f.Name, err)
+		}
+		if got != tc.want {
+			t.Errorf("interp %s%v = %d, want %d", tc.f.Name, tc.args, got, tc.want)
+		}
+	}
+}
+
+// TestJITAgreesWithInterp compiles every sample and cross-checks against
+// interpretation over a range of inputs.
+func TestJITAgreesWithInterp(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	for _, f := range []*Func{FibIter(), SumSquares(), Gcd(), Poly()} {
+		fn, err := m.Compile(f)
+		if err != nil {
+			t.Fatalf("compile %s: %v", f.Name, err)
+		}
+		for trial := int32(0); trial < 12; trial++ {
+			args := make([]int32, f.NArgs)
+			for i := range args {
+				args[i] = trial*7 + int32(i) + 1
+			}
+			want, _, err := Interp(f, args...)
+			if err != nil {
+				t.Fatalf("interp %s: %v", f.Name, err)
+			}
+			got, _, err := m.Run(fn, args...)
+			if err != nil {
+				t.Fatalf("run %s: %v", f.Name, err)
+			}
+			if got != want {
+				t.Errorf("%s%v: jit %d, interp %d", f.Name, args, got, want)
+			}
+		}
+	}
+}
+
+// TestJITQuickFib property-tests fib over its defined range.
+func TestJITQuickFib(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	fn, err := m.Compile(FibIter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint8) bool {
+		x := int32(n % 40)
+		got, _, err := m.Run(fn, x)
+		return err == nil && got == refFib(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJITSpeedup pins the motivating result: compiled code beats the
+// interpreter by several-fold under the same cost model.
+func TestJITSpeedup(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	f := FibIter()
+	fn, err := m.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, icycles, err := Interp(f, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ccycles, err := m.Run(fn, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(icycles) / float64(ccycles); ratio < 4 {
+		t.Errorf("JIT speedup only %.1fx (interp %d vs compiled %d cycles)", ratio, icycles, ccycles)
+	}
+}
+
+// TestValidateErrors exercises the verifier.
+func TestValidateErrors(t *testing.T) {
+	bad := []*Func{
+		{Name: "underflow", Code: []Insn{{OpAdd, 0}, {OpRet, 0}}, Consts: []int32{0}},
+		{Name: "offend", Code: []Insn{{OpPushK, 0}}, Consts: []int32{0}},
+		{Name: "badconst", Code: []Insn{{OpPushK, 3}, {OpRet, 0}}, Consts: []int32{0}},
+		{Name: "badjump", Code: []Insn{{OpJmp, 99}}},
+		{Name: "depthjoin", Consts: []int32{0, 1},
+			Code: []Insn{
+				{OpPushK, 0}, {OpJz, 3}, {OpPushK, 1}, // join at 3 with depth 0 vs 1
+				{OpPushK, 0}, {OpRet, 0},
+			}},
+	}
+	for _, f := range bad {
+		if _, err := f.Validate(); err == nil {
+			t.Errorf("%s validated without error", f.Name)
+		}
+	}
+}
+
+// TestAdaptive checks the interpret-then-compile lifecycle: cold calls
+// interpret, the threshold triggers compilation, and results never
+// change across the transition.
+func TestAdaptive(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	ad := NewAdaptive(m, 5)
+	f := FibIter()
+	var coldCycles, hotCycles uint64
+	for i := 0; i < 10; i++ {
+		got, cycles, err := ad.Call(f, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != refFib(20) {
+			t.Fatalf("call %d: got %d", i, got)
+		}
+		wantCompiled := i >= 5
+		if ad.Compiled(f) != wantCompiled {
+			t.Fatalf("call %d: compiled=%v, want %v", i, ad.Compiled(f), wantCompiled)
+		}
+		if i == 0 {
+			coldCycles = cycles
+		}
+		if i == 9 {
+			hotCycles = cycles
+		}
+	}
+	if hotCycles*2 >= coldCycles {
+		t.Errorf("compiled calls should be much cheaper: cold %d, hot %d", coldCycles, hotCycles)
+	}
+	if ad.Calls(f) != 10 {
+		t.Errorf("call count %d", ad.Calls(f))
+	}
+}
+
+// TestJITOnAllTargets retargets the bytecode compiler and checks results
+// agree across ports.
+func TestJITOnAllTargets(t *testing.T) {
+	for _, target := range []string{"mips", "sparc", "alpha"} {
+		m, err := NewMachineTarget(target, mem.Uncosted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []*Func{FibIter(), SumSquares(), Gcd(), Poly()} {
+			fn, err := m.Compile(f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", target, f.Name, err)
+			}
+			args := []int32{17}
+			if f.NArgs == 2 {
+				args = []int32{84, 18}
+			}
+			want, _, err := Interp(f, args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := m.Run(fn, args...)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", target, f.Name, err)
+			}
+			if got != want {
+				t.Errorf("%s/%s%v = %d, interp %d", target, f.Name, args, got, want)
+			}
+		}
+	}
+}

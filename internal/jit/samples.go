@@ -1,0 +1,94 @@
+package jit
+
+// Sample bytecode programs used by tests, the benchmark and the example.
+
+// FibIter is iterative fibonacci: fib(n).
+//
+//	a = 0; b = 1;
+//	while (n > 0) { t = a + b; a = b; b = t; n = n - 1 }
+//	return a
+func FibIter() *Func {
+	// vars: 0=a 1=b 2=t 3=n
+	return &Func{
+		Name:   "fib",
+		NArgs:  1,
+		NVars:  4,
+		Consts: []int32{0, 1},
+		Code: []Insn{
+			{OpPushK, 0}, {OpStoreVar, 0}, // a = 0
+			{OpPushK, 1}, {OpStoreVar, 1}, // b = 1
+			{OpLoadArg, 0}, {OpStoreVar, 3}, // n = arg0
+			// loop head (pc 6)
+			{OpLoadVar, 3}, {OpPushK, 0}, {OpGt, 0}, {OpJz, 23},
+			{OpLoadVar, 0}, {OpLoadVar, 1}, {OpAdd, 0}, {OpStoreVar, 2}, // t = a+b
+			{OpLoadVar, 1}, {OpStoreVar, 0}, // a = b
+			{OpLoadVar, 2}, {OpStoreVar, 1}, // b = t
+			{OpLoadVar, 3}, {OpPushK, 1}, {OpSub, 0}, {OpStoreVar, 3}, // n--
+			{OpJmp, 6},
+			// done (pc 23)
+			{OpLoadVar, 0}, {OpRet, 0},
+		},
+	}
+}
+
+// SumSquares computes sum i*i for i in 1..n.
+func SumSquares() *Func {
+	// vars: 0=acc 1=i
+	return &Func{
+		Name:   "sumsq",
+		NArgs:  1,
+		NVars:  2,
+		Consts: []int32{0, 1},
+		Code: []Insn{
+			{OpPushK, 0}, {OpStoreVar, 0},
+			{OpPushK, 1}, {OpStoreVar, 1},
+			// head (pc 4): while (i <= n)
+			{OpLoadVar, 1}, {OpLoadArg, 0}, {OpLe, 0}, {OpJz, 19},
+			{OpLoadVar, 0}, {OpLoadVar, 1}, {OpLoadVar, 1}, {OpMul, 0},
+			{OpAdd, 0}, {OpStoreVar, 0},
+			{OpLoadVar, 1}, {OpPushK, 1}, {OpAdd, 0}, {OpStoreVar, 1},
+			{OpJmp, 4},
+			// done (pc 19)
+			{OpLoadVar, 0}, {OpRet, 0},
+		},
+	}
+}
+
+// Gcd computes gcd(a, b) with Euclid's algorithm.
+func Gcd() *Func {
+	// vars: 0=a 1=b 2=t
+	return &Func{
+		Name:   "gcd",
+		NArgs:  2,
+		NVars:  3,
+		Consts: []int32{0},
+		Code: []Insn{
+			{OpLoadArg, 0}, {OpStoreVar, 0},
+			{OpLoadArg, 1}, {OpStoreVar, 1},
+			// head (pc 4): while (b != 0)
+			{OpLoadVar, 1}, {OpPushK, 0}, {OpNe, 0}, {OpJz, 17},
+			{OpLoadVar, 0}, {OpLoadVar, 1}, {OpMod, 0}, {OpStoreVar, 2}, // t = a % b
+			{OpLoadVar, 1}, {OpStoreVar, 0}, // a = b
+			{OpLoadVar, 2}, {OpStoreVar, 1}, // b = t
+			{OpJmp, 4},
+			// done (pc 17)
+			{OpLoadVar, 0}, {OpRet, 0},
+		},
+	}
+}
+
+// Poly evaluates 3x^2 - 4x + 7 with straight-line stack code.
+func Poly() *Func {
+	return &Func{
+		Name:   "poly",
+		NArgs:  1,
+		NVars:  0,
+		Consts: []int32{3, 4, 7},
+		Code: []Insn{
+			{OpPushK, 0}, {OpLoadArg, 0}, {OpMul, 0}, {OpLoadArg, 0}, {OpMul, 0},
+			{OpPushK, 1}, {OpLoadArg, 0}, {OpMul, 0}, {OpSub, 0},
+			{OpPushK, 2}, {OpAdd, 0},
+			{OpRet, 0},
+		},
+	}
+}

@@ -1,0 +1,72 @@
+package mem
+
+import "fmt"
+
+// Cache is a direct-mapped, write-through, no-write-allocate data cache
+// cost model, the organization of the DECstation R2000/R3000 machines in
+// the paper's Table 4.  It does not hold data (the backing Memory is
+// always authoritative); it tracks tags and charges stall cycles.
+type Cache struct {
+	lineSize    int // bytes, power of two
+	numLines    int // power of two
+	readMiss    uint64
+	writeCycles uint64
+	tags        []uint64
+	valid       []bool
+	hits        uint64
+	misses      uint64
+	writes      uint64
+}
+
+// NewCache builds a cache model.  readMiss is the stall charged per read
+// miss; writeCycles is the per-write cost of the write-through path (the
+// write buffer).
+func NewCache(lineSize, numLines int, readMiss, writeCycles uint64) *Cache {
+	if lineSize&(lineSize-1) != 0 || numLines&(numLines-1) != 0 {
+		panic(fmt.Sprintf("mem: cache geometry must be powers of two (%d lines of %dB)", numLines, lineSize))
+	}
+	return &Cache{
+		lineSize:    lineSize,
+		numLines:    numLines,
+		readMiss:    readMiss,
+		writeCycles: writeCycles,
+		tags:        make([]uint64, numLines),
+		valid:       make([]bool, numLines),
+	}
+}
+
+// SizeBytes returns the total cache capacity.
+func (c *Cache) SizeBytes() int { return c.lineSize * c.numLines }
+
+// access charges one data access and returns the stall cycles.
+func (c *Cache) access(addr uint64, write bool) uint64 {
+	line := addr / uint64(c.lineSize)
+	idx := line & uint64(c.numLines-1)
+	hit := c.valid[idx] && c.tags[idx] == line
+	if write {
+		c.writes++
+		// Write-through, no allocate: update the line only on hit.
+		return c.writeCycles
+	}
+	if hit {
+		c.hits++
+		return 0
+	}
+	c.misses++
+	c.tags[idx] = line
+	c.valid[idx] = true
+	return c.readMiss
+}
+
+// Flush invalidates all lines.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// Stats returns read hits, read misses, and writes so far.
+func (c *Cache) Stats() (hits, misses, writes uint64) { return c.hits, c.misses, c.writes }
+
+// ResetStats zeroes the counters without invalidating lines.
+func (c *Cache) ResetStats() { c.hits, c.misses, c.writes = 0, 0, 0 }

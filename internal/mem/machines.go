@@ -1,0 +1,67 @@
+package mem
+
+// MachineConfig is a workstation cost model: clock rate plus cache
+// geometry and stall costs.  Configurations approximate the two machines
+// of the paper's Table 4.  Absolute penalties were calibrated so the
+// baseline (separate, cached) rows land near the paper's magnitude; the
+// comparisons in EXPERIMENTS.md are about shape, not absolute microseconds.
+type MachineConfig struct {
+	Name string
+	// MHz converts cycles to microseconds.
+	MHz float64
+	// CacheLineBytes / CacheLines give the data-cache geometry.
+	CacheLineBytes int
+	CacheLines     int
+	// ReadMissCycles / WriteCycles are the stall costs.
+	ReadMissCycles uint64
+	WriteCycles    uint64
+	// MemBytes sizes the simulated memory.
+	MemBytes int
+}
+
+// DEC3100 approximates the DECstation 3100 (R2000 @ 16.67 MHz, 64 KB
+// direct-mapped write-through data cache with 4-byte lines).
+var DEC3100 = MachineConfig{
+	Name:           "DEC3100",
+	MHz:            16.67,
+	CacheLineBytes: 4,
+	CacheLines:     16384,
+	ReadMissCycles: 6,
+	WriteCycles:    1,
+	MemBytes:       16 << 20,
+}
+
+// DEC5000 approximates the DECstation 5000/200 (R3000 @ 25 MHz, 64 KB
+// direct-mapped write-through data cache with 16-byte lines).
+var DEC5000 = MachineConfig{
+	Name:           "DEC5000",
+	MHz:            25,
+	CacheLineBytes: 16,
+	CacheLines:     4096,
+	ReadMissCycles: 15,
+	WriteCycles:    1,
+	MemBytes:       16 << 20,
+}
+
+// Uncosted is a convenience configuration with no cache model attached;
+// loads and stores cost their base cycles only.
+var Uncosted = MachineConfig{
+	Name:     "flat",
+	MHz:      25,
+	MemBytes: 16 << 20,
+}
+
+// Build constructs the Memory (with cache attached when configured) for
+// this machine model.
+func (mc MachineConfig) Build(bigEndian bool) *Memory {
+	m := New(mc.MemBytes, bigEndian)
+	if mc.CacheLineBytes > 0 {
+		m.AttachCache(NewCache(mc.CacheLineBytes, mc.CacheLines, mc.ReadMissCycles, mc.WriteCycles))
+	}
+	return m
+}
+
+// Micros converts a cycle count to microseconds under this clock.
+func (mc MachineConfig) Micros(cycles uint64) float64 {
+	return float64(cycles) / mc.MHz
+}

@@ -1,0 +1,182 @@
+// Package mem provides the simulated memory system under the ISA
+// simulators: a flat byte-addressable memory with natural-alignment
+// checking, plus an optional direct-mapped data-cache cost model used to
+// reproduce the paper's DECstation measurements (Tables 3 and 4).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Memory is a flat simulated memory.  Loads and stores are bounds- and
+// alignment-checked; misaligned accesses are errors, which catches a large
+// class of code generation bugs (the paper's "most common error" was
+// instruction mis-mapping).
+type Memory struct {
+	data []byte
+	big  bool
+	dc   *Cache
+	// penaltyCycles accumulates memory-system stall cycles charged by
+	// the cache model.
+	penaltyCycles uint64
+}
+
+// New returns a memory of the given size.  bigEndian selects the byte
+// order (SPARC is big-endian; the DECstation MIPS and Alpha are little).
+func New(size int, bigEndian bool) *Memory {
+	return &Memory{data: make([]byte, size), big: bigEndian}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+// BigEndian reports the configured byte order.
+func (m *Memory) BigEndian() bool { return m.big }
+
+func (m *Memory) check(addr uint64, size int) error {
+	if addr+uint64(size) > uint64(len(m.data)) || addr+uint64(size) < addr {
+		return fmt.Errorf("mem: access [%#x,+%d) out of range (size %#x)", addr, size, len(m.data))
+	}
+	if addr&uint64(size-1) != 0 {
+		return fmt.Errorf("mem: misaligned %d-byte access at %#x", size, addr)
+	}
+	return nil
+}
+
+// Load reads a size-byte value (1, 2, 4 or 8) zero-extended into a uint64,
+// charging the cache model for a data read.
+func (m *Memory) Load(addr uint64, size int) (uint64, error) {
+	if err := m.check(addr, size); err != nil {
+		return 0, err
+	}
+	if m.dc != nil {
+		m.penaltyCycles += m.dc.access(addr, false)
+	}
+	return m.loadRaw(addr, size), nil
+}
+
+// loadRaw reads without cost accounting or checks (callers have checked).
+func (m *Memory) loadRaw(addr uint64, size int) uint64 {
+	b := m.data[addr : addr+uint64(size)]
+	if m.big {
+		switch size {
+		case 1:
+			return uint64(b[0])
+		case 2:
+			return uint64(binary.BigEndian.Uint16(b))
+		case 4:
+			return uint64(binary.BigEndian.Uint32(b))
+		default:
+			return binary.BigEndian.Uint64(b)
+		}
+	}
+	switch size {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	default:
+		return binary.LittleEndian.Uint64(b)
+	}
+}
+
+// Store writes the low size bytes of v, charging the cache model for a
+// data write.
+func (m *Memory) Store(addr uint64, size int, v uint64) error {
+	if err := m.check(addr, size); err != nil {
+		return err
+	}
+	if m.dc != nil {
+		m.penaltyCycles += m.dc.access(addr, true)
+	}
+	b := m.data[addr : addr+uint64(size)]
+	if m.big {
+		switch size {
+		case 1:
+			b[0] = byte(v)
+		case 2:
+			binary.BigEndian.PutUint16(b, uint16(v))
+		case 4:
+			binary.BigEndian.PutUint32(b, uint32(v))
+		default:
+			binary.BigEndian.PutUint64(b, v)
+		}
+		return nil
+	}
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+	return nil
+}
+
+// FetchWord reads an instruction word without data-cache accounting
+// (instruction fetch is modelled as free; both compared systems in every
+// experiment fetch from the same cache-resident loops).
+func (m *Memory) FetchWord(addr uint64) (uint32, error) {
+	if err := m.check(addr, 4); err != nil {
+		return 0, err
+	}
+	return uint32(m.loadRaw(addr, 4)), nil
+}
+
+// WriteBytes copies raw bytes into memory (loader use; no cost accounting).
+func (m *Memory) WriteBytes(addr uint64, p []byte) error {
+	if addr+uint64(len(p)) > uint64(len(m.data)) {
+		return fmt.Errorf("mem: WriteBytes [%#x,+%d) out of range", addr, len(p))
+	}
+	copy(m.data[addr:], p)
+	return nil
+}
+
+// ReadBytes copies raw bytes out of memory (no cost accounting).
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	if addr+uint64(n) > uint64(len(m.data)) {
+		return nil, fmt.Errorf("mem: ReadBytes [%#x,+%d) out of range", addr, n)
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:])
+	return out, nil
+}
+
+// Bytes returns a writable window into memory (test and workload setup).
+func (m *Memory) Bytes(addr uint64, n int) ([]byte, error) {
+	if addr+uint64(n) > uint64(len(m.data)) {
+		return nil, fmt.Errorf("mem: Bytes [%#x,+%d) out of range", addr, n)
+	}
+	return m.data[addr : addr+uint64(n)], nil
+}
+
+// AttachCache installs a data-cache cost model.
+func (m *Memory) AttachCache(c *Cache) { m.dc = c }
+
+// Cache returns the attached cache model (nil if none).
+func (m *Memory) Cache() *Cache { return m.dc }
+
+// PenaltyCycles returns the stall cycles accumulated by the cache model.
+func (m *Memory) PenaltyCycles() uint64 { return m.penaltyCycles }
+
+// ResetStats clears accumulated penalty cycles and cache statistics.
+func (m *Memory) ResetStats() {
+	m.penaltyCycles = 0
+	if m.dc != nil {
+		m.dc.ResetStats()
+	}
+}
+
+// FlushCache invalidates every cache line (the Table 4 "uncached" rows
+// flush between trials).
+func (m *Memory) FlushCache() {
+	if m.dc != nil {
+		m.dc.Flush()
+	}
+}

@@ -1,0 +1,194 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreEndianness(t *testing.T) {
+	le := New(4096, false)
+	be := New(4096, true)
+	if err := le.Store(16, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Store(16, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := le.ReadBytes(16, 4)
+	bb, _ := be.ReadBytes(16, 4)
+	if lb[0] != 0x44 || lb[3] != 0x11 {
+		t.Errorf("little-endian bytes %x", lb)
+	}
+	if bb[0] != 0x11 || bb[3] != 0x44 {
+		t.Errorf("big-endian bytes %x", bb)
+	}
+}
+
+func TestRoundtripQuick(t *testing.T) {
+	m := New(1<<16, false)
+	f := func(off uint16, v uint64, size uint8) bool {
+		sz := []int{1, 2, 4, 8}[size%4]
+		addr := uint64(off) &^ uint64(sz-1)
+		if err := m.Store(addr, sz, v); err != nil {
+			return false
+		}
+		got, err := m.Load(addr, sz)
+		if err != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if sz < 8 {
+			mask = 1<<(8*sz) - 1
+		}
+		return got == v&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignmentAndBounds(t *testing.T) {
+	m := New(64, false)
+	if _, err := m.Load(2, 4); err == nil {
+		t.Error("misaligned load should fail")
+	}
+	if err := m.Store(7, 2, 0); err == nil {
+		t.Error("misaligned store should fail")
+	}
+	if _, err := m.Load(64, 4); err == nil {
+		t.Error("out-of-range load should fail")
+	}
+	if _, err := m.Load(^uint64(0)-3, 4); err == nil {
+		t.Error("wrapping load should fail")
+	}
+	if err := m.WriteBytes(60, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("out-of-range WriteBytes should fail")
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	m := New(1<<16, false)
+	c := NewCache(16, 4, 10, 1)
+	m.AttachCache(c)
+
+	// First read of a line misses; the second hits.
+	if _, err := m.Load(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.PenaltyCycles() != 10 {
+		t.Errorf("first read penalty %d, want 10", m.PenaltyCycles())
+	}
+	if _, err := m.Load(4, 4); err != nil { // same 16-byte line
+		t.Fatal(err)
+	}
+	if m.PenaltyCycles() != 10 {
+		t.Errorf("hit should add nothing, got %d", m.PenaltyCycles())
+	}
+	// Writes cost the write-through path and do not allocate.
+	if err := m.Store(256, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.PenaltyCycles() != 11 {
+		t.Errorf("write penalty, got %d", m.PenaltyCycles())
+	}
+	if _, err := m.Load(256, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.PenaltyCycles() != 21 {
+		t.Errorf("read after write should miss (no write-allocate), got %d", m.PenaltyCycles())
+	}
+	// Conflict eviction: line 0 and line 0+4*16 map to the same set.
+	if _, err := m.Load(0, 4); err != nil { // still cached? it was; hit
+		t.Fatal(err)
+	}
+	before := m.PenaltyCycles()
+	if _, err := m.Load(4*16, 4); err != nil { // evicts line 0's set
+		t.Fatal(err)
+	}
+	if _, err := m.Load(0, 4); err != nil { // misses again
+		t.Fatal(err)
+	}
+	if m.PenaltyCycles() != before+20 {
+		t.Errorf("conflict misses, got %d want %d", m.PenaltyCycles(), before+20)
+	}
+	hits, misses, writes := c.Stats()
+	if hits == 0 || misses == 0 || writes != 1 {
+		t.Errorf("stats h=%d m=%d w=%d", hits, misses, writes)
+	}
+
+	m.FlushCache()
+	before = m.PenaltyCycles()
+	if _, err := m.Load(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.PenaltyCycles() != before+10 {
+		t.Error("flush should force a miss")
+	}
+
+	m.ResetStats()
+	if m.PenaltyCycles() != 0 {
+		t.Error("ResetStats")
+	}
+}
+
+func TestFetchWordUncosted(t *testing.T) {
+	m := New(4096, false)
+	m.AttachCache(NewCache(16, 16, 10, 1))
+	if err := m.Store(128, 4, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	w, err := m.FetchWord(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0xdeadbeef {
+		t.Errorf("fetch got %#x", w)
+	}
+	if m.PenaltyCycles() != 0 {
+		t.Error("instruction fetch should not charge the data cache")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := New(128, true)
+	if !m.BigEndian() {
+		t.Error("BigEndian")
+	}
+	if m.Size() != 128 {
+		t.Error("Size")
+	}
+	w, err := m.Bytes(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 0xab
+	v, err := m.Load(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v>>24 != 0xab {
+		t.Errorf("Bytes window not aliased: %#x", v)
+	}
+	if _, err := m.Bytes(120, 16); err == nil {
+		t.Error("out-of-range Bytes should fail")
+	}
+}
+
+func TestMachineConfigs(t *testing.T) {
+	for _, mc := range []MachineConfig{DEC3100, DEC5000} {
+		m := mc.Build(false)
+		if m.Cache() == nil {
+			t.Errorf("%s: no cache attached", mc.Name)
+		}
+		if m.Cache().SizeBytes() != 64<<10 {
+			t.Errorf("%s: cache is %d bytes, want 64KB", mc.Name, m.Cache().SizeBytes())
+		}
+	}
+	if mu := Uncosted.Build(true); mu.Cache() != nil {
+		t.Error("Uncosted should have no cache")
+	}
+	if us := DEC5000.Micros(2500); us != 100 {
+		t.Errorf("25MHz: 2500 cycles = %v us, want 100", us)
+	}
+}

@@ -1,0 +1,170 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// run assembles raw words at an address and steps until the PC leaves
+// them, returning the CPU for inspection.
+func runWords(t *testing.T, words []uint32, steps int) *CPU {
+	t.Helper()
+	m := mem.New(1<<16, false)
+	cpu := NewCPU(m)
+	base := uint64(0x1000)
+	for i, w := range words {
+		if err := m.Store(base+4*uint64(i), 4, uint64(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cpu.SetPC(base)
+	for i := 0; i < steps; i++ {
+		if err := cpu.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return cpu
+}
+
+// TestDelaySlotExecutes pins the fundamental delay-slot semantics: the
+// instruction after a taken branch executes before the target.
+func TestDelaySlotExecutes(t *testing.T) {
+	// beq zero, zero, +2 ; addiu t0, zero, 7 (delay slot) ;
+	// addiu t1, zero, 1 (skipped) ; addiu t2, zero, 2 (target)
+	words := []uint32{
+		iType(opBeq, 0, 0, 2),
+		iType(opAddiu, 0, 8, 7),
+		iType(opAddiu, 0, 9, 1),
+		iType(opAddiu, 0, 10, 2),
+	}
+	cpu := runWords(t, words, 3)
+	if cpu.Reg(core.GPR(8)) != 7 {
+		t.Error("delay slot did not execute")
+	}
+	if cpu.Reg(core.GPR(9)) != 0 {
+		t.Error("skipped instruction executed")
+	}
+	if cpu.Reg(core.GPR(10)) != 2 {
+		t.Error("branch target not reached")
+	}
+}
+
+// TestNotTakenBranchFallsThrough checks untaken branches.
+func TestNotTakenBranchFallsThrough(t *testing.T) {
+	words := []uint32{
+		iType(opAddiu, 0, 8, 1), // t0 = 1
+		iType(opBne, 0, 0, 2),   // never taken
+		iType(opAddiu, 0, 9, 5), // executes (slot of untaken branch)
+		iType(opAddiu, 0, 10, 6),
+	}
+	cpu := runWords(t, words, 4)
+	if cpu.Reg(core.GPR(9)) != 5 || cpu.Reg(core.GPR(10)) != 6 {
+		t.Error("fall-through path wrong")
+	}
+}
+
+// TestJalWritesRA checks the link register points past the delay slot.
+func TestJalWritesRA(t *testing.T) {
+	words := []uint32{
+		jType(opJal, (0x1000+16)>>2),
+		encNop,
+		encNop,
+		encNop,
+		iType(opAddiu, 0, 8, 9), // jal target
+	}
+	cpu := runWords(t, words, 3)
+	if got := cpu.Reg(core.GPR(31)); got != 0x1000+8 {
+		t.Errorf("ra = %#x, want %#x", got, 0x1000+8)
+	}
+	if cpu.Reg(core.GPR(8)) != 9 {
+		t.Error("jal target not reached")
+	}
+}
+
+// TestCycleModel pins the long-latency charges: a multiply costs more
+// than an add, and a load immediately used stalls one cycle.
+func TestCycleModel(t *testing.T) {
+	add := runWords(t, []uint32{rType(fnAddu, 8, 9, 10, 0)}, 1).Cycles()
+	mul := runWords(t, []uint32{rType(fnMult, 8, 9, 0, 0)}, 1).Cycles()
+	div := runWords(t, []uint32{rType(fnDiv, 8, 9, 0, 0)}, 1).Cycles()
+	if !(add < mul && mul < div) {
+		t.Errorf("cycle ordering: add=%d mult=%d div=%d", add, mul, div)
+	}
+
+	// Load followed by an immediate use stalls; separated by an
+	// unrelated instruction it does not.
+	stall := runWords(t, []uint32{
+		iType(opLw, 0, 8, 0x100),  // lw t0, 0x100(zero)
+		rType(fnAddu, 8, 8, 9, 0), // uses t0 immediately
+	}, 2).Cycles()
+	noStall := runWords(t, []uint32{
+		iType(opLw, 0, 8, 0x100),
+		rType(fnAddu, 10, 11, 12, 0), // unrelated
+	}, 2).Cycles()
+	if stall != noStall+1 {
+		t.Errorf("load-use stall: %d vs %d", stall, noStall)
+	}
+}
+
+// TestBranchInDelaySlotFaults pins the guard for an architectural
+// violation our generator must never produce.
+func TestBranchInDelaySlotFaults(t *testing.T) {
+	m := mem.New(1<<16, false)
+	cpu := NewCPU(m)
+	base := uint64(0x1000)
+	words := []uint32{
+		iType(opBeq, 0, 0, 2),
+		iType(opBeq, 0, 0, 4), // branch in delay slot
+	}
+	for i, w := range words {
+		if err := m.Store(base+4*uint64(i), 4, uint64(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cpu.SetPC(base)
+	if err := cpu.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Step(); err == nil {
+		t.Fatal("branch in delay slot should fault")
+	}
+}
+
+// TestUnknownOpcodeFaults checks decode errors carry the PC.
+func TestUnknownOpcodeFaults(t *testing.T) {
+	m := mem.New(1<<16, false)
+	cpu := NewCPU(m)
+	if err := m.Store(0x1000, 4, 0xffffffff); err != nil {
+		t.Fatal(err)
+	}
+	cpu.SetPC(0x1000)
+	err := cpu.Step()
+	if err == nil || !strings.Contains(err.Error(), "0x1000") {
+		t.Fatalf("want decode fault with pc, got %v", err)
+	}
+}
+
+// TestDisasmGolden pins a few encodings to their assembly text.
+func TestDisasmGolden(t *testing.T) {
+	b := New()
+	cases := []struct {
+		w    uint32
+		want string
+	}{
+		{iType(opAddiu, 4, 4, 1), "addiu a0, a0, 1"},
+		{rType(fnJr, 31, 0, 0, 0), "jr ra"},
+		{rType(fnAddu, 4, 0, 2, 0), "move v0, a0"},
+		{iType(opLw, 29, 31, 0), "lw ra, 0(sp)"},
+		{encNop, "nop"},
+		{iType(opLui, 0, 1, 0x1234), "lui at, 0x1234"},
+		{jType(opJal, 0x100), "jal 0x400"},
+	}
+	for _, c := range cases {
+		if got := b.Disasm(c.w, 0); got != c.want {
+			t.Errorf("Disasm(%#08x) = %q, want %q", c.w, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package mips is the MIPS port of VCODE: binary instruction encoders, the
+// core.Backend retarget, a disassembler, and a cycle-counted R3000-class
+// simulator that executes the generated code.  The modelled machine is a
+// little-endian DECstation-style MIPS (the paper's experimental platform).
+package mips
+
+// Instruction word constructors.  Field layout follows the MIPS I/II
+// manuals; rs/rt/rd are 5-bit register numbers.
+
+// Major opcodes.
+const (
+	opSpecial = 0x00
+	opRegimm  = 0x01
+	opJ       = 0x02
+	opJal     = 0x03
+	opBeq     = 0x04
+	opBne     = 0x05
+	opBlez    = 0x06
+	opBgtz    = 0x07
+	opAddiu   = 0x09
+	opSlti    = 0x0a
+	opSltiu   = 0x0b
+	opAndi    = 0x0c
+	opOri     = 0x0d
+	opXori    = 0x0e
+	opLui     = 0x0f
+	opCop1    = 0x11
+	opLb      = 0x20
+	opLh      = 0x21
+	opLw      = 0x23
+	opLbu     = 0x24
+	opLhu     = 0x25
+	opSb      = 0x28
+	opSh      = 0x29
+	opSw      = 0x2b
+	opLwc1    = 0x31
+	opLdc1    = 0x35
+	opSwc1    = 0x39
+	opSdc1    = 0x3d
+)
+
+// SPECIAL functs.
+const (
+	fnSll   = 0x00
+	fnSrl   = 0x02
+	fnSra   = 0x03
+	fnSllv  = 0x04
+	fnSrlv  = 0x06
+	fnSrav  = 0x07
+	fnJr    = 0x08
+	fnJalr  = 0x09
+	fnMfhi  = 0x10
+	fnMflo  = 0x12
+	fnMult  = 0x18
+	fnMultu = 0x19
+	fnDiv   = 0x1a
+	fnDivu  = 0x1b
+	fnAddu  = 0x21
+	fnSubu  = 0x23
+	fnAnd   = 0x24
+	fnOr    = 0x25
+	fnXor   = 0x26
+	fnNor   = 0x27
+	fnSlt   = 0x2a
+	fnSltu  = 0x2b
+)
+
+// REGIMM rt fields.
+const (
+	rtBltz = 0x00
+	rtBgez = 0x01
+	rtBal  = 0x11 // bgezal with rs=0
+)
+
+// COP1 rs (fmt/branch) fields.
+const (
+	fmtMFC1 = 0x00
+	fmtMTC1 = 0x04
+	fmtBC   = 0x08
+	fmtS    = 0x10
+	fmtD    = 0x11
+	fmtW    = 0x14
+)
+
+// COP1 functs.
+const (
+	fpAdd  = 0x00
+	fpSub  = 0x01
+	fpMul  = 0x02
+	fpDiv  = 0x03
+	fpSqrt = 0x04
+	fpAbs  = 0x05
+	fpMov  = 0x06
+	fpNeg  = 0x07
+	fpCvtS = 0x20
+	fpCvtD = 0x21
+	fpCvtW = 0x24
+	fpCEq  = 0x32
+	fpCLt  = 0x3c
+	fpCLe  = 0x3e
+)
+
+func rType(funct, rs, rt, rd, shamt uint32) uint32 {
+	return rs<<21 | rt<<16 | rd<<11 | shamt<<6 | funct
+}
+
+func iType(op, rs, rt uint32, imm uint16) uint32 {
+	return op<<26 | rs<<21 | rt<<16 | uint32(imm)
+}
+
+func jType(op uint32, target uint32) uint32 {
+	return op<<26 | target&0x03ffffff
+}
+
+func fpRType(fmt, ft, fs, fd, funct uint32) uint32 {
+	return opCop1<<26 | fmt<<21 | ft<<16 | fs<<11 | fd<<6 | funct
+}
+
+// encNop is sll zero, zero, 0: the canonical MIPS nop.
+const encNop uint32 = 0

@@ -1,0 +1,324 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func newMachine(t *testing.T) (*Backend, *core.Machine) {
+	t.Helper()
+	b := New()
+	m := mem.New(1<<24, false)
+	return b, core.NewMachine(b, NewCPU(m), m)
+}
+
+// TestPlus1 reproduces the paper's Figure 1: a dynamically created
+// function returning its integer argument plus one.
+func TestPlus1(t *testing.T) {
+	b, m := newMachine(t)
+	a := core.NewAsm(b)
+	a.SetName("plus1")
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	a.Addii(args[0], args[0], 1)
+	a.Reti(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	got, err := m.Call(fn, core.I(41))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Int() != 42 {
+		t.Fatalf("plus1(41) = %d, want 42", got.Int())
+	}
+	// The paper's §3.2 shows the expected shape: add, then the return
+	// with the result move in its delay slot.
+	lst := strings.Join(DisasmFunc(b, fn), "\n")
+	for _, want := range []string{"addiu a0, a0, 1", "jr ra", "move v0, a0"} {
+		if !strings.Contains(lst, want) {
+			t.Errorf("listing missing %q:\n%s", want, lst)
+		}
+	}
+	// Leaf with no frame: no prologue should execute.
+	if fn.FrameBytes != 0 {
+		t.Errorf("leaf frame = %d bytes, want 0", fn.FrameBytes)
+	}
+}
+
+// TestFigure2Addu pins the paper's §5.1 "life of one instruction":
+// v_addu translates to exactly one machine word, the real MIPS addu
+// encoding (opcode 0x21), emitted in place with no intermediate steps.
+func TestFigure2Addu(t *testing.T) {
+	b := New()
+	buf := core.NewBuf(4)
+	// addu $t2, $t0, $t1  ->  rs=8 rt=9 rd=10 funct 0x21.
+	if err := b.ALU(buf, core.OpAdd, core.TypeU, core.GPR(10), core.GPR(8), core.GPR(9)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 1 {
+		t.Fatalf("v_addu emitted %d words, want 1", buf.Len())
+	}
+	want := uint32(8<<21 | 9<<16 | 10<<11 | 0x21)
+	if buf.At(0) != want {
+		t.Fatalf("encoding %#08x, want %#08x", buf.At(0), want)
+	}
+	if s := b.Disasm(buf.At(0), 0); s != "addu t2, t0, t1" {
+		t.Fatalf("disasm %q", s)
+	}
+}
+
+// TestLoop exercises labels, backward branches and multiplication:
+// iterative factorial.
+func TestLoop(t *testing.T) {
+	b, m := newMachine(t)
+	a := core.NewAsm(b)
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	n := args[0]
+	acc, err := a.GetReg(core.Temp)
+	if err != nil {
+		t.Fatalf("GetReg: %v", err)
+	}
+	top, done := a.NewLabel(), a.NewLabel()
+	a.Seti(acc, 1)
+	a.Bind(top)
+	a.Bleii(n, 1, done)
+	a.Muli(acc, acc, n)
+	a.Subii(n, n, 1)
+	a.Jmp(top)
+	a.Bind(done)
+	a.Reti(acc)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	for _, tc := range []struct{ in, want int64 }{{0, 1}, {1, 1}, {5, 120}, {10, 3628800}} {
+		got, err := m.Call(fn, core.I(int32(tc.in)))
+		if err != nil {
+			t.Fatalf("Call(%d): %v", tc.in, err)
+		}
+		if got.Int() != tc.want {
+			t.Errorf("fact(%d) = %d, want %d", tc.in, got.Int(), tc.want)
+		}
+	}
+}
+
+// TestCalls builds two functions where one calls the other, exercising
+// non-leaf prologue/epilogue, callee-saved allocation and install-time
+// call relocation.
+func TestCalls(t *testing.T) {
+	b, m := newMachine(t)
+
+	a := core.NewAsm(b)
+	a.SetName("double")
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	a.Addi(args[0], args[0], args[0])
+	a.Reti(args[0])
+	double, err := a.End()
+	if err != nil {
+		t.Fatalf("End(double): %v", err)
+	}
+
+	a2 := core.NewAsm(b)
+	a2.SetName("caller")
+	args, err = a2.Begin("%i", core.NonLeaf)
+	if err != nil {
+		t.Fatalf("Begin(caller): %v", err)
+	}
+	// s := double(x) + x, keeping x in a callee-saved register across
+	// the call.
+	x, err := a2.GetReg(core.Var)
+	if err != nil {
+		t.Fatalf("GetReg: %v", err)
+	}
+	a2.Movi(x, args[0])
+	a2.StartCall("%i")
+	a2.SetArg(0, x)
+	a2.CallFunc(double)
+	r, err := a2.GetReg(core.Var)
+	if err != nil {
+		t.Fatalf("GetReg: %v", err)
+	}
+	a2.RetVal(core.TypeI, r)
+	a2.Addi(r, r, x)
+	a2.Reti(r)
+	caller, err := a2.End()
+	if err != nil {
+		t.Fatalf("End(caller): %v", err)
+	}
+
+	got, err := m.Call(caller, core.I(7))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Int() != 21 {
+		t.Fatalf("caller(7) = %d, want 21", got.Int())
+	}
+}
+
+// TestDivMod checks hardware division and remainder semantics.
+func TestDivMod(t *testing.T) {
+	b, m := newMachine(t)
+	for _, tc := range []struct {
+		op        core.Op
+		x, y, out int32
+	}{
+		{core.OpDiv, 37, 5, 7},
+		{core.OpDiv, -37, 5, -7},
+		{core.OpMod, 37, 5, 2},
+		{core.OpMod, -37, 5, -2},
+	} {
+		a := core.NewAsm(b)
+		args, err := a.Begin("%i%i", core.Leaf)
+		if err != nil {
+			t.Fatalf("Begin: %v", err)
+		}
+		a.ALU(tc.op, core.TypeI, args[0], args[0], args[1])
+		a.Reti(args[0])
+		fn, err := a.End()
+		if err != nil {
+			t.Fatalf("End: %v", err)
+		}
+		got, err := m.Call(fn, core.I(tc.x), core.I(tc.y))
+		if err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		if got.Int() != int64(tc.out) {
+			t.Errorf("%s(%d,%d) = %d, want %d", tc.op, tc.x, tc.y, got.Int(), tc.out)
+		}
+	}
+}
+
+// TestDoubleArith exercises FP arithmetic, FP constants (the pool) and FP
+// return values.
+func TestDoubleArith(t *testing.T) {
+	b, m := newMachine(t)
+	a := core.NewAsm(b)
+	args, err := a.Begin("%d%d", core.Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	c, err := a.GetFReg(core.Temp)
+	if err != nil {
+		t.Fatalf("GetFReg: %v", err)
+	}
+	a.Setd(c, 0.5)
+	a.Muld(args[0], args[0], args[1])
+	a.Addd(args[0], args[0], c)
+	a.Retd(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	got, err := m.Call(fn, core.D(3.25), core.D(4))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Float64() != 13.5 {
+		t.Fatalf("f(3.25,4) = %v, want 13.5", got.Float64())
+	}
+}
+
+// TestStackArgs passes more arguments than there are argument registers.
+func TestStackArgs(t *testing.T) {
+	b, m := newMachine(t)
+	a := core.NewAsm(b)
+	args, err := a.Begin("%i%i%i%i%i%i", core.Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	acc := args[0]
+	for _, r := range args[1:] {
+		a.Addi(acc, acc, r)
+	}
+	a.Reti(acc)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	got, err := m.Call(fn, core.I(1), core.I(2), core.I(3), core.I(4), core.I(5), core.I(6))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Int() != 21 {
+		t.Fatalf("sum = %d, want 21", got.Int())
+	}
+}
+
+// TestLocals spills through the activation record.
+func TestLocals(t *testing.T) {
+	b, m := newMachine(t)
+	a := core.NewAsm(b)
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	loc := a.Local(core.TypeI)
+	a.StLocal(core.TypeI, args[0], loc)
+	a.Seti(args[0], 0)
+	a.LdLocal(core.TypeI, args[0], loc)
+	a.Addii(args[0], args[0], 100)
+	a.Reti(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	got, err := m.Call(fn, core.I(11))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Int() != 111 {
+		t.Fatalf("got %d, want 111", got.Int())
+	}
+	if fn.FrameBytes == 0 {
+		t.Errorf("function with a local has no frame")
+	}
+}
+
+// TestMemOps stores and loads every memory type through heap memory.
+func TestMemOps(t *testing.T) {
+	b, m := newMachine(t)
+	addr, err := m.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f(p, x) stores x as a short at p, reloads it sign-extended.
+	a := core.NewAsm(b)
+	args, err := a.Begin("%p%i", core.Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	a.Stsi(args[1], args[0], 2)
+	a.Ldsi(args[1], args[0], 2)
+	a.Reti(args[1])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	got, err := m.Call(fn, core.P(addr), core.I(-5))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Int() != -5 {
+		t.Fatalf("short round-trip = %d, want -5", got.Int())
+	}
+	got, err = m.Call(fn, core.P(addr), core.I(0x18001))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.Int() != -32767 {
+		t.Fatalf("short truncation = %d, want %d", got.Int(), -32767)
+	}
+}

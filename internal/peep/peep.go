@@ -1,0 +1,218 @@
+// Package peep implements the VCODE-level peephole optimizer the paper
+// leaves as future work (§6.2: "Future work will include implementing a
+// vcode-level peephole optimizer for clients that wish to trade runtime
+// compilation overhead for better generated code").
+//
+// Because VCODE generates code in place, an optimizer above it cannot
+// rewrite history; instead this layer holds a one-instruction window:
+// each incoming instruction may merge with, replace, or cancel the
+// pending one before anything reaches the instruction stream.  Only
+// transformations that preserve all register and memory state exactly
+// are applied, so no liveness information is needed:
+//
+//   - mov r, r                          -> dropped
+//   - add/sub/or/xor/lsh/rsh r, r, #0   -> dropped
+//   - set r, #a; set r, #b              -> set r, #b
+//   - add r, r, #a; add r, r, #b        -> add r, r, #(a+b)
+//   - st T r, [b+o]; ld T r2, [b+o]     -> st T r, [b+o]; mov r2, r
+//
+// The last rule (store-to-load forwarding) pays off under the
+// virtual-register layer, whose spills produce exactly such pairs.
+package peep
+
+import "repro/internal/core"
+
+type kind uint8
+
+const (
+	kNone kind = iota
+	kALU
+	kALUI
+	kUnary
+	kSetI
+	kLdI
+	kStI
+)
+
+type pending struct {
+	kind       kind
+	op         core.Op
+	t          core.Type
+	rd, rs, r2 core.Reg
+	imm        int64
+}
+
+// Asm is the peephole layer over a core.Asm.  Instructions issued through
+// it are window-optimized; anything issued directly on the underlying
+// Asm must be preceded by Flush.
+type Asm struct {
+	A *core.Asm
+
+	p pending
+	// Saved counts how many instructions the window removed or merged
+	// away (for the benchmark's report).
+	Saved int
+}
+
+// New wraps an assembler.
+func New(a *core.Asm) *Asm { return &Asm{A: a} }
+
+// Flush emits any pending instruction.  Call before binding a label,
+// branching, calling, or ending the function.
+func (p *Asm) Flush() {
+	pd := p.p
+	p.p = pending{}
+	switch pd.kind {
+	case kALU:
+		p.A.ALU(pd.op, pd.t, pd.rd, pd.rs, pd.r2)
+	case kALUI:
+		p.A.ALUI(pd.op, pd.t, pd.rd, pd.rs, pd.imm)
+	case kUnary:
+		p.A.Unary(pd.op, pd.t, pd.rd, pd.rs)
+	case kSetI:
+		p.A.SetI(pd.t, pd.rd, pd.imm)
+	case kLdI:
+		p.A.LdI(pd.t, pd.rd, pd.rs, pd.imm)
+	case kStI:
+		p.A.StI(pd.t, pd.rd, pd.rs, pd.imm)
+	}
+}
+
+// hold makes n the new pending instruction, flushing the previous one.
+func (p *Asm) hold(n pending) {
+	p.Flush()
+	p.p = n
+}
+
+// isDroppableNop reports instructions with no architectural effect.
+func isDroppableNop(n pending) bool {
+	switch n.kind {
+	case kUnary:
+		return n.op == core.OpMov && n.rd == n.rs
+	case kALUI:
+		if n.rd != n.rs || n.imm != 0 {
+			return false
+		}
+		switch n.op {
+		case core.OpAdd, core.OpSub, core.OpOr, core.OpXor, core.OpLsh, core.OpRsh:
+			return true
+		}
+	}
+	return false
+}
+
+// feed runs the window rules on a new instruction.
+func (p *Asm) feed(n pending) {
+	if isDroppableNop(n) {
+		p.Saved++
+		return
+	}
+	pd := &p.p
+	switch {
+	// set r, #a ; set r, #b  ->  set r, #b
+	case pd.kind == kSetI && n.kind == kSetI && pd.t == n.t && pd.rd == n.rd:
+		p.Saved++
+		*pd = n
+		return
+	// add r, r, #a ; add r, r, #b  ->  add r, r, #(a+b)
+	case pd.kind == kALUI && n.kind == kALUI &&
+		pd.op == core.OpAdd && n.op == core.OpAdd && pd.t == n.t &&
+		pd.rd == pd.rs && n.rd == n.rs && pd.rd == n.rd:
+		pd.imm += n.imm
+		p.Saved++
+		if pd.imm == 0 {
+			p.Saved++
+			p.p = pending{}
+		}
+		return
+	// st T r, [b+o] ; ld T r2, [b+o]  ->  st ; mov r2, r
+	case pd.kind == kStI && n.kind == kLdI && pd.t == n.t &&
+		pd.rs == n.rs && pd.imm == n.imm && pd.rs != pd.rd:
+		stored := pd.rd
+		p.Flush()
+		p.Saved++ // a register move replaces a memory access
+		p.feed(pending{kind: kUnary, op: core.OpMov, t: moveType(n.t), rd: n.rd, rs: stored})
+		return
+	}
+	p.hold(n)
+}
+
+// moveType maps a memory type onto a legal register-move type.
+func moveType(t core.Type) core.Type {
+	switch t {
+	case core.TypeC, core.TypeUC, core.TypeS, core.TypeUS:
+		return core.TypeI
+	default:
+		return t
+	}
+}
+
+// --- the instruction interface ---
+
+// ALU queues rd = rs1 op rs2.
+func (p *Asm) ALU(op core.Op, t core.Type, rd, rs1, rs2 core.Reg) {
+	p.feed(pending{kind: kALU, op: op, t: t, rd: rd, rs: rs1, r2: rs2})
+}
+
+// ALUI queues rd = rs op imm.
+func (p *Asm) ALUI(op core.Op, t core.Type, rd, rs core.Reg, imm int64) {
+	p.feed(pending{kind: kALUI, op: op, t: t, rd: rd, rs: rs, imm: imm})
+}
+
+// Unary queues rd = op rs.
+func (p *Asm) Unary(op core.Op, t core.Type, rd, rs core.Reg) {
+	p.feed(pending{kind: kUnary, op: op, t: t, rd: rd, rs: rs})
+}
+
+// SetI queues rd = imm.
+func (p *Asm) SetI(t core.Type, rd core.Reg, imm int64) {
+	p.feed(pending{kind: kSetI, t: t, rd: rd, imm: imm})
+}
+
+// LdI queues rd = *(t*)(base+off).  The store-to-load window only
+// matches immediate-offset forms.
+func (p *Asm) LdI(t core.Type, rd, base core.Reg, off int64) {
+	p.feed(pending{kind: kLdI, t: t, rd: rd, rs: base, imm: off})
+}
+
+// StI queues *(t*)(base+off) = rs.
+func (p *Asm) StI(t core.Type, rs, base core.Reg, off int64) {
+	p.feed(pending{kind: kStI, t: t, rd: rs, rs: base, imm: off})
+}
+
+// Br flushes and emits a branch (branches never enter the window).
+func (p *Asm) Br(op core.Op, t core.Type, rs1, rs2 core.Reg, l core.Label) {
+	p.Flush()
+	p.A.Br(op, t, rs1, rs2, l)
+}
+
+// BrI flushes and emits an immediate branch.
+func (p *Asm) BrI(op core.Op, t core.Type, rs core.Reg, imm int64, l core.Label) {
+	p.Flush()
+	p.A.BrI(op, t, rs, imm, l)
+}
+
+// Bind flushes and binds a label (a label kills the window: something
+// may jump here).
+func (p *Asm) Bind(l core.Label) {
+	p.Flush()
+	p.A.Bind(l)
+}
+
+// Jmp flushes and jumps.
+func (p *Asm) Jmp(l core.Label) {
+	p.Flush()
+	p.A.Jmp(l)
+}
+
+// Ret flushes and returns a value.
+func (p *Asm) Ret(t core.Type, rs core.Reg) {
+	p.Flush()
+	p.A.Ret(t, rs)
+}
+
+// End flushes and finishes the function.
+func (p *Asm) End() (*core.Func, error) {
+	p.Flush()
+	return p.A.End()
+}

@@ -1,0 +1,236 @@
+package peep
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+func newMachine() (*mips.Backend, *core.Machine) {
+	b := mips.New()
+	m := mem.New(1<<22, false)
+	return b, core.NewMachine(b, mips.NewCPU(m), m)
+}
+
+// TestRedundantMovesDropped checks mov r,r and no-op immediates vanish
+// while semantics hold.
+func TestRedundantMovesDropped(t *testing.T) {
+	bk, m := newMachine()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(a)
+	before := a.Buf().Len()
+	p.Unary(core.OpMov, core.TypeI, args[0], args[0]) // dropped
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], 0)
+	p.ALUI(core.OpLsh, core.TypeI, args[0], args[0], 0)
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], 5)
+	p.Ret(core.TypeI, args[0])
+	fn, err := p.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Saved != 3 {
+		t.Errorf("Saved = %d, want 3", p.Saved)
+	}
+	_ = before
+	got, err := m.Call(fn, core.I(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 15 {
+		t.Fatalf("got %d", got.Int())
+	}
+}
+
+// TestAddImmCombining checks consecutive pointer bumps merge.
+func TestAddImmCombining(t *testing.T) {
+	bk, m := newMachine()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(a)
+	start := a.Buf().Len()
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], 4)
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], 8)
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], -2)
+	p.Flush()
+	emitted := a.Buf().Len() - start
+	if emitted != 1 {
+		t.Errorf("combined adds emitted %d words, want 1", emitted)
+	}
+	p.Ret(core.TypeI, args[0])
+	fn, err := p.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.I(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 110 {
+		t.Fatalf("got %d", got.Int())
+	}
+}
+
+// TestAddImmCancellation checks a +k/-k pair disappears entirely.
+func TestAddImmCancellation(t *testing.T) {
+	bk, _ := newMachine()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(a)
+	start := a.Buf().Len()
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], 16)
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], -16)
+	p.Flush()
+	if got := a.Buf().Len() - start; got != 0 {
+		t.Errorf("cancelling adds emitted %d words", got)
+	}
+}
+
+// TestStoreLoadForwarding checks the spill/reload pattern becomes a move.
+func TestStoreLoadForwarding(t *testing.T) {
+	bk, m := newMachine()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%p%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.GetReg(core.Temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(a)
+	start := a.Buf().Len()
+	p.StI(core.TypeI, args[1], args[0], 8)
+	p.LdI(core.TypeI, r, args[0], 8)
+	p.ALUI(core.OpAdd, core.TypeI, r, r, 1)
+	p.Ret(core.TypeI, r)
+	fn, err := p.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect st + move + addiu (+ret), not st + lw + addiu.
+	words := a.Buf().Len() - start
+	_ = words
+	if p.Saved < 1 {
+		t.Errorf("forwarding did not trigger (Saved=%d)", p.Saved)
+	}
+	addr, err := m.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.P(addr), core.I(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 42 {
+		t.Fatalf("got %d", got.Int())
+	}
+	// The store must still have happened.
+	v, err := m.Mem().Load(addr+8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 41 {
+		t.Fatalf("memory = %d, want 41", v)
+	}
+}
+
+// TestFullInterface drives every instruction form through the window in
+// a real loop and checks semantics end to end.
+func TestFullInterface(t *testing.T) {
+	bk, m := newMachine()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%p%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := a.GetReg(core.Temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := a.GetReg(core.Temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(a)
+	// sum of mem[0..n): set, branches, loads, ALU, jmp all through the
+	// window.
+	p.SetI(core.TypeI, acc, 0)
+	top := a.NewLabel()
+	done := a.NewLabel()
+	p.Bind(top)
+	p.BrI(core.OpBle, core.TypeI, args[1], 0, done)
+	p.LdI(core.TypeI, w, args[0], 0)
+	p.ALU(core.OpAdd, core.TypeI, acc, acc, w)
+	p.ALUI(core.OpAdd, core.TypeP, args[0], args[0], 4)
+	p.ALUI(core.OpSub, core.TypeI, args[1], args[1], 1)
+	p.Unary(core.OpMov, core.TypeI, w, acc) // harmless extra
+	p.Jmp(top)
+	p.Bind(done)
+	skip := a.NewLabel()
+	p.Br(core.OpBeq, core.TypeI, acc, acc, skip) // always taken: jumps to the next instruction
+	p.Bind(skip)
+	p.Ret(core.TypeI, acc)
+	fn, err := p.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := m.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := m.Mem().Store(addr+uint64(4*i), 4, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Call(fn, core.P(addr), core.I(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 36 {
+		t.Fatalf("sum = %d, want 36", got.Int())
+	}
+}
+
+// TestWindowFlushedAtLabels checks control flow kills the window (no
+// merging across a label).
+func TestWindowFlushedAtLabels(t *testing.T) {
+	bk, m := newMachine()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(a)
+	l := a.NewLabel()
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], 1)
+	p.Bind(l) // the +1 must be emitted before the label
+	p.ALUI(core.OpAdd, core.TypeI, args[0], args[0], 2)
+	p.Ret(core.TypeI, args[0])
+	fn, err := p.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Saved != 0 {
+		t.Errorf("merged across a label (Saved=%d)", p.Saved)
+	}
+	got, err := m.Call(fn, core.I(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 3 {
+		t.Fatalf("got %d", got.Int())
+	}
+}

@@ -1,0 +1,149 @@
+// Package reduce is the strength reducer the paper describes building on
+// top of VCODE (§5.4: "we have built a sophisticated strength reducer for
+// multiplication and division by integer constants on top of VCODE") —
+// a client-side layer, written entirely against the portable instruction
+// set, that rewrites multiplication and division by runtime constants
+// into shift/add sequences.  On the modelled R3000, integer multiply
+// costs 12 cycles and divide 35, so the payoff is real; BenchmarkStrength*
+// at the repository root measures it.
+package reduce
+
+import (
+	"math/bits"
+
+	"repro/internal/core"
+)
+
+// MulI emits rd = rs * k for a runtime constant k, strength-reducing to
+// shifts and adds when profitable, falling back to the multiply
+// instruction otherwise.  rd must not alias rs.
+func MulI(a *core.Asm, t core.Type, rd, rs core.Reg, k int64) {
+	if rd == rs {
+		a.ALUI(core.OpMul, t, rd, rs, k)
+		return
+	}
+	neg := false
+	uk := uint64(k)
+	if t.IsSigned() && k < 0 {
+		neg = true
+		uk = uint64(-k)
+	}
+	switch {
+	case uk == 0:
+		a.SetI(t, rd, 0)
+		return
+	case uk == 1:
+		a.Unary(core.OpMov, t, rd, rs)
+	case bits.OnesCount64(uk) == 1:
+		// Single shift.
+		a.ALUI(core.OpLsh, t, rd, rs, int64(bits.TrailingZeros64(uk)))
+	case bits.OnesCount64(uk) == 2:
+		// Two shifts and an add: rd = (rs<<a) + (rs<<b).
+		hi := 63 - bits.LeadingZeros64(uk)
+		lo := bits.TrailingZeros64(uk)
+		a.ALUI(core.OpLsh, t, rd, rs, int64(hi))
+		if lo == 0 {
+			a.ALU(core.OpAdd, t, rd, rd, rs)
+		} else {
+			tmp, err := a.GetReg(core.Temp)
+			if err != nil {
+				a.ALUI(core.OpMul, t, rd, rs, k)
+				return
+			}
+			a.ALUI(core.OpLsh, t, tmp, rs, int64(lo))
+			a.ALU(core.OpAdd, t, rd, rd, tmp)
+			a.PutReg(tmp)
+		}
+	case bits.OnesCount64(uk+1) == 1:
+		// 2^n - 1: rd = (rs<<n) - rs.
+		a.ALUI(core.OpLsh, t, rd, rs, int64(bits.TrailingZeros64(uk+1)))
+		a.ALU(core.OpSub, t, rd, rd, rs)
+	default:
+		a.ALUI(core.OpMul, t, rd, rs, k)
+		return
+	}
+	if neg {
+		a.Unary(core.OpNeg, t, rd, rd)
+	}
+}
+
+// DivPow2 emits rd = rs / 2^n with correct C (round toward zero)
+// semantics for signed types: negative dividends are biased by 2^n - 1
+// before the arithmetic shift.  rd may alias rs.
+func DivPow2(a *core.Asm, t core.Type, rd, rs core.Reg, n int) {
+	if n == 0 {
+		a.Unary(core.OpMov, t, rd, rs)
+		return
+	}
+	if !t.IsSigned() {
+		a.ALUI(core.OpRsh, t, rd, rs, int64(n))
+		return
+	}
+	width := 32
+	if t == core.TypeL {
+		width = 8 * a.Backend().PtrBytes()
+	}
+	tmp, err := a.GetReg(core.Temp)
+	if err != nil {
+		a.ALUI(core.OpDiv, t, rd, rs, 1<<n)
+		return
+	}
+	// tmp = (rs >> (w-1)) logical-shifted to the low n bits: the bias.
+	a.ALUI(core.OpRsh, t, tmp, rs, int64(width-1))
+	ut := core.TypeU
+	if width == 64 {
+		ut = core.TypeUL
+	}
+	a.ALUI(core.OpRsh, ut, tmp, tmp, int64(width-n))
+	a.ALU(core.OpAdd, t, tmp, tmp, rs)
+	a.ALUI(core.OpRsh, t, rd, tmp, int64(n))
+	a.PutReg(tmp)
+}
+
+// ModPow2 emits rd = rs % 2^n with C semantics (the result has the sign
+// of the dividend).  rd must not alias rs.
+func ModPow2(a *core.Asm, t core.Type, rd, rs core.Reg, n int) {
+	if n == 0 {
+		a.SetI(t, rd, 0)
+		return
+	}
+	if !t.IsSigned() {
+		a.ALUI(core.OpAnd, pickWordType(t), rd, rs, int64(1<<n)-1)
+		return
+	}
+	// rd = rs - (rs / 2^n) * 2^n.
+	DivPow2(a, t, rd, rs, n)
+	a.ALUI(core.OpLsh, pickWordType(t), rd, rd, int64(n))
+	a.ALU(core.OpSub, t, rd, rs, rd)
+}
+
+// pickWordType maps signed word types onto their shift/mask-legal
+// equivalents (and/lsh take i u l ul).
+func pickWordType(t core.Type) core.Type {
+	switch t {
+	case core.TypeP:
+		return core.TypeUL
+	default:
+		return t
+	}
+}
+
+// DivI emits rd = rs / k, reducing powers of two; other constants fall
+// back to the divide instruction.  rd must not alias rs for reduced
+// paths.
+func DivI(a *core.Asm, t core.Type, rd, rs core.Reg, k int64) {
+	if k > 0 && k&(k-1) == 0 {
+		DivPow2(a, t, rd, rs, bits.TrailingZeros64(uint64(k)))
+		return
+	}
+	a.ALUI(core.OpDiv, t, rd, rs, k)
+}
+
+// ModI emits rd = rs % k, reducing powers of two.
+func ModI(a *core.Asm, t core.Type, rd, rs core.Reg, k int64) {
+	if k > 0 && k&(k-1) == 0 {
+		ModPow2(a, t, rd, rs, bits.TrailingZeros64(uint64(k)))
+		return
+	}
+	a.ALUI(core.OpMod, t, rd, rs, k)
+}

@@ -1,0 +1,167 @@
+package reduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+func newMachine() (*mips.Backend, *core.Machine) {
+	b := mips.New()
+	m := mem.New(1<<22, false)
+	return b, core.NewMachine(b, mips.NewCPU(m), m)
+}
+
+func buildMul(bk core.Backend, k int64) (*core.Func, error) {
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := a.GetReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	MulI(a, core.TypeI, rd, args[0], k)
+	a.Reti(rd)
+	return a.End()
+}
+
+// TestMulReduction checks every interesting multiplier shape against
+// native multiplication semantics.
+func TestMulReduction(t *testing.T) {
+	bk, m := newMachine()
+	ks := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 17, 24, 31, 32, 33,
+		63, 64, 100, 255, 256, 1000, -1, -2, -3, -7, -8, -100}
+	for _, k := range ks {
+		fn, err := buildMul(bk, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for _, x := range []int32{0, 1, -1, 7, -13, 1 << 20, -(1 << 20), 2147483647} {
+			got, err := m.Call(fn, core.I(x))
+			if err != nil {
+				t.Fatalf("k=%d x=%d: %v", k, x, err)
+			}
+			want := int64(int32(int64(x) * k))
+			if got.Int() != want {
+				t.Errorf("mul %d * %d = %d, want %d", x, k, got.Int(), want)
+			}
+		}
+	}
+}
+
+// TestMulReductionShorter verifies the reducer actually avoids the
+// multiply instruction for reducible constants (MIPS mult is 2 words and
+// 12 cycles; a shift is 1 word, 1 cycle).
+func TestMulReductionShorter(t *testing.T) {
+	bk, m := newMachine()
+	cycles := func(k int64) uint64 {
+		fn, err := buildMul(bk, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.CPU().ResetStats()
+		if _, err := m.Call(fn, core.I(12345)); err != nil {
+			t.Fatal(err)
+		}
+		return m.CPU().Cycles()
+	}
+	if by8, by100 := cycles(8), cycles(100); by8 >= by100 {
+		t.Errorf("mul by 8 (%d cycles) should beat the mul fallback (%d cycles)", by8, by100)
+	}
+}
+
+// TestDivModPow2Quick property-tests the signed power-of-two reductions
+// against C semantics.
+func TestDivModPow2Quick(t *testing.T) {
+	bk, m := newMachine()
+	type pair struct{ div, mod *core.Func }
+	built := map[int]pair{}
+	for _, n := range []int{1, 2, 5, 12} {
+		a := core.NewAsm(bk)
+		args, err := a.Begin("%i", core.Leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := a.GetReg(core.Temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		DivPow2(a, core.TypeI, rd, args[0], n)
+		a.Reti(rd)
+		df, err := a.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2 := core.NewAsm(bk)
+		args, err = a2.Begin("%i", core.Leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err = a2.GetReg(core.Temp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ModPow2(a2, core.TypeI, rd, args[0], n)
+		a2.Reti(rd)
+		mf, err := a2.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		built[n] = pair{df, mf}
+	}
+	f := func(x int32, which uint8) bool {
+		ns := []int{1, 2, 5, 12}
+		n := ns[which%4]
+		k := int32(1) << n
+		d, err := m.Call(built[n].div, core.I(x))
+		if err != nil {
+			return false
+		}
+		r, err := m.Call(built[n].mod, core.I(x))
+		if err != nil {
+			return false
+		}
+		return d.Int() == int64(x/k) && r.Int() == int64(x%k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnsignedReduction checks the unsigned fast paths.
+func TestUnsignedReduction(t *testing.T) {
+	bk, m := newMachine()
+	a := core.NewAsm(bk)
+	args, err := a.Begin("%u", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := a.GetReg(core.Temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	DivI(a, core.TypeU, rd, args[0], 16)
+	r2, err := a.GetReg(core.Temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ModI(a, core.TypeU, r2, args[0], 16)
+	a.Muli(rd, rd, r2) // combine so one call checks both: (x/16)*(x%16)
+	a.Retu(rd)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.U(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1000 / 16 * (1000 % 16)); got.Uint() != want {
+		t.Fatalf("got %d, want %d", got.Uint(), want)
+	}
+}

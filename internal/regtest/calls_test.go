@@ -1,0 +1,231 @@
+package regtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BuildForwarder generates a caller that receives params, forwards them
+// all to callee via StartCall/SetArg (exercising outgoing stack
+// arguments), and returns the callee's result.
+func BuildForwarder(bk core.Backend, params []core.Type, callee *core.Func) (*core.Func, error) {
+	a := core.NewAsm(bk)
+	a.SetName("forwarder")
+	args, err := a.BeginTypes(params, core.NonLeaf)
+	if err != nil {
+		return nil, err
+	}
+	// Move incoming values into persistent registers first: the
+	// outgoing SetArg moves would otherwise overwrite incoming argument
+	// registers that later arguments still need.
+	saved := make([]core.Reg, len(args))
+	for i, t := range params {
+		var r core.Reg
+		if t.IsFloat() {
+			r, err = a.GetFReg(core.Var)
+		} else {
+			r, err = a.GetReg(core.Var)
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.Unary(core.OpMov, t, r, args[i])
+		saved[i] = r
+	}
+	sig := ""
+	for _, t := range params {
+		sig += "%" + t.Letter()
+	}
+	a.StartCall(sig)
+	for i, r := range saved {
+		a.SetArg(i, r)
+	}
+	a.CallFunc(callee)
+	res, err := a.GetFReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	a.RetVal(core.TypeD, res)
+	a.Retd(res)
+	return a.End()
+}
+
+// TestGeneratedCallerStackArgs exercises generated calls with up to 10
+// arguments — several of which travel on the stack on every target — by
+// forwarding through a generated caller into the weighted-sum callee.
+func TestGeneratedCallerStackArgs(t *testing.T) {
+	sigTypes := []core.Type{core.TypeI, core.TypeU, core.TypeL, core.TypeD, core.TypeF, core.TypeP}
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			ptr := tg.Backend.PtrBytes()
+			rng := rand.New(rand.NewSource(21))
+			for arity := 1; arity <= 10; arity++ {
+				for trial := 0; trial < 3; trial++ {
+					params := make([]core.Type, arity)
+					for i := range params {
+						params[i] = sigTypes[rng.Intn(len(sigTypes))]
+					}
+					callee, err := BuildWeightedSum(tg.Backend, params)
+					if err != nil {
+						t.Fatalf("%v: callee: %v", params, err)
+					}
+					fwd, err := BuildForwarder(tg.Backend, params, callee)
+					if err != nil {
+						// Register pressure at high arity is a legal
+						// failure mode; require success at low arity.
+						if arity <= 6 {
+							t.Fatalf("%v: forwarder: %v", params, err)
+						}
+						continue
+					}
+					args := make([]core.Value, arity)
+					for i, ty := range params {
+						switch ty {
+						case core.TypeD:
+							args[i] = core.D(float64(rng.Intn(1000)))
+						case core.TypeF:
+							args[i] = core.F(float32(rng.Intn(1000)))
+						case core.TypeP:
+							args[i] = core.P(uint64(rng.Intn(1 << 16)))
+						default:
+							args[i] = MakeValue(ty, uint64(int64(rng.Intn(1<<16))), ptr)
+						}
+					}
+					want := RefWeightedSum(params, args, ptr)
+					got, err := m.Call(fwd, args...)
+					if err != nil {
+						t.Fatalf("%v: %v", params, err)
+					}
+					if math.Abs(got.Float64()-want) > 1e-9 {
+						t.Errorf("%s forward %v = %v, want %v", tg.Name, params, got.Float64(), want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBranchRangeError pins the error for displacements beyond the
+// encodable range (the latent-bug class the paper calls out: "constants
+// that don't fit in immediate fields").
+func TestBranchRangeError(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			a := core.NewAsm(tg.Backend)
+			args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			far := a.NewLabel()
+			a.BrI(core.OpBeq, core.TypeI, args[0], 0, far)
+			// MIPS/SPARC branches reach far; Alpha's 21-bit reaches
+			// ~1M words, so emit past the shortest range (2^15 words
+			// on MIPS).
+			limit := 1 << 16
+			if tg.Name != "mips" {
+				t.Skip("only the 16-bit-displacement target needs the short-range check")
+			}
+			for i := 0; i < limit; i++ {
+				a.Nop()
+			}
+			a.Bind(far)
+			a.Reti(args[0])
+			_, err = a.End()
+			if err == nil {
+				t.Fatal("out-of-range branch should fail at End")
+			}
+		})
+	}
+}
+
+// TestPoolDeduplication checks identical float constants share one pool
+// entry and distinct ones do not collide.
+func TestPoolDeduplication(t *testing.T) {
+	tg := Targets()[0]
+	a := core.NewAsm(tg.Backend)
+	_, err := a.BeginTypes(nil, core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.GetFReg(core.Temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Setd(f, 3.25)
+	lenOne := -1
+	a.Setd(f, 3.25) // duplicate: no new pool entry
+	a.Setd(f, -3.25)
+	a.Retd(f)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lenOne
+	// Pool entries are 2 words each: expect exactly 2 distinct doubles.
+	poolRelocs := 0
+	for _, r := range fn.Relocs {
+		if r.Target == fn {
+			poolRelocs++
+		}
+	}
+	if poolRelocs != 3 {
+		t.Errorf("pool references = %d, want 3", poolRelocs)
+	}
+	addends := map[int64]bool{}
+	for _, r := range fn.Relocs {
+		if r.Target == fn {
+			addends[r.Addend] = true
+		}
+	}
+	if len(addends) != 2 {
+		t.Errorf("distinct pool entries = %d, want 2", len(addends))
+	}
+	// And the values execute correctly.
+	got, err := tg.NewMachine().Call(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float64() != -3.25 {
+		t.Errorf("got %v", got.Float64())
+	}
+}
+
+// TestFloatSpecialValues pushes infinities, tiny and negative-zero
+// constants through the pool and back.
+func TestFloatSpecialValues(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			for _, val := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), 5e-324, 1e308} {
+				a := core.NewAsm(tg.Backend)
+				if _, err := a.BeginTypes(nil, core.Leaf); err != nil {
+					t.Fatal(err)
+				}
+				f, err := a.GetFReg(core.Temp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Setd(f, val)
+				a.Retd(f)
+				fn, err := a.End()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Call(fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(got.Float64()) != math.Float64bits(val) {
+					t.Errorf("Setd(%v) returned %v", val, got.Float64())
+				}
+			}
+		})
+	}
+}

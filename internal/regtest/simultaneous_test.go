@@ -1,0 +1,62 @@
+package regtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSimultaneousConstruction interleaves the construction of two
+// functions on independent assemblers — the interface extension the
+// paper's footnote 1 promises ("in the future, this interface will be
+// extended so that clients can create several functions simultaneously").
+// Independent Asm instances make it fall out of the design.
+func TestSimultaneousConstruction(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			a1 := core.NewAsm(tg.Backend)
+			a2 := core.NewAsm(tg.Backend)
+
+			args1, err := a1.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			args2, err := a2.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interleave emission instruction by instruction.
+			a1.Addii(args1[0], args1[0], 1)
+			a2.Mulii(args2[0], args2[0], 3)
+			a1.Lshii(args1[0], args1[0], 2)
+			a2.Subii(args2[0], args2[0], 5)
+			a1.Reti(args1[0])
+			a2.Reti(args2[0])
+
+			fn2, err := a2.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn1, err := a1.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got1, err := m.Call(fn1, core.I(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got2, err := m.Call(fn2, core.I(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got1.Int() != (10+1)<<2 {
+				t.Errorf("fn1(10) = %d, want %d", got1.Int(), (10+1)<<2)
+			}
+			if got2.Int() != 10*3-5 {
+				t.Errorf("fn2(10) = %d, want %d", got2.Int(), 25)
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package regtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAsmReuse generates many functions through a single Asm (the paper's
+// one-function-at-a-time lifecycle) onto one machine and calls them all:
+// state from one function must never leak into the next.
+func TestAsmReuse(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			a := core.NewAsm(tg.Backend)
+			fns := make([]*core.Func, 60)
+			for i := range fns {
+				args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+				if err != nil {
+					t.Fatalf("fn %d: %v", i, err)
+				}
+				// Alternate shapes so leftover labels/pools would show.
+				switch i % 3 {
+				case 0:
+					a.Addii(args[0], args[0], int64(i))
+				case 1:
+					l := a.NewLabel()
+					a.Bltii(args[0], 0, l)
+					a.Addii(args[0], args[0], int64(i))
+					a.Bind(l)
+				case 2:
+					f, err := a.GetFReg(core.Temp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					a.Setd(f, float64(i))
+					r, err := a.GetReg(core.Temp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					a.Cvd2i(r, f)
+					a.Addi(args[0], args[0], r)
+				}
+				a.Reti(args[0])
+				fn, err := a.End()
+				if err != nil {
+					t.Fatalf("fn %d: %v", i, err)
+				}
+				fns[i] = fn
+			}
+			for i, fn := range fns {
+				got, err := m.Call(fn, core.I(1000))
+				if err != nil {
+					t.Fatalf("fn %d: %v", i, err)
+				}
+				want := int64(1000 + i)
+				if i%3 == 1 && 1000 >= 0 {
+					want = 1000 + int64(i)
+				}
+				if got.Int() != want {
+					t.Errorf("fn %d returned %d, want %d", i, got.Int(), want)
+				}
+			}
+		})
+	}
+}
+
+// TestManyInstallsGrowCodeRegion installs enough functions to span a
+// large code region and confirms the last still runs.
+func TestManyInstallsGrowCodeRegion(t *testing.T) {
+	tg := Targets()[0]
+	m := tg.NewMachine()
+	a := core.NewAsm(tg.Backend)
+	var last *core.Func
+	for i := 0; i < 300; i++ {
+		args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 50; j++ {
+			a.Addii(args[0], args[0], 1)
+		}
+		a.Reti(args[0])
+		fn, err := a.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Install(fn); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+		last = fn
+	}
+	got, err := m.Call(last, core.I(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 50 {
+		t.Fatalf("got %d", got.Int())
+	}
+}
+
+// TestRunawayGuard pins the MaxSteps backstop against non-terminating
+// generated code.
+func TestRunawayGuard(t *testing.T) {
+	tg := Targets()[0]
+	m := tg.NewMachine()
+	m.MaxSteps = 10000
+	a := core.NewAsm(tg.Backend)
+	if _, err := a.BeginTypes(nil, core.Leaf); err != nil {
+		t.Fatal(err)
+	}
+	l := a.NewLabel()
+	a.Bind(l)
+	a.Jmp(l)
+	a.Retv()
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(fn); err == nil {
+		t.Fatal("infinite loop should trip MaxSteps")
+	}
+}
+
+// TestMarkRelease reclaims code and heap space (the §5.2 deallocation
+// story): after Release, re-installation reuses the same addresses.
+func TestMarkRelease(t *testing.T) {
+	tg := Targets()[0]
+	m := tg.NewMachine()
+	build := func(k int64) *core.Func {
+		a := core.NewAsm(tg.Backend)
+		args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Addii(args[0], args[0], k)
+		a.Reti(args[0])
+		fn, err := a.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fn
+	}
+	mark := m.Mark()
+	f1 := build(1)
+	if err := m.Install(f1); err != nil {
+		t.Fatal(err)
+	}
+	addr1 := f1.Addr()
+	h1, err := m.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release(mark)
+	f2 := build(2)
+	if err := m.Install(f2); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Addr() != addr1 {
+		t.Errorf("released code space not reused: %#x vs %#x", f2.Addr(), addr1)
+	}
+	h2, err := m.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h1 {
+		t.Errorf("released heap not reused: %#x vs %#x", h2, h1)
+	}
+	got, err := m.Call(f2, core.I(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 42 {
+		t.Fatalf("replacement function returned %d", got.Int())
+	}
+}
+
+// TestBigFrames allocates many locals (well past the save area) and spills
+// through them.
+func TestBigFrames(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			a := core.NewAsm(tg.Backend)
+			args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 200
+			offs := make([]int64, n)
+			for i := range offs {
+				offs[i] = a.Local(core.TypeI)
+				a.Addii(args[0], args[0], 1)
+				a.StLocal(core.TypeI, args[0], offs[i])
+			}
+			acc, err := a.GetReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tmp, err := a.GetReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Seti(acc, 0)
+			for i := range offs {
+				a.LdLocal(core.TypeI, tmp, offs[i])
+				a.Addi(acc, acc, tmp)
+			}
+			a.Reti(acc)
+			fn, err := a.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Call(fn, core.I(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(n * (n + 1) / 2); got.Int() != want {
+				t.Fatalf("got %d, want %d", got.Int(), want)
+			}
+			if fn.FrameBytes < 4*n {
+				t.Errorf("frame %d bytes for %d locals", fn.FrameBytes, n)
+			}
+		})
+	}
+}

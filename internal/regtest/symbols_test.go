@@ -1,0 +1,127 @@
+package regtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDataSymbols registers a data table under a machine symbol,
+// materializes its address with SetSym, and indexes it from generated
+// code on every target.
+func TestDataSymbols(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			table, err := m.Alloc(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 16; i++ {
+				if err := m.Mem().Store(table+uint64(4*i), 4, uint64(i*i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.DefineSym("squares", table); err != nil {
+				t.Fatal(err)
+			}
+
+			a := core.NewAsm(tg.Backend)
+			args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptr, err := a.GetReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := a.GetReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.SetSym(ptr, "squares")
+			a.Lshii(idx, args[0], 2)
+			a.Ldi(args[0], ptr, idx) // register-offset load
+			a.Reti(args[0])
+			fn, err := a.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := int32(0); n < 16; n++ {
+				got, err := m.Call(fn, core.I(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Int() != int64(n*n) {
+					t.Errorf("squares[%d] = %d", n, got.Int())
+				}
+			}
+		})
+	}
+}
+
+// TestOpHelpers covers the client-facing Op utility methods.
+func TestOpHelpers(t *testing.T) {
+	if core.OpBlt.InvertBranch() != core.OpBge || core.OpBne.InvertBranch() != core.OpBeq {
+		t.Error("InvertBranch wrong")
+	}
+	if core.OpBlt.SwapBranch() != core.OpBgt || core.OpBeq.SwapBranch() != core.OpBeq {
+		t.Error("SwapBranch wrong")
+	}
+	if !core.OpAdd.IsCommutative() || core.OpSub.IsCommutative() {
+		t.Error("IsCommutative wrong")
+	}
+	if !core.OpBlt.IsBranch() || core.OpAdd.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	if len(core.BuiltinExtNames()) < 8 {
+		t.Error("builtin extension list too short")
+	}
+}
+
+// TestHardFPNames exercises the FT/FS hard-coded FP names on a target
+// that has them (MIPS) and the register-assertion failure on one that
+// does not (SPARC has no callee-saved FP bank exposed as FS?  it does
+// here; use an out-of-range index instead).
+func TestHardFPNames(t *testing.T) {
+	tg := Targets()[0]
+	m := tg.NewMachine()
+	a := core.NewAsm(tg.Backend)
+	args, err := a.BeginTypes([]core.Type{core.TypeD}, core.NonLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, fs, s0 := a.FT(0), a.FS(0), a.S(0)
+	if err := a.Err(); err != nil {
+		t.Fatalf("hard names: %v", err)
+	}
+	a.Movd(fs, args[0])
+	a.Addd(ft, args[0], fs)
+	a.Seti(s0, 0)
+	a.Retd(ft)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.D(3.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float64() != 7 {
+		t.Fatalf("got %v", got.Float64())
+	}
+	// FS use in a non-leaf must have forced a save (callee-saved FP).
+	if fn.FrameBytes == 0 {
+		t.Error("FS/S use should force a frame")
+	}
+	// Out-of-range hard names record the register assertion.
+	a2 := core.NewAsm(tg.Backend)
+	if _, err := a2.BeginTypes(nil, core.Leaf); err != nil {
+		t.Fatal(err)
+	}
+	a2.FT(99)
+	if a2.Err() == nil {
+		t.Error("FT(99) should fail the register assertion")
+	}
+}

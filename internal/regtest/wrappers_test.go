@@ -1,0 +1,220 @@
+package regtest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWrapperLayerComplete exercises every method of the generated
+// per-instruction layer (instructions_gen.go) by name on every target:
+// each family member must exist, emit without error, and the finished
+// function must link.  This is the executable form of Table 2's
+// completeness.
+func TestWrapperLayerComplete(t *testing.T) {
+	type family struct {
+		base  string
+		kind  string
+		types []string
+	}
+	intTypes := []string{"i", "u", "l", "ul", "p"}
+	wordTypes := []string{"i", "u", "l", "ul"}
+	allALU := []string{"i", "u", "l", "ul", "p", "f", "d"}
+	memTypes := []string{"c", "uc", "s", "us", "i", "u", "l", "ul", "p", "f", "d"}
+	families := []family{
+		{"Add", "alu", allALU}, {"Sub", "alu", allALU}, {"Mul", "alu", allALU},
+		{"Div", "alu", allALU}, {"Mod", "alu", intTypes},
+		{"And", "alu", wordTypes}, {"Or", "alu", wordTypes}, {"Xor", "alu", wordTypes},
+		{"Lsh", "alu", wordTypes}, {"Rsh", "alu", wordTypes},
+		{"Com", "unary", wordTypes}, {"Not", "unary", wordTypes},
+		{"Mov", "unary", allALU}, {"Neg", "unary", []string{"i", "l", "f", "d"}},
+		{"Set", "set", allALU},
+		{"Ld", "mem", memTypes}, {"St", "mem", memTypes},
+		{"Blt", "branch", allALU}, {"Ble", "branch", allALU}, {"Bgt", "branch", allALU},
+		{"Bge", "branch", allALU}, {"Beq", "branch", allALU}, {"Bne", "branch", allALU},
+		{"Ret", "ret", allALU},
+	}
+	cvt := map[string][]string{
+		"i":  {"u", "l", "ul", "f", "d"},
+		"u":  {"i", "l", "ul", "f", "d"},
+		"l":  {"i", "u", "ul", "p", "f", "d"},
+		"ul": {"i", "u", "l", "p", "f", "d"},
+		"p":  {"ul", "l"},
+		"f":  {"i", "l", "d"},
+		"d":  {"i", "l", "f"},
+	}
+
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			a := core.NewAsm(tg.Backend)
+			if _, err := a.BeginTypes(nil, core.NonLeaf); err != nil {
+				t.Fatal(err)
+			}
+			ir, err := a.GetReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ir2, err := a.GetReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr, err := a.GetFReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr2, err := a.GetFReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lbl := a.NewLabel()
+			a.Seti(ir, 0)
+			a.Seti(ir2, 8)
+			a.Setd(fr, 1)
+			a.Setd(fr2, 2)
+
+			av := reflect.ValueOf(a)
+			call := func(name string, args ...any) {
+				t.Helper()
+				m := av.MethodByName(name)
+				if !m.IsValid() {
+					t.Fatalf("missing generated method %s", name)
+				}
+				in := make([]reflect.Value, len(args))
+				for i, x := range args {
+					in[i] = reflect.ValueOf(x)
+				}
+				m.Call(in)
+				if err := a.Err(); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+			}
+			regFor := func(ty string) (core.Reg, core.Reg) {
+				if ty == "f" || ty == "d" {
+					return fr, fr2
+				}
+				return ir, ir2
+			}
+
+			for _, f := range families {
+				for _, ty := range f.types {
+					name := f.base + ty
+					r1, r2 := regFor(ty)
+					isFloat := ty == "f" || ty == "d"
+					switch f.kind {
+					case "alu":
+						call(name, r1, r1, r2)
+						if !isFloat {
+							call(name+"i", r1, r1, int64(3))
+						}
+					case "unary":
+						call(name, r1, r1)
+					case "set":
+						switch ty {
+						case "f":
+							call(name, fr, float32(1.5))
+						case "d":
+							call(name, fr, float64(2.5))
+						default:
+							call(name, r1, int64(9))
+						}
+					case "mem":
+						// Use a harmless stack address as the base; the
+						// code is never executed.
+						base := a.SP()
+						mr, _ := regFor(ty)
+						if f.base == "Ld" {
+							call(name, mr, base, ir2)
+							call(name+"i", mr, base, int64(8))
+						} else {
+							call(name, mr, base, ir2)
+							call(name+"i", mr, base, int64(8))
+						}
+					case "branch":
+						call(name, r1, r2, lbl)
+						if !isFloat {
+							call(name+"i", r1, int64(4), lbl)
+						}
+					case "ret":
+						call(name, r1)
+					}
+				}
+			}
+			for from, tos := range cvt {
+				for _, to := range tos {
+					r1, _ := regFor(to)
+					_, r2 := regFor(from)
+					call("Cv"+from+"2"+to, r1, r2)
+				}
+			}
+			call("Retv")
+			a.Bind(lbl)
+			call("Reti", ir)
+			fn, err := a.End()
+			if err != nil {
+				t.Fatalf("End: %v", err)
+			}
+			if fn.NumInsns < 250 {
+				t.Errorf("only %d instructions specified; the full layer should exceed 250", fn.NumInsns)
+			}
+			if !strings.Contains(fn.BackendName, tg.Name) {
+				t.Errorf("backend name %q", fn.BackendName)
+			}
+		})
+	}
+}
+
+// TestJalRegIndirect covers the call-through-register form on every
+// target by calling a helper whose address arrives in a register.
+func TestJalRegIndirect(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			bk := tg.Backend
+			a := core.NewAsm(bk)
+			args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Addii(args[0], args[0], 11)
+			a.Reti(args[0])
+			callee, err := a.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			a2 := core.NewAsm(bk)
+			args, err = a2.BeginTypes([]core.Type{core.TypeI}, core.NonLeaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptr, err := a2.GetReg(core.Var)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2.Setfunc(ptr, callee)
+			// No StartCall: the argument is already in the right
+			// register; JalReg is the raw v_jalp form.
+			a2.JalReg(ptr)
+			res, err := a2.GetReg(core.Temp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2.RetVal(core.TypeI, res)
+			a2.Reti(res)
+			caller, err := a2.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tg.NewMachine().Call(caller, core.I(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Int() != 15 {
+				t.Fatalf("got %d", got.Int())
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package sparc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func newMachine() (*Backend, *core.Machine) {
+	b := New()
+	m := mem.New(1<<24, true)
+	return b, core.NewMachine(b, NewCPU(m), m)
+}
+
+// TestFlatCalleeSaved checks the flat-model prologue/epilogue: values in
+// callee-saved %l registers survive a call.
+func TestFlatCalleeSaved(t *testing.T) {
+	b, m := newMachine()
+
+	a := core.NewAsm(b)
+	a.SetName("clobberer")
+	_, err := a.Begin("", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over every caller-saved register.
+	for _, r := range b.DefaultConv().CallerSaved {
+		a.Seti(r, 0x5a5a)
+	}
+	a.Retv()
+	clobberer, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a2 := core.NewAsm(b)
+	a2.SetName("keeper")
+	args, err := a2.Begin("%i", core.NonLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := a2.GetReg(core.Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2.Movi(kept, args[0])
+	a2.StartCall("")
+	a2.CallFunc(clobberer)
+	a2.Reti(kept)
+	keeper, err := a2.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(keeper, core.I(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 777 {
+		t.Fatalf("callee-saved value lost: got %d", got.Int())
+	}
+	if keeper.FrameBytes == 0 {
+		t.Error("keeper should have a frame")
+	}
+}
+
+// TestYRegisterDivision checks the wr %y / sdiv protocol for full 32-bit
+// operands.
+func TestYRegisterDivision(t *testing.T) {
+	b, m := newMachine()
+	a := core.NewAsm(b)
+	args, err := a.Begin("%i%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Divi(args[0], args[0], args[1])
+	a.Reti(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ x, y, want int32 }{
+		{100, 7, 14},
+		{-100, 7, -14},
+		{2147483647, 2, 1073741823},
+		{-2147483648, 2, -1073741824},
+	} {
+		got, err := m.Call(fn, core.I(tc.x), core.I(tc.y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int() != int64(tc.want) {
+			t.Errorf("div(%d,%d) = %d, want %d", tc.x, tc.y, got.Int(), tc.want)
+		}
+	}
+}
+
+// TestBigEndianMemory checks byte lane selection on the big-endian
+// target.
+func TestBigEndianMemory(t *testing.T) {
+	b, m := newMachine()
+	addr, err := m.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem().Store(addr, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	a := core.NewAsm(b)
+	args, err := a.Begin("%p", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Lduci(args[0], args[0], 0) // most significant byte on big-endian
+	a.Reti(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.P(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 0x11 {
+		t.Fatalf("byte 0 = %#x, want 0x11 (big-endian)", got.Int())
+	}
+}
+
+// TestRetAddrOffset checks SPARC's return-to-%o7+8 convention end to end
+// (it is exercised by every call, but pin it explicitly).
+func TestRetAddrOffset(t *testing.T) {
+	b, _ := newMachine()
+	if b.RetAddrOffset() != 8 {
+		t.Fatalf("RetAddrOffset = %d", b.RetAddrOffset())
+	}
+}
+
+// TestDoubleRegisterPairs checks doubles stored in even/odd pairs.
+func TestDoubleRegisterPairs(t *testing.T) {
+	b, m := newMachine()
+	a := core.NewAsm(b)
+	args, err := a.Begin("%d%d", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Muld(args[0], args[0], args[1])
+	a.Retd(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Call(fn, core.D(1.5), core.D(-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float64() != -6 {
+		t.Fatalf("1.5*-4 = %v", got.Float64())
+	}
+}
+
+// TestDisasm spot-checks the disassembler.
+func TestDisasm(t *testing.T) {
+	b := New()
+	buf := core.NewBuf(8)
+	if err := b.ALU(buf, core.OpAdd, core.TypeI, core.GPR(16), core.GPR(8), core.GPR(9)); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Disasm(buf.At(0), 0); !strings.Contains(s, "add %o0, %o1, %l0") {
+		t.Errorf("disasm: %q", s)
+	}
+	if s := b.Disasm(encNop, 0); s != "nop" {
+		t.Errorf("nop: %q", s)
+	}
+}

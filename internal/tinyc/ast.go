@@ -1,0 +1,160 @@
+package tinyc
+
+import "repro/internal/core"
+
+// CType is a tiny-C type.
+type CType uint8
+
+const (
+	// CInt is a 32-bit signed integer.
+	CInt CType = iota
+	// CDouble is a double-precision float.
+	CDouble
+)
+
+func (t CType) String() string {
+	if t == CDouble {
+		return "double"
+	}
+	return "int"
+}
+
+// VType maps a tiny-C type to its VCODE type.
+func (t CType) VType() core.Type {
+	if t == CDouble {
+		return core.TypeD
+	}
+	return core.TypeI
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    CType
+	Params []Param
+	Body   *Block
+	Line   int
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Name string
+	Type CType
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares (and optionally initializes) a local variable.
+type DeclStmt struct {
+	Name string
+	Type CType
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to a variable.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// ReturnStmt returns a value.
+type ReturnStmt struct {
+	Val  Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// WhileStmt is a while (or desugared for) loop; Post, when present, runs
+// after the body and is the target of continue.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Post Stmt
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for effect (a call, usually).
+type ExprStmt struct{ X Expr }
+
+func (*Block) stmt()        {}
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*ReturnStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating literal.
+type FloatLit struct{ V float64 }
+
+// VarRef references a variable.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// BinExpr is a binary operation ("+", "==", "&&", ...).
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is unary ("-" or "!").
+type UnExpr struct {
+	Op string
+	X  Expr
+}
+
+// CastExpr is an explicit conversion.
+type CastExpr struct {
+	To CType
+	X  Expr
+}
+
+// CallExpr calls a named function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) expr()   {}
+func (*FloatLit) expr() {}
+func (*VarRef) expr()   {}
+func (*BinExpr) expr()  {}
+func (*UnExpr) expr()   {}
+func (*CastExpr) expr() {}
+func (*CallExpr) expr() {}

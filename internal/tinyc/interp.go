@@ -1,0 +1,356 @@
+package tinyc
+
+import "fmt"
+
+// Interp is a reference AST interpreter for tiny-C.  It exists for
+// differential testing: the compiled code running on a simulated target
+// must agree with direct interpretation — and it is the layer of
+// interpretation that dynamic code generation strips (§1).
+type Interp struct {
+	prog  *Program
+	sigs  map[string]*FuncDecl
+	steps int
+}
+
+// NewInterp builds an interpreter over a parsed program.
+func NewInterp(prog *Program) *Interp {
+	in := &Interp{prog: prog, sigs: map[string]*FuncDecl{}}
+	for _, f := range prog.Funcs {
+		in.sigs[f.Name] = f
+	}
+	return in
+}
+
+// CVal is an interpreter value.
+type CVal struct {
+	T CType
+	I int32
+	D float64
+}
+
+// IntV wraps an int value.
+func IntV(v int32) CVal { return CVal{T: CInt, I: v} }
+
+// DblV wraps a double value.
+func DblV(v float64) CVal { return CVal{T: CDouble, D: v} }
+
+func (v CVal) toI() int32 {
+	if v.T == CDouble {
+		return int32(v.D)
+	}
+	return v.I
+}
+
+func (v CVal) toD() float64 {
+	if v.T == CDouble {
+		return v.D
+	}
+	return float64(v.I)
+}
+
+func (v CVal) truthy() bool {
+	if v.T == CDouble {
+		return v.D != 0
+	}
+	return v.I != 0
+}
+
+type interpFrame struct {
+	vars []map[string]*CVal
+}
+
+func (f *interpFrame) lookup(name string) (*CVal, bool) {
+	for i := len(f.vars) - 1; i >= 0; i-- {
+		if v, ok := f.vars[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+type ctlFlow uint8
+
+const (
+	flowNormal ctlFlow = iota
+	flowReturn
+	flowBreak
+	flowContinue
+)
+
+// Call interprets a function.
+func (in *Interp) Call(name string, args ...CVal) (CVal, error) {
+	fd, ok := in.sigs[name]
+	if !ok {
+		return CVal{}, fmt.Errorf("interp: no function %q", name)
+	}
+	if len(args) != len(fd.Params) {
+		return CVal{}, fmt.Errorf("interp: %s takes %d args, got %d", name, len(fd.Params), len(args))
+	}
+	in.steps++
+	if in.steps > 1<<22 {
+		return CVal{}, fmt.Errorf("interp: step budget exceeded")
+	}
+	fr := &interpFrame{vars: []map[string]*CVal{{}}}
+	for i, p := range fd.Params {
+		v := convertVal(args[i], p.Type)
+		fr.vars[0][p.Name] = &v
+	}
+	rv, flow, err := in.stmt(fr, fd.Body)
+	if err != nil {
+		return CVal{}, err
+	}
+	if flow != flowReturn {
+		rv = convertVal(IntV(0), fd.Ret)
+	}
+	return convertVal(rv, fd.Ret), nil
+}
+
+func convertVal(v CVal, to CType) CVal {
+	if v.T == to {
+		return v
+	}
+	if to == CDouble {
+		return DblV(v.toD())
+	}
+	return IntV(v.toI())
+}
+
+func (in *Interp) stmt(fr *interpFrame, s Stmt) (CVal, ctlFlow, error) {
+	switch st := s.(type) {
+	case *Block:
+		fr.vars = append(fr.vars, map[string]*CVal{})
+		defer func() { fr.vars = fr.vars[:len(fr.vars)-1] }()
+		for _, x := range st.Stmts {
+			v, flow, err := in.stmt(fr, x)
+			if err != nil || flow != flowNormal {
+				return v, flow, err
+			}
+		}
+		return CVal{}, flowNormal, nil
+	case *DeclStmt:
+		v := convertVal(IntV(0), st.Type)
+		if st.Init != nil {
+			iv, err := in.expr(fr, st.Init)
+			if err != nil {
+				return CVal{}, flowNormal, err
+			}
+			v = convertVal(iv, st.Type)
+		}
+		fr.vars[len(fr.vars)-1][st.Name] = &v
+		return CVal{}, flowNormal, nil
+	case *AssignStmt:
+		slot, ok := fr.lookup(st.Name)
+		if !ok {
+			return CVal{}, flowNormal, fmt.Errorf("interp: undefined %q", st.Name)
+		}
+		v, err := in.expr(fr, st.Val)
+		if err != nil {
+			return CVal{}, flowNormal, err
+		}
+		*slot = convertVal(v, slot.T)
+		return CVal{}, flowNormal, nil
+	case *ReturnStmt:
+		v, err := in.expr(fr, st.Val)
+		return v, flowReturn, err
+	case *IfStmt:
+		c, err := in.expr(fr, st.Cond)
+		if err != nil {
+			return CVal{}, flowNormal, err
+		}
+		if c.truthy() {
+			return in.stmt(fr, st.Then)
+		}
+		if st.Else != nil {
+			return in.stmt(fr, st.Else)
+		}
+		return CVal{}, flowNormal, nil
+	case *WhileStmt:
+		for {
+			c, err := in.expr(fr, st.Cond)
+			if err != nil {
+				return CVal{}, flowNormal, err
+			}
+			if !c.truthy() {
+				return CVal{}, flowNormal, nil
+			}
+			in.steps++
+			if in.steps > 1<<22 {
+				return CVal{}, flowNormal, fmt.Errorf("interp: step budget exceeded")
+			}
+			v, flow, err := in.stmt(fr, st.Body)
+			if err != nil {
+				return CVal{}, flowNormal, err
+			}
+			switch flow {
+			case flowReturn:
+				return v, flowReturn, nil
+			case flowBreak:
+				return CVal{}, flowNormal, nil
+			}
+			// Normal completion and continue both run the post clause.
+			if st.Post != nil {
+				if _, _, err := in.stmt(fr, st.Post); err != nil {
+					return CVal{}, flowNormal, err
+				}
+			}
+		}
+	case *BreakStmt:
+		return CVal{}, flowBreak, nil
+	case *ContinueStmt:
+		return CVal{}, flowContinue, nil
+	case *ExprStmt:
+		_, err := in.expr(fr, st.X)
+		return CVal{}, flowNormal, err
+	}
+	return CVal{}, flowNormal, fmt.Errorf("interp: unknown stmt %T", s)
+}
+
+func (in *Interp) expr(fr *interpFrame, e Expr) (CVal, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return IntV(int32(ex.V)), nil
+	case *FloatLit:
+		return DblV(ex.V), nil
+	case *VarRef:
+		v, ok := fr.lookup(ex.Name)
+		if !ok {
+			return CVal{}, fmt.Errorf("interp: undefined %q", ex.Name)
+		}
+		return *v, nil
+	case *UnExpr:
+		v, err := in.expr(fr, ex.X)
+		if err != nil {
+			return CVal{}, err
+		}
+		switch ex.Op {
+		case "-":
+			if v.T == CDouble {
+				return DblV(-v.D), nil
+			}
+			return IntV(-v.I), nil
+		case "!":
+			if v.truthy() {
+				return IntV(0), nil
+			}
+			return IntV(1), nil
+		}
+		return CVal{}, fmt.Errorf("interp: unary %q", ex.Op)
+	case *CastExpr:
+		v, err := in.expr(fr, ex.X)
+		if err != nil {
+			return CVal{}, err
+		}
+		return convertVal(v, ex.To), nil
+	case *CallExpr:
+		args := make([]CVal, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := in.expr(fr, a)
+			if err != nil {
+				return CVal{}, err
+			}
+			args[i] = v
+		}
+		return in.Call(ex.Name, args...)
+	case *BinExpr:
+		if ex.Op == "&&" || ex.Op == "||" {
+			l, err := in.expr(fr, ex.L)
+			if err != nil {
+				return CVal{}, err
+			}
+			if ex.Op == "&&" && !l.truthy() {
+				return IntV(0), nil
+			}
+			if ex.Op == "||" && l.truthy() {
+				return IntV(1), nil
+			}
+			r, err := in.expr(fr, ex.R)
+			if err != nil {
+				return CVal{}, err
+			}
+			if r.truthy() {
+				return IntV(1), nil
+			}
+			return IntV(0), nil
+		}
+		l, err := in.expr(fr, ex.L)
+		if err != nil {
+			return CVal{}, err
+		}
+		r, err := in.expr(fr, ex.R)
+		if err != nil {
+			return CVal{}, err
+		}
+		if l.T == CDouble || r.T == CDouble {
+			a, b := l.toD(), r.toD()
+			switch ex.Op {
+			case "+":
+				return DblV(a + b), nil
+			case "-":
+				return DblV(a - b), nil
+			case "*":
+				return DblV(a * b), nil
+			case "/":
+				return DblV(a / b), nil
+			case "<":
+				return boolV(a < b), nil
+			case "<=":
+				return boolV(a <= b), nil
+			case ">":
+				return boolV(a > b), nil
+			case ">=":
+				return boolV(a >= b), nil
+			case "==":
+				return boolV(a == b), nil
+			case "!=":
+				return boolV(a != b), nil
+			}
+			return CVal{}, fmt.Errorf("interp: double op %q", ex.Op)
+		}
+		a, b := l.I, r.I
+		switch ex.Op {
+		case "+":
+			return IntV(a + b), nil
+		case "-":
+			return IntV(a - b), nil
+		case "*":
+			return IntV(a * b), nil
+		case "/":
+			if b == 0 {
+				return IntV(0), nil // matches the machine helpers
+			}
+			if a == -2147483648 && b == -1 {
+				return IntV(a), nil
+			}
+			return IntV(a / b), nil
+		case "%":
+			if b == 0 {
+				return IntV(0), nil
+			}
+			if a == -2147483648 && b == -1 {
+				return IntV(0), nil
+			}
+			return IntV(a % b), nil
+		case "<":
+			return boolV(a < b), nil
+		case "<=":
+			return boolV(a <= b), nil
+		case ">":
+			return boolV(a > b), nil
+		case ">=":
+			return boolV(a >= b), nil
+		case "==":
+			return boolV(a == b), nil
+		case "!=":
+			return boolV(a != b), nil
+		}
+		return CVal{}, fmt.Errorf("interp: int op %q", ex.Op)
+	}
+	return CVal{}, fmt.Errorf("interp: unknown expr %T", e)
+}
+
+func boolV(b bool) CVal {
+	if b {
+		return IntV(1)
+	}
+	return IntV(0)
+}

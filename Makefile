@@ -1,0 +1,14 @@
+# The CI entry point (.github/workflows/ci.yml runs the same steps).
+verify:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+	go run ./cmd/cgbench -cache -requests 50000
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchtime 1s .
+
+.PHONY: verify test bench

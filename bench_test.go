@@ -6,6 +6,7 @@ import (
 	"repro/internal/alpha"
 	"repro/internal/ash"
 	"repro/internal/cgbench"
+	"repro/internal/codecache"
 	"repro/internal/core"
 	"repro/internal/dcg"
 	"repro/internal/dpf"
@@ -207,6 +208,7 @@ func BenchmarkTable3DPFCompile(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	e.DisableCache() // measure the compiler, not the classifier cache's hit path
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := e.Install(w.Filters); err != nil {
@@ -368,6 +370,96 @@ func benchStrength(b *testing.B, reduced bool) {
 
 func BenchmarkStrengthReduced(b *testing.B) { benchStrength(b, true) }
 func BenchmarkStrengthNative(b *testing.B)  { benchStrength(b, false) }
+
+// ---- Code cache (internal/codecache): the concurrent compiled-function
+// cache over the JIT.  Hit is the steady-state fast path every cached
+// lookup pays; MissCompile is the full cold cost (compile + install +
+// evict the displaced entry's code region); Concurrent is a mixed
+// hot/cold stream across goroutines through the sharded maps. ----
+
+func benchCacheMachine(b *testing.B, capacity int) (*jit.Machine, *codecache.Cache) {
+	b.Helper()
+	m := jit.NewMachine(mem.Uncosted)
+	return m, codecache.New(codecache.Config{Machine: m.Core(), MaxEntries: capacity})
+}
+
+func BenchmarkCodeCacheHit(b *testing.B) {
+	m, c := benchCacheMachine(b, 8)
+	f := jit.Synthetic(1)
+	key := f.CacheKey()
+	compile := func() (*core.Func, error) { return m.Compile(f) }
+	if _, err := c.GetOrCompile(key, compile); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetOrCompile(key, compile); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := c.Snapshot(); s.Compiles != 1 {
+		b.Fatalf("hit benchmark compiled %d times", s.Compiles)
+	}
+}
+
+// BenchmarkCodeCacheMissCompile alternates two same-sized functions
+// through a capacity-1 cache, so every request is a miss that compiles,
+// installs into the hole the previous eviction freed, and evicts its
+// predecessor: the complete cold-path cycle.
+func BenchmarkCodeCacheMissCompile(b *testing.B) {
+	m, c := benchCacheMachine(b, 1)
+	fs := []*jit.Func{jit.Synthetic(1), jit.Synthetic(2)}
+	keys := []string{fs[0].CacheKey(), fs[1].CacheKey()}
+	compile := func(i int) func() (*core.Func, error) {
+		return func() (*core.Func, error) { return m.Compile(fs[i]) }
+	}
+	compiles := []func() (*core.Func, error){compile(0), compile(1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetOrCompile(keys[i&1], compiles[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := c.Snapshot(); b.N > 2 && s.Hits > uint64(b.N)/2 {
+		b.Fatalf("miss benchmark mostly hit: %+v", s)
+	}
+}
+
+func BenchmarkCodeCacheConcurrent(b *testing.B) {
+	const nkeys, hot = 64, 8
+	m, c := benchCacheMachine(b, 16)
+	keys := make([]string, nkeys)
+	compiles := make([]func() (*core.Func, error), nkeys)
+	for i := range keys {
+		f := jit.Synthetic(int32(i))
+		keys[i] = f.CacheKey()
+		compiles[i] = func() (*core.Func, error) { return m.Compile(f) }
+	}
+	for i := 0; i < hot; i++ { // warm the hot set
+		if _, err := c.GetOrCompile(keys[i], compiles[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := i % hot // ~95% hot keys, 5% cold tail forcing eviction churn
+			if i%20 == 19 {
+				k = hot + (i/20)%(nkeys-hot)
+			}
+			if _, err := c.GetOrCompile(keys[k], compiles[k]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
 
 // ---- E8: portable delay-slot scheduling (§5.3) ----
 //

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/mem"
+)
+
+// runCacheBench drives the concurrent code-cache subsystem end to end: a
+// mixed key stream of bytecode functions compiled and executed across
+// goroutines.  It demonstrates — and *verifies*, exiting nonzero on
+// violation — the cache's three contract points:
+//
+//  1. single-flight: N concurrent requests for one cold key trigger
+//     exactly one compile;
+//  2. warm cache: repeated keys are served with zero recompiles (the hit
+//     path does no code generation);
+//  3. eviction: under a key stream larger than capacity, resident
+//     simulator code memory stays bounded while total compiled bytes
+//     grow without bound.
+func runCacheBench(workers, keys, capacity, requests int) error {
+	if workers <= 0 {
+		// At least 4 even on small hosts: the point is contention, not
+		// parallel speedup.
+		workers = max(4, runtime.GOMAXPROCS(0))
+	}
+	if keys <= capacity {
+		return fmt.Errorf("need -keys (%d) > -capacity (%d) to exercise eviction", keys, capacity)
+	}
+	m, err := jit.NewMachineTarget("mips", mem.Uncosted)
+	if err != nil {
+		return err
+	}
+	cache := codecache.New(codecache.Config{Machine: m.Core(), MaxEntries: capacity})
+
+	progs := make([]*jit.Func, keys)
+	cacheKeys := make([]string, keys)
+	for i := range progs {
+		progs[i] = jit.Synthetic(int32(i))
+		cacheKeys[i] = progs[i].CacheKey()
+	}
+	// f(10) for Synthetic(k) is sum i*i + k for i in 1..10 = 385 + 10k.
+	const arg, sumSq = 10, 385
+	exec := func(i int) error {
+		fn, err := cache.GetOrCompile(cacheKeys[i], func() (*core.Func, error) {
+			return m.Compile(progs[i])
+		})
+		if err != nil {
+			return err
+		}
+		got, _, err := m.Run(fn, arg)
+		if err != nil {
+			return err
+		}
+		if want := int32(sumSq + arg*i); got != want {
+			return fmt.Errorf("key %d: got %d, want %d (cache served wrong code)", i, got, want)
+		}
+		return nil
+	}
+
+	fail := 0
+	check := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			fail++
+		}
+		fmt.Printf("  [%s] %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	// --- phase 1: single-flight on a cold key ---
+	fmt.Printf("code cache: %d workers, %d keys, capacity %d, %d requests\n\n", workers, keys, capacity, requests)
+	fmt.Println("phase 1: single-flight (all workers rush one cold key)")
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := exec(0); err != nil {
+				errs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := cache.Snapshot()
+	check(errs.Load() == 0, "all %d rushed requests succeeded", workers)
+	check(s.Compiles == 1, "compiles = %d (want exactly 1 for %d concurrent requests)", s.Compiles, workers)
+	check(s.Misses == 1 && s.Hits+s.Coalesced == uint64(workers-1),
+		"1 miss, %d hits + %d coalesced", s.Hits, s.Coalesced)
+
+	// --- phase 2: warm-cache throughput, zero recompiles ---
+	fmt.Println("\nphase 2: warm cache (mixed hot-key stream, every worker)")
+	hot := capacity
+	for i := 0; i < hot; i++ {
+		if err := exec(i); err != nil {
+			return err
+		}
+	}
+	before := cache.Snapshot()
+	for _, w := range []int{1, workers} {
+		start := time.Now()
+		var wg2 sync.WaitGroup
+		per := requests / w
+		for g := 0; g < w; g++ {
+			wg2.Add(1)
+			go func(g int) {
+				defer wg2.Done()
+				for i := 0; i < per; i++ {
+					k := cacheKeys[(g+i*7)%hot]
+					if _, ok := cache.Get(k); !ok {
+						errs.Add(1)
+					}
+				}
+			}(g)
+		}
+		wg2.Wait()
+		el := time.Since(start)
+		fmt.Printf("  %2d worker(s): %9.0f lookups/sec (%v for %d)\n",
+			w, float64(per*w)/el.Seconds(), el.Round(time.Microsecond), per*w)
+	}
+	// A slice of the stream also executes, to show the hit path feeds
+	// straight into the simulator.
+	var wg3 sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg3.Add(1)
+		go func(g int) {
+			defer wg3.Done()
+			for i := 0; i < 50; i++ {
+				if err := exec((g + i) % hot); err != nil {
+					errs.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg3.Wait()
+	after := cache.Snapshot()
+	check(errs.Load() == 0, "warm stream served without errors")
+	check(after.Compiles == before.Compiles,
+		"recompiles during warm stream = %d (hit path does no codegen)", after.Compiles-before.Compiles)
+
+	// --- phase 3: eviction bounds resident code under overflow ---
+	fmt.Println("\nphase 3: eviction (key stream larger than capacity)")
+	maxFn := 0
+	var wg4 sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg4.Add(1)
+		go func(g int) {
+			defer wg4.Done()
+			for i := 0; i < 2*keys/workers+1; i++ {
+				if err := exec((g*keys/workers + i) % keys); err != nil {
+					errs.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg4.Wait()
+	for i := 0; i < keys; i++ { // any resident function bounds the size of all (same shape)
+		if fn, ok := cache.Get(cacheKeys[i]); ok && fn.SizeBytes() > maxFn {
+			maxFn = fn.SizeBytes()
+		}
+	}
+	s = cache.Snapshot()
+	resident := m.Core().CodeBytesResident()
+	totalCompiled := uint64(s.Compiles) * uint64(maxFn)
+	bound := uint64(capacity+1)*uint64(maxFn+64) + 4096 // +1 in-flight, divide-helper slack
+	check(errs.Load() == 0, "overflow stream served without errors")
+	check(s.Entries <= int64(capacity), "entries %d <= capacity %d", s.Entries, capacity)
+	check(s.Evictions > 0, "evictions = %d (overflow stream must evict)", s.Evictions)
+	check(resident <= bound,
+		"resident code %d bytes <= bound %d (total ever compiled ≈ %d bytes)", resident, bound, totalCompiled)
+
+	fmt.Println("\n" + cache.Snapshot().String())
+	if fail > 0 {
+		return fmt.Errorf("%d invariant(s) violated", fail)
+	}
+	return nil
+}

@@ -2,6 +2,11 @@
 // comparison (abstract, §5.1, §5.3, §7): VCODE against the DCG-style
 // IR-building baseline, plus the hard-coded-register and raw-emitter fast
 // paths, reported as host nanoseconds per generated instruction.
+//
+// With -cache it instead drives the concurrent code-cache subsystem
+// (internal/codecache) with a mixed key stream across goroutines,
+// verifying single-flight compilation, the zero-recompile warm path and
+// eviction-bounded resident code memory.
 package main
 
 import (
@@ -18,15 +23,25 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 2000, "workload repetitions per system")
+	cacheMode := flag.Bool("cache", false, "drive the concurrent code-cache subsystem instead")
+	workers := flag.Int("workers", 0, "cache mode: concurrent workers (0 = GOMAXPROCS)")
+	keys := flag.Int("keys", 64, "cache mode: distinct functions in the key stream")
+	capacity := flag.Int("capacity", 16, "cache mode: cache capacity in entries")
+	requests := flag.Int("requests", 200000, "cache mode: warm-phase lookup requests")
 	flag.Parse()
 
-	bk := mips.New()
 	die := func(err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cgbench:", err)
 			os.Exit(1)
 		}
 	}
+	if *cacheMode {
+		die(runCacheBench(*workers, *keys, *capacity, *requests))
+		return
+	}
+
+	bk := mips.New()
 
 	measure := func(f func() (int, error)) float64 {
 		// One warm-up, then time.

@@ -1,0 +1,391 @@
+// Package codecache is a concurrency-safe cache of compiled functions —
+// the layer that turns the paper's one-shot dynamic code generation into a
+// service shape: adaptive JIT compilation and DPF demultiplexing (§1,
+// §4.2) win only when generated code is *reused*, so the compile results
+// are kept keyed by a client-supplied content hash of their source
+// (bytecode, filter spec, vasm text).
+//
+// The cache is sharded (per-shard lock + LRU list, a global touch clock
+// ordering eviction across shards), deduplicates concurrent compiles of
+// the same key into a single flight, and bounds capacity by entry count
+// and by resident code bytes.  When bound to a core.Machine it installs
+// compiled functions on insert and reclaims their simulated code memory on
+// eviction through Machine.Uninstall — the eager, out-of-order complement
+// to the paper's stack-style Mark/Release arena (§5.2).
+package codecache
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// CompileFunc produces the function for a key on a cache miss.  It runs
+// without any cache lock held, so it may itself use the machine (allocate
+// dispatch tables, define symbols).
+type CompileFunc func() (*core.Func, error)
+
+// Config sizes a Cache.
+type Config struct {
+	// Shards is the number of lock domains (rounded up to a power of
+	// two; default 8).  Use 1 for strict global LRU order.
+	Shards int
+	// MaxEntries bounds the cached function count (0 = unlimited).
+	MaxEntries int
+	// MaxCodeBytes bounds the summed SizeBytes of cached functions
+	// (0 = unlimited).
+	MaxCodeBytes int64
+	// Machine, when set, receives Install on insert and Uninstall on
+	// eviction, so eviction actually frees simulator code memory.
+	Machine *core.Machine
+}
+
+// Cache is a sharded, single-flight, LRU-evicting map from content hash to
+// compiled function.  The zero value is not usable; call New.
+type Cache struct {
+	machine    *core.Machine
+	maxEntries int
+	maxBytes   int64
+	shards     []*shard
+	mask       uint32
+
+	// clock is a global touch counter: every hit or insert stamps the
+	// entry, and eviction picks the smallest stamp among the shard LRU
+	// tails — exact LRU per shard, near-exact globally.
+	clock atomic.Uint64
+
+	hits, misses, coalesced     atomic.Uint64
+	evictions, compiles         atomic.Uint64
+	compileErrors, compileNanos atomic.Uint64
+	entries, codeBytes          atomic.Int64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	// LRU list head (most recent) and tail (eviction candidate); only
+	// ready entries are linked.
+	head, tail *entry
+}
+
+type entry struct {
+	key   string
+	fn    *core.Func
+	err   error
+	size  int64
+	stamp uint64
+	// done is closed when the flight finishes (fn or err is set); ready
+	// marks the entry linked into the LRU and visible as a hit.
+	done  chan struct{}
+	ready bool
+
+	prev, next *entry
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 8
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Cache{
+		machine:    cfg.Machine,
+		maxEntries: cfg.MaxEntries,
+		maxBytes:   cfg.MaxCodeBytes,
+		shards:     make([]*shard, pow),
+		mask:       uint32(pow - 1),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{entries: make(map[string]*entry)}
+	}
+	return c
+}
+
+// HashKey condenses arbitrary client content into a cache key (FNV-1a).
+// Clients hash whatever determines the generated code: source bytecode,
+// a filter specification, assembly text.
+func HashKey(content string) string {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(content); i++ {
+		h ^= uint64(content[i])
+		h *= prime
+	}
+	return strconv.FormatUint(h, 16)
+}
+
+func (c *Cache) shard(key string) *shard {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime
+	}
+	return c.shards[h&c.mask]
+}
+
+// GetOrCompile returns the cached function for key, compiling (and, when a
+// machine is bound, installing) it on a miss.  Concurrent calls for the
+// same key coalesce into one compile: exactly one caller runs compile, the
+// rest wait for its result.  Failed compiles are not cached — the next
+// request retries.
+func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if e.ready {
+			e.stamp = c.clock.Add(1)
+			s.moveToFront(e)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e.fn, nil
+		}
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.fn, nil
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	start := time.Now()
+	fn, err := compile()
+	c.compileNanos.Add(uint64(time.Since(start)))
+	if err == nil {
+		c.compiles.Add(1)
+		if c.machine != nil {
+			err = c.machine.Install(fn)
+		}
+	}
+	if err != nil {
+		c.compileErrors.Add(1)
+		s.mu.Lock()
+		delete(s.entries, key)
+		s.mu.Unlock()
+		e.err = err
+		close(e.done)
+		return nil, err
+	}
+	e.fn = fn
+	e.size = int64(fn.SizeBytes())
+	s.mu.Lock()
+	e.stamp = c.clock.Add(1)
+	e.ready = true
+	s.pushFront(e)
+	s.mu.Unlock()
+	c.entries.Add(1)
+	c.codeBytes.Add(e.size)
+	close(e.done)
+	c.enforce()
+	return fn, nil
+}
+
+// Get returns the cached function for key without compiling, counting a
+// hit when present.  It does not wait for an in-flight compile.
+func (c *Cache) Get(key string) (*core.Func, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok || !e.ready {
+		s.mu.Unlock()
+		return nil, false
+	}
+	e.stamp = c.clock.Add(1)
+	s.moveToFront(e)
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return e.fn, true
+}
+
+// Contains reports whether key is cached and ready, without touching LRU
+// order or metrics.
+func (c *Cache) Contains(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	ready := ok && e.ready
+	s.mu.Unlock()
+	return ready
+}
+
+// Len returns the number of ready entries.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Invalidate drops key from the cache (uninstalling its function when a
+// machine is bound), reporting whether it was present.  In-flight compiles
+// are not interrupted.
+func (c *Cache) Invalidate(key string) bool {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok || !e.ready {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.entries, key)
+	s.unlink(e)
+	s.mu.Unlock()
+	c.drop(e, false)
+	return true
+}
+
+// over reports whether a capacity bound is exceeded.
+func (c *Cache) over() bool {
+	if c.maxEntries > 0 && int(c.entries.Load()) > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.codeBytes.Load() > c.maxBytes
+}
+
+// enforce evicts least-recently-used entries until within capacity.  The
+// globally most-recently-touched entry is never evicted, so a single
+// oversized function does not evict itself out from under its caller.
+func (c *Cache) enforce() {
+	for c.over() {
+		var vs *shard
+		var victim *entry
+		var victimStamp, newest uint64
+		for _, s := range c.shards {
+			s.mu.Lock()
+			if s.head != nil && s.head.stamp > newest {
+				newest = s.head.stamp
+			}
+			if t := s.tail; t != nil && (victim == nil || t.stamp < victimStamp) {
+				vs, victim, victimStamp = s, t, t.stamp
+			}
+			s.mu.Unlock()
+		}
+		if victim == nil || victimStamp == newest {
+			return
+		}
+		vs.mu.Lock()
+		// Re-check under the lock: the victim may have been touched or
+		// removed since the scan.
+		if e, ok := vs.entries[victim.key]; !ok || e != victim || victim != vs.tail {
+			vs.mu.Unlock()
+			continue
+		}
+		delete(vs.entries, victim.key)
+		vs.unlink(victim)
+		vs.mu.Unlock()
+		c.drop(victim, true)
+	}
+}
+
+// drop finalizes a removed entry: bookkeeping plus machine uninstall.
+func (c *Cache) drop(e *entry, evicted bool) {
+	c.entries.Add(-1)
+	c.codeBytes.Add(-e.size)
+	if evicted {
+		c.evictions.Add(1)
+	}
+	if c.machine != nil {
+		// A racing caller may already be re-running the function (Call
+		// re-installs on demand), so a failed uninstall is not fatal.
+		_ = c.machine.Uninstall(e.fn)
+	}
+}
+
+// --- intrusive LRU list (entries are linked only while ready) ---
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Metrics is a point-in-time snapshot of cache activity.
+type Metrics struct {
+	// Hits and Misses count GetOrCompile/Get outcomes; Coalesced counts
+	// callers that waited on another caller's in-flight compile instead
+	// of compiling themselves.
+	Hits, Misses, Coalesced uint64
+	// Compiles counts successful compilations, CompileErrors failed
+	// ones, and CompileNanos the wall time summed over both.
+	Compiles, CompileErrors, CompileNanos uint64
+	// Evictions counts capacity-driven removals.
+	Evictions uint64
+	// Entries and CodeBytes describe current residency as accounted by
+	// the cache (the bound Machine's CodeBytesResident may differ if
+	// other clients install code too).
+	Entries   int64
+	CodeBytes int64
+}
+
+// Snapshot captures current metrics.
+func (c *Cache) Snapshot() Metrics {
+	return Metrics{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Compiles:      c.compiles.Load(),
+		CompileErrors: c.compileErrors.Load(),
+		CompileNanos:  c.compileNanos.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       c.entries.Load(),
+		CodeBytes:     c.codeBytes.Load(),
+	}
+}
+
+// String renders a human-readable dump.
+func (m Metrics) String() string {
+	total := m.Hits + m.Misses
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = 100 * float64(m.Hits) / float64(total)
+	}
+	meanCompile := time.Duration(0)
+	if n := m.Compiles + m.CompileErrors; n > 0 {
+		meanCompile = time.Duration(m.CompileNanos / n)
+	}
+	return fmt.Sprintf(
+		"codecache: %d entries, %d code bytes resident\n"+
+			"  requests   %d (%.1f%% hit: %d hits, %d misses, %d coalesced)\n"+
+			"  compiles   %d ok, %d failed, %v mean\n"+
+			"  evictions  %d",
+		m.Entries, m.CodeBytes,
+		total, hitRate, m.Hits, m.Misses, m.Coalesced,
+		m.Compiles, m.CompileErrors, meanCompile,
+		m.Evictions)
+}

@@ -61,6 +61,17 @@ type Func struct {
 
 	addr      uint64
 	installed bool
+	// owner is the Machine the function is currently installed on;
+	// codeSize is the 16-aligned code-region reservation it holds there.
+	owner    *Machine
+	codeSize uint64
+	// sum fingerprints Words as of the last completed install, so a
+	// re-Install of a function whose code was mutated afterwards can be
+	// rejected instead of silently running the stale copy.  sumValid is
+	// false while an install is in flight (self-referential relocations
+	// re-enter Install before the final words exist).
+	sum      uint64
+	sumValid bool
 }
 
 // Installed reports whether a Machine has placed the function in memory.

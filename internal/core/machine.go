@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/mem"
 )
@@ -45,7 +46,12 @@ type TrapHandler func(c CPU, m *mem.Memory)
 // loader and call harness for generated functions.  It plays the role of
 // the linking half of v_end plus the surrounding process: code placement,
 // relocation, runtime helper symbols and the call trampoline.
+//
+// A Machine is safe for concurrent use: installs, uninstalls, allocations
+// and calls are serialized by an internal lock (there is one simulated CPU,
+// so calls cannot overlap in any case).
 type Machine struct {
+	mu      sync.Mutex
 	backend Backend
 	cpu     CPU
 	mem     *mem.Memory
@@ -55,6 +61,10 @@ type Machine struct {
 
 	codeBase uint64
 	codeNext uint64
+	// freeCode holds code regions returned by Uninstall: sorted by
+	// address, coalesced, and all strictly below codeNext.  Installs are
+	// served first-fit from here before bumping codeNext.
+	freeCode []codeRegion
 	heapNext uint64
 	heapEnd  uint64
 	stackTop uint64
@@ -119,6 +129,8 @@ func (m *Machine) Mem() *mem.Memory { return m.mem }
 // return register (the paper's emulation routines preserve all
 // caller-saved registers, which lets VCODE call them even from leaves).
 func (m *Machine) DefineTrap(sym string, h TrapHandler) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.syms[sym]; dup {
 		return fmt.Errorf("machine: symbol %q already defined", sym)
 	}
@@ -135,6 +147,8 @@ func (m *Machine) DefineTrap(sym string, h TrapHandler) error {
 // DefineSym binds a symbol to an arbitrary address (e.g. a data table the
 // generated code should reference).
 func (m *Machine) DefineSym(sym string, addr uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, dup := m.syms[sym]; dup {
 		return fmt.Errorf("machine: symbol %q already defined", sym)
 	}
@@ -152,14 +166,33 @@ type Mark struct {
 }
 
 // Mark returns the current allocation watermark.
-func (m *Machine) Mark() Mark { return Mark{code: m.codeNext, heap: m.heapNext} }
+func (m *Machine) Mark() Mark {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Mark{code: m.codeNext, heap: m.heapNext}
+}
 
 // Release reclaims all code and heap space allocated since mk was taken.
 // Functions installed after the mark become invalid and must not be
-// called or re-installed.
+// called or re-installed.  Mark/Release is a stack discipline; it and the
+// per-function Uninstall path are alternatives — free regions above the
+// mark are simply forgotten (the bump pointer subsumes them).
 func (m *Machine) Release(mk Mark) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if mk.code >= m.codeBase && mk.code <= m.codeNext {
 		m.codeNext = mk.code
+		kept := m.freeCode[:0]
+		for _, r := range m.freeCode {
+			if r.addr >= m.codeNext {
+				continue
+			}
+			if r.addr+r.size > m.codeNext {
+				r.size = m.codeNext - r.addr
+			}
+			kept = append(kept, r)
+		}
+		m.freeCode = kept
 	}
 	if mk.heap <= m.heapNext && mk.heap >= m.mem.Size()/2 {
 		m.heapNext = mk.heap
@@ -169,6 +202,8 @@ func (m *Machine) Release(mk Mark) {
 // Alloc reserves n bytes of heap, aligned to at least 16 bytes, and
 // returns the simulated address.
 func (m *Machine) Alloc(n int) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	addr := (m.heapNext + 15) &^ 15
 	if addr+uint64(n) > m.heapEnd {
 		return 0, fmt.Errorf("machine: heap exhausted (%d bytes requested)", n)
@@ -177,24 +212,153 @@ func (m *Machine) Alloc(n int) (uint64, error) {
 	return addr, nil
 }
 
+// codeRegion is a span of reclaimable simulated code memory.
+type codeRegion struct {
+	addr, size uint64
+}
+
+// sumWords fingerprints machine code (FNV-1a over the words).
+func sumWords(words []uint32) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, w := range words {
+		h ^= uint64(w)
+		h *= prime
+	}
+	return h
+}
+
 // Install places f (and, recursively, every generated function it
 // references) into simulated code memory and resolves its relocations.
-// Installing an already-installed function is a no-op.
+// Re-installing an installed, unmodified function is a no-op; if the
+// function's code was mutated since it was installed, or it is installed
+// on a different Machine, Install reports an error instead of silently
+// running stale code.
 func (m *Machine) Install(f *Func) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.install(f)
+}
+
+// Installed reports whether f is currently installed on this machine (a
+// function released wholesale via Release still claims to be installed —
+// Mark/Release does not track individual functions).
+func (m *Machine) Installed(f *Func) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return f.installed && f.owner == m
+}
+
+// Uninstall removes an installed function, returning its code region to a
+// free list that later installs reuse — the per-function reclamation path
+// a cache with out-of-order eviction needs, complementing the paper's
+// stack-style Mark/Release arena (§5.2).  Only f's own words are freed;
+// functions it references stay installed.  The caller must ensure nothing
+// resident still jumps into f.  The function itself stays valid and may be
+// installed again (here or on another machine).
+func (m *Machine) Uninstall(f *Func) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !f.installed {
+		return fmt.Errorf("machine: uninstall %s: not installed", f.Name)
+	}
+	if f.owner != m {
+		return fmt.Errorf("machine: uninstall %s: installed on a different machine", f.Name)
+	}
+	m.freeRegion(codeRegion{addr: f.addr, size: f.codeSize})
+	f.addr = 0
+	f.installed = false
+	f.owner = nil
+	f.codeSize = 0
+	f.sumValid = false
+	return nil
+}
+
+// CodeBytesResident returns the installed code bytes currently occupying
+// the code region (allocated span minus freed holes).
+func (m *Machine) CodeBytesResident() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var free uint64
+	for _, r := range m.freeCode {
+		free += r.size
+	}
+	return m.codeNext - m.codeBase - free
+}
+
+// freeRegion inserts r into the free list sorted by address, coalescing
+// with its neighbours, then gives back any free tail to the bump pointer.
+func (m *Machine) freeRegion(r codeRegion) {
+	i := 0
+	for i < len(m.freeCode) && m.freeCode[i].addr < r.addr {
+		i++
+	}
+	m.freeCode = append(m.freeCode, codeRegion{})
+	copy(m.freeCode[i+1:], m.freeCode[i:])
+	m.freeCode[i] = r
+	// Coalesce with the successor, then the predecessor.
+	if i+1 < len(m.freeCode) && r.addr+r.size == m.freeCode[i+1].addr {
+		m.freeCode[i].size += m.freeCode[i+1].size
+		m.freeCode = append(m.freeCode[:i+1], m.freeCode[i+2:]...)
+	}
+	if i > 0 && m.freeCode[i-1].addr+m.freeCode[i-1].size == m.freeCode[i].addr {
+		m.freeCode[i-1].size += m.freeCode[i].size
+		m.freeCode = append(m.freeCode[:i], m.freeCode[i+1:]...)
+	}
+	if n := len(m.freeCode); n > 0 {
+		if top := m.freeCode[n-1]; top.addr+top.size == m.codeNext {
+			m.codeNext = top.addr
+			m.freeCode = m.freeCode[:n-1]
+		}
+	}
+}
+
+// allocCode reserves a 16-aligned code span: first fit from the free list,
+// else the bump pointer.
+func (m *Machine) allocCode(size uint64) (uint64, error) {
+	for i, r := range m.freeCode {
+		if r.size >= size {
+			addr := r.addr
+			if r.size == size {
+				m.freeCode = append(m.freeCode[:i], m.freeCode[i+1:]...)
+			} else {
+				m.freeCode[i] = codeRegion{addr: r.addr + size, size: r.size - size}
+			}
+			return addr, nil
+		}
+	}
+	addr := (m.codeNext + 15) &^ 15
+	end := addr + size
+	if end > m.heapNext-(m.heapEnd-m.heapNext) && end > m.mem.Size()/2 {
+		return 0, fmt.Errorf("machine: code region exhausted")
+	}
+	m.codeNext = end
+	return addr, nil
+}
+
+func (m *Machine) install(f *Func) error {
 	if f.installed {
+		if f.owner != m {
+			return fmt.Errorf("machine: %s is installed on a different machine", f.Name)
+		}
+		if f.sumValid && sumWords(f.Words) != f.sum {
+			return fmt.Errorf("machine: %s was mutated after install; Uninstall it first", f.Name)
+		}
 		return nil
 	}
 	if f.BackendName != m.backend.Name() {
 		return fmt.Errorf("machine: %s code installed on %s machine", f.BackendName, m.backend.Name())
 	}
-	addr := (m.codeNext + 15) &^ 15
-	end := addr + uint64(4*len(f.Words))
-	if end > m.heapNext-(m.heapEnd-m.heapNext) && end > m.mem.Size()/2 {
-		return fmt.Errorf("machine: code region exhausted")
+	size := (uint64(4*len(f.Words)) + 15) &^ 15
+	addr, err := m.allocCode(size)
+	if err != nil {
+		return err
 	}
 	f.addr = addr
 	f.installed = true
-	m.codeNext = end
+	f.owner = m
+	f.codeSize = size
+	f.sumValid = false
 
 	// Resolve relocations against a patchable view of the words.
 	buf := &Buf{w: f.Words}
@@ -202,7 +366,7 @@ func (m *Machine) Install(f *Func) error {
 		var target uint64
 		switch {
 		case r.Target != nil:
-			if err := m.Install(r.Target); err != nil {
+			if err := m.install(r.Target); err != nil {
 				return err
 			}
 			switch {
@@ -248,14 +412,21 @@ func (m *Machine) Install(f *Func) error {
 			bytes[4*i+3] = byte(w >> 24)
 		}
 	}
-	return m.mem.WriteBytes(addr, bytes)
+	if err := m.mem.WriteBytes(addr, bytes); err != nil {
+		return err
+	}
+	f.sum = sumWords(f.Words)
+	f.sumValid = true
+	return nil
 }
 
 // Call installs f if needed, marshals args per the backend's default
 // calling convention, runs the simulator until the function returns, and
 // returns the typed result.
 func (m *Machine) Call(f *Func, args ...Value) (Value, error) {
-	if err := m.Install(f); err != nil {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.install(f); err != nil {
 		return Value{}, err
 	}
 	if len(args) != len(f.Params) {

@@ -2,8 +2,11 @@ package dpf
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"repro/internal/alpha"
+	"repro/internal/codecache"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/mips"
@@ -26,10 +29,19 @@ import (
 // Classification runs the generated code on the cycle-counted MIPS
 // simulator; Classify reports the cycles the generated code cost.
 type DPF struct {
+	mu      sync.Mutex
 	machine *core.Machine
 	backend core.Backend
 	cpu     core.CPU
 	conf    mem.MachineConfig
+
+	// cache holds compiled classifiers keyed by filter-spec hash, so
+	// re-installing a previously seen filter set (the demultiplexer
+	// flipping between configurations) reuses its machine code instead
+	// of recompiling; eviction frees the stale classifiers' code.  When
+	// nil, every Install recompiles into a Mark/Release arena (the
+	// paper's original discipline).
+	cache *codecache.Cache
 
 	fn      *core.Func
 	mark    core.Mark
@@ -77,6 +89,7 @@ func NewDPFTarget(target string, conf mem.MachineConfig) (*DPF, error) {
 	}
 	mc := core.NewMachine(bk, cpu, m)
 	d := &DPF{machine: mc, backend: bk, cpu: cpu, conf: conf, MinHashEdges: 6, pktCap: 4096}
+	d.cache = codecache.New(codecache.Config{Machine: mc, MaxEntries: 8})
 	addr, err := mc.Alloc(d.pktCap)
 	if err != nil {
 		return nil, err
@@ -149,10 +162,73 @@ func buildTrie(filters []Filter) (*trieNode, error) {
 	return root, nil
 }
 
-// Install recompiles the filter set (the paper compiles at install
-// time).  The previous classifier and its dispatch tables are reclaimed
-// — deallocating a dynamic function frees all its storage (§5.2).
+// DisableCache switches the engine to the paper's original discipline:
+// every Install recompiles and the previous classifier's arena (code and
+// dispatch tables) is released wholesale.  Used by the compile-cost
+// benchmark; not reversible.
+func (d *DPF) DisableCache() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache = nil
+}
+
+// CacheMetrics snapshots the classifier cache (zero Metrics when the
+// cache is disabled).
+func (d *DPF) CacheMetrics() codecache.Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cache == nil {
+		return codecache.Metrics{}
+	}
+	return d.cache.Snapshot()
+}
+
+// filtersKey hashes everything that determines the generated classifier:
+// the filter specs plus the dispatch-selection knobs.
+func filtersKey(filters []Filter, minHashEdges int, disableHash bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dpf|%d|%v", minHashEdges, disableHash)
+	for _, f := range filters {
+		fmt.Fprintf(&sb, "|%d:", f.ID)
+		for _, a := range f.Atoms {
+			fmt.Fprintf(&sb, "%d,%d,%x,%x;", a.Off, a.Size, a.Mask, a.Val)
+		}
+	}
+	return codecache.HashKey(sb.String())
+}
+
+// Install compiles the filter set (the paper compiles at install time)
+// and makes it the active classifier.  With the cache enabled, a filter
+// set seen before reactivates its resident machine code without any code
+// generation; new sets compile once and stale ones are evicted (their
+// code memory freed, though dispatch tables allocated on the simulated
+// heap stay until the engine is discarded).
 func (d *DPF) Install(filters []Filter) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cache == nil {
+		return d.installFresh(filters)
+	}
+	fn, err := d.cache.GetOrCompile(filtersKey(filters, d.MinHashEdges, d.DisableHash),
+		func() (*core.Func, error) {
+			root, err := buildTrie(filters)
+			if err != nil {
+				return nil, err
+			}
+			c := &dpfCompiler{d: d, a: core.NewAsm(d.backend)}
+			return c.compile(root)
+		})
+	if err != nil {
+		return err
+	}
+	d.fn = fn
+	return nil
+}
+
+// installFresh is the cache-disabled path: the previous classifier and
+// its dispatch tables are reclaimed — deallocating a dynamic function
+// frees all its storage (§5.2).
+func (d *DPF) installFresh(filters []Filter) error {
 	root, err := buildTrie(filters)
 	if err != nil {
 		return err
@@ -178,6 +254,8 @@ func (d *DPF) Install(filters []Filter) error {
 // Classify copies the packet into simulated memory and runs the compiled
 // classifier, returning its result and cycle cost.
 func (d *DPF) Classify(pkt []byte) (int, uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.fn == nil {
 		return 0, 0, fmt.Errorf("dpf: no filters installed")
 	}

@@ -188,3 +188,46 @@ func TestTable3Shape(t *testing.T) {
 		t.Errorf("DPF should be roughly an order of magnitude over MPF; got %.1fx", mpf/dpf)
 	}
 }
+
+// TestDPFClassifierCache checks that re-installing a previously seen
+// filter set reuses its compiled classifier (no recompile), that a new
+// set compiles exactly once, and that classification stays correct when
+// flipping between cached sets.
+func TestDPFClassifierCache(t *testing.T) {
+	d, err := NewDPF(mem.DEC5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wA := NewWorkload(10)
+	wB := NewWorkload(4)
+
+	check := func(w *Workload) {
+		t.Helper()
+		if err := d.Install(w.Filters); err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(d, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check(wA)
+	if m := d.CacheMetrics(); m.Compiles != 1 {
+		t.Fatalf("compiles = %d after first install, want 1", m.Compiles)
+	}
+	check(wA) // same spec: must be a pure cache hit
+	if m := d.CacheMetrics(); m.Compiles != 1 || m.Hits == 0 {
+		t.Fatalf("reinstall recompiled: %+v", m)
+	}
+	check(wB) // different spec: one more compile
+	check(wA) // flip back: still no recompile of A
+	if m := d.CacheMetrics(); m.Compiles != 2 {
+		t.Fatalf("compiles = %d after A,A,B,A, want 2", m.Compiles)
+	}
+	// Knobs that change the generated code must change the key.
+	d.DisableHash = true
+	check(wA)
+	if m := d.CacheMetrics(); m.Compiles != 3 {
+		t.Fatalf("compiles = %d after knob change, want 3", m.Compiles)
+	}
+}

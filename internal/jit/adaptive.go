@@ -1,6 +1,11 @@
 package jit
 
-import "repro/internal/core"
+import (
+	"sync"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+)
 
 // Adaptive is the full shape of the paper's best-known application of
 // dynamic code generation (§1): an interpreter "that compiles frequently
@@ -8,48 +13,94 @@ import "repro/internal/core"
 // are interpreted until they have run Threshold times; the next call
 // compiles them with VCODE and every call thereafter executes machine
 // code.
+//
+// Compiled code lives in a codecache.Cache keyed by bytecode content, so
+// concurrent promotions of the same function coalesce into one compile,
+// capacity-driven eviction reclaims simulator code memory, and two Funcs
+// with identical bytecode share one compilation.  Adaptive is safe for
+// concurrent use.
 type Adaptive struct {
 	m *Machine
 	// Threshold is the call count at which a function becomes hot.
 	Threshold int
 
-	counts   map[*Func]int
-	compiled map[*Func]*core.Func
+	cache *codecache.Cache
+
+	mu     sync.Mutex
+	counts map[*Func]int
+	keys   map[*Func]string // memoized content hashes
 }
 
-// NewAdaptive wraps a JIT machine.
+// NewAdaptive wraps a JIT machine with a cache bounded at 128 compiled
+// functions; use NewAdaptiveCache to tune capacity or share a cache.
 func NewAdaptive(m *Machine, threshold int) *Adaptive {
+	return NewAdaptiveCache(m, threshold,
+		codecache.New(codecache.Config{Machine: m.Core(), MaxEntries: 128}))
+}
+
+// NewAdaptiveCache wraps a JIT machine with an explicit code cache.  The
+// cache must be bound to m.Core() (or to no machine at all, in which case
+// compiled functions install lazily on first call).
+func NewAdaptiveCache(m *Machine, threshold int, cache *codecache.Cache) *Adaptive {
 	return &Adaptive{
 		m:         m,
 		Threshold: threshold,
+		cache:     cache,
 		counts:    map[*Func]int{},
-		compiled:  map[*Func]*core.Func{},
+		keys:      map[*Func]string{},
 	}
 }
 
-// Compiled reports whether f has been compiled yet.
-func (ad *Adaptive) Compiled(f *Func) bool { return ad.compiled[f] != nil }
+// Cache exposes the underlying code cache (for metrics and sharing).
+func (ad *Adaptive) Cache() *codecache.Cache { return ad.cache }
+
+// Metrics snapshots the cache counters.
+func (ad *Adaptive) Metrics() codecache.Metrics { return ad.cache.Snapshot() }
+
+// key memoizes f's content hash (hashing bytecode on every call would
+// erase the win of calling compiled code).
+func (ad *Adaptive) key(f *Func) string {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	k, ok := ad.keys[f]
+	if !ok {
+		k = f.CacheKey()
+		ad.keys[f] = k
+	}
+	return k
+}
+
+// Compiled reports whether f's code is resident in the cache.
+func (ad *Adaptive) Compiled(f *Func) bool { return ad.cache.Contains(ad.key(f)) }
 
 // Calls returns how many times f has been invoked through the wrapper.
-func (ad *Adaptive) Calls(f *Func) int { return ad.counts[f] }
+func (ad *Adaptive) Calls(f *Func) int {
+	ad.mu.Lock()
+	defer ad.mu.Unlock()
+	return ad.counts[f]
+}
 
 // Call runs f, interpreting while it is cold and compiling it once it
 // crosses the threshold.  It returns the result and the modelled cycle
 // cost of this call.
 func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
+	ad.mu.Lock()
 	ad.counts[f]++
-	if fn := ad.compiled[f]; fn != nil {
-		return ad.m.Run(fn, args...)
+	n := ad.counts[f]
+	key, ok := ad.keys[f]
+	if !ok {
+		key = f.CacheKey()
+		ad.keys[f] = key
 	}
-	if ad.counts[f] > ad.Threshold {
-		fn, err := ad.m.Compile(f)
+	ad.mu.Unlock()
+
+	if n > ad.Threshold || ad.cache.Contains(key) {
+		fn, err := ad.cache.GetOrCompile(key, func() (*core.Func, error) {
+			return ad.m.Compile(f)
+		})
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := ad.m.machine.Install(fn); err != nil {
-			return 0, 0, err
-		}
-		ad.compiled[f] = fn
 		return ad.m.Run(fn, args...)
 	}
 	return Interp(f, args...)

@@ -14,7 +14,12 @@
 // of in-place instruction emission.
 package jit
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codecache"
+)
 
 // Op is a bytecode opcode.
 type Op byte
@@ -69,6 +74,18 @@ type Func struct {
 	NVars  int
 	Consts []int32
 	Code   []Insn
+}
+
+// CacheKey returns a content hash of everything that determines the
+// compiled code — arity, locals, constants and bytecode, but not Name —
+// so two functions with identical bodies share a code-cache entry.
+func (f *Func) CacheKey() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "jit|%d|%d|%v|", f.NArgs, f.NVars, f.Consts)
+	for _, in := range f.Code {
+		fmt.Fprintf(&sb, "%d,%d;", in.Op, in.A)
+	}
+	return codecache.HashKey(sb.String())
 }
 
 // stackEffect returns pops and pushes for an opcode.

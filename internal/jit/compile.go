@@ -2,6 +2,7 @@ package jit
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/alpha"
 	"repro/internal/core"
@@ -10,12 +11,18 @@ import (
 	"repro/internal/sparc"
 )
 
-// Machine owns a simulated target for JIT-compiled bytecode.
+// Machine owns a simulated target for JIT-compiled bytecode.  Compile may
+// run from any number of goroutines; Run serializes on the single
+// simulated CPU.
 type Machine struct {
 	machine *core.Machine
 	backend core.Backend
 	cpu     core.CPU
 	conf    mem.MachineConfig
+
+	// runMu serializes Run: the CPU's statistic counters must not be
+	// reset while another call is executing.
+	runMu sync.Mutex
 }
 
 // NewMachine builds a MIPS JIT target with the given cost model.
@@ -192,9 +199,15 @@ func depthAfter(f *Func, pc int) int {
 	return 0
 }
 
+// Core exposes the underlying simulated machine (the code cache binds to
+// it so eviction can free installed code).
+func (m *Machine) Core() *core.Machine { return m.machine }
+
 // Run executes a compiled function on the simulator, returning the result
 // and cycle cost.
 func (m *Machine) Run(fn *core.Func, args ...int32) (int32, uint64, error) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
 	vals := make([]core.Value, len(args))
 	for i, a := range args {
 		vals[i] = core.I(a)

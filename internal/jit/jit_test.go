@@ -1,6 +1,7 @@
 package jit
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -189,5 +190,63 @@ func TestJITOnAllTargets(t *testing.T) {
 				t.Errorf("%s/%s%v = %d, interp %d", target, f.Name, args, got, want)
 			}
 		}
+	}
+}
+
+// TestAdaptiveConcurrent promotes the same functions from many
+// goroutines: results must stay correct, and single-flight must collapse
+// the racing promotions into one compile per distinct function
+// (meaningful chiefly under -race).
+func TestAdaptiveConcurrent(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	ad := NewAdaptive(m, 3)
+	progs := []*Func{FibIter(), SumSquares(), Gcd()}
+	wantFib, wantSum := refFib(15), int32(0)
+	for i := int32(1); i <= 15; i++ {
+		wantSum += i * i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				f := progs[(w+i)%len(progs)]
+				var got, want int32
+				var err error
+				switch f {
+				case progs[0]:
+					got, _, err = ad.Call(f, 15)
+					want = wantFib
+				case progs[1]:
+					got, _, err = ad.Call(f, 15)
+					want = wantSum
+				default:
+					got, _, err = ad.Call(f, 36, 24)
+					want = 12
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want {
+					t.Errorf("%s: got %d, want %d", f.Name, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := ad.Metrics()
+	if s.Compiles != uint64(len(progs)) {
+		t.Errorf("compiles = %d, want %d (single-flight must coalesce)", s.Compiles, len(progs))
+	}
+	if total := int(s.Hits + s.Misses + s.Coalesced); total == 0 {
+		t.Error("no cache traffic recorded")
+	}
+	if ad.Calls(progs[0]) == 0 {
+		t.Error("call counting lost under concurrency")
 	}
 }

@@ -1,5 +1,7 @@
 package jit
 
+import "fmt"
+
 // Sample bytecode programs used by tests, the benchmark and the example.
 
 // FibIter is iterative fibonacci: fib(n).
@@ -72,6 +74,34 @@ func Gcd() *Func {
 			{OpLoadVar, 2}, {OpStoreVar, 1}, // b = t
 			{OpJmp, 4},
 			// done (pc 17)
+			{OpLoadVar, 0}, {OpRet, 0},
+		},
+	}
+}
+
+// Synthetic builds a family of distinct bytecode functions for cache
+// benchmarking: Synthetic(k) computes sum of (i*i + k) for i in 1..n, so
+// every k yields different code (distinct cache key) of identical shape,
+// and Synthetic(k)(n) == SumSquares()(n) + n*k checks the cache returned
+// the right code for the key.
+func Synthetic(k int32) *Func {
+	// vars: 0=acc 1=i
+	return &Func{
+		Name:   fmt.Sprintf("syn%d", k),
+		NArgs:  1,
+		NVars:  2,
+		Consts: []int32{0, 1, k},
+		Code: []Insn{
+			{OpPushK, 0}, {OpStoreVar, 0},
+			{OpPushK, 1}, {OpStoreVar, 1},
+			// head (pc 4): while (i <= n)
+			{OpLoadVar, 1}, {OpLoadArg, 0}, {OpLe, 0}, {OpJz, 21},
+			{OpLoadVar, 0}, {OpLoadVar, 1}, {OpLoadVar, 1}, {OpMul, 0},
+			{OpPushK, 2}, {OpAdd, 0},
+			{OpAdd, 0}, {OpStoreVar, 0},
+			{OpLoadVar, 1}, {OpPushK, 1}, {OpAdd, 0}, {OpStoreVar, 1},
+			{OpJmp, 4},
+			// done (pc 21)
 			{OpLoadVar, 0}, {OpRet, 0},
 		},
 	}

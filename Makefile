@@ -4,6 +4,23 @@ verify:
 	go vet ./...
 	go test -race ./...
 	go run ./cmd/cgbench -cache -requests 50000
+	go run ./cmd/cgbench -faults -calls 30000
+	$(MAKE) fuzz-smoke FUZZTIME=10s
+
+# Packages with a single Fuzz* target each, so -fuzz=Fuzz is unambiguous.
+FUZZ_PKGS = internal/vasm internal/tinyc internal/dpf internal/spec \
+	internal/mips internal/sparc internal/alpha
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	@for pkg in $(FUZZ_PKGS); do \
+		echo "fuzz $$pkg ($(FUZZTIME))"; \
+		go test -run '^$$' -fuzz Fuzz -fuzztime $(FUZZTIME) ./$$pkg || exit 1; \
+	done
+
+# The full soak run the PR acceptance criteria describe (>=10^5 calls).
+soak:
+	go run -race ./cmd/cgbench -faults
 
 test:
 	go test ./...
@@ -11,4 +28,4 @@ test:
 bench:
 	go test -bench . -benchtime 1s .
 
-.PHONY: verify test bench
+.PHONY: verify fuzz-smoke soak test bench

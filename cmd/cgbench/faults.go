@@ -1,0 +1,312 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/jit"
+	"repro/internal/mem"
+)
+
+// runFaultsBench soaks the hardened pipeline under deterministic fault
+// injection: every worker owns a simulated machine (targets rotate over
+// all three ports) with an injector corrupting instruction fetches and
+// data accesses, a code cache whose compile callbacks are made to fail
+// and panic, and a mixed compile/execute key stream.  It verifies —
+// exiting nonzero on violation — the hardening contract:
+//
+//  1. no panic ever escapes: simulator, trap and compile panics are all
+//     recovered into typed errors;
+//  2. no deadlock: the soak completes under a watchdog, and a panicked
+//     compile still closes its single-flight;
+//  3. bounded error latency: every call, failed or not, returns within a
+//     fixed budget (fuel and deadlines cut runaway corrupted code short).
+func runFaultsBench(workers, keys, capacity, requests int, seed int64) error {
+	if workers <= 0 {
+		workers = max(4, runtime.GOMAXPROCS(0))
+	}
+	targets := []string{"mips", "sparc", "alpha"}
+
+	// Per-call error taxonomy.  Everything a worker observes must land
+	// in one of these buckets; the panic/deadlock buckets must stay zero.
+	var (
+		okCalls       atomic.Uint64 // returned the right value
+		wrongValue    atomic.Uint64 // silent corruption from a bit flip
+		injectedErrs  atomic.Uint64 // errors.Is(err, faultinject.ErrInjected)
+		compilePanics atomic.Uint64 // *codecache.CompilePanicError
+		fuelErrs      atomic.Uint64 // errors.Is(err, core.ErrFuelExhausted)
+		deadlineErrs  atomic.Uint64 // context deadline/cancel
+		simErrs       atomic.Uint64 // typed simulator rejection (decode, memory bounds, ...)
+		simPanics     atomic.Uint64 // *core.PanicError — must be zero
+		trapPanics    atomic.Uint64 // *core.TrapPanicError — must be zero
+		hostPanics    atomic.Uint64 // panic escaped to the worker — must be zero
+		maxCallNanos  atomic.Int64
+	)
+	classify := func(err error) {
+		var cp *codecache.CompilePanicError
+		var sp *core.PanicError
+		var tp *core.TrapPanicError
+		switch {
+		case errors.As(err, &sp):
+			simPanics.Add(1)
+		case errors.As(err, &tp):
+			trapPanics.Add(1)
+		case errors.As(err, &cp):
+			compilePanics.Add(1)
+		case errors.Is(err, faultinject.ErrInjected):
+			injectedErrs.Add(1)
+		case errors.Is(err, core.ErrFuelExhausted):
+			fuelErrs.Add(1)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			deadlineErrs.Add(1)
+		default:
+			simErrs.Add(1)
+		}
+	}
+
+	fmt.Printf("fault soak: %d workers (targets %v), %d keys, capacity %d, %d calls, seed %d\n\n",
+		workers, targets, keys, capacity, requests, seed)
+
+	// buildSummer assembles sum(buf[0..n)) — the memory-touching slice of
+	// the stream, so load/store faults actually fire (the jit functions
+	// are register-only).
+	buildSummer := func(m *core.Machine) (*core.Func, uint64, error) {
+		const bufWords = 64
+		buf, err := m.Alloc(4 * bufWords)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < bufWords; i++ {
+			if err := m.Mem().Store(buf+uint64(4*i), 4, uint64(i)); err != nil {
+				return nil, 0, err
+			}
+		}
+		a := core.NewAsm(m.Backend())
+		a.SetName("fault-summer")
+		args, err := a.Begin("%p%i", core.Leaf)
+		if err != nil {
+			return nil, 0, err
+		}
+		p, n := args[0], args[1]
+		acc, _ := a.GetReg(core.Temp)
+		w, _ := a.GetReg(core.Temp)
+		end, _ := a.GetReg(core.Temp)
+		a.Setu(acc, 0)
+		a.Addp(end, p, n)
+		top := a.NewLabel()
+		a.Bind(top)
+		a.Ldui(w, p, 0)
+		a.Addu(acc, acc, w)
+		a.Stui(acc, p, 0) // running prefix sum: exercises the store path too
+		a.Addpi(p, p, 4)
+		a.Bltp(p, end, top)
+		a.Retu(acc)
+		fn, err := a.End()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := m.Install(fn); err != nil {
+			return nil, 0, err
+		}
+		return fn, buf, nil
+	}
+
+	injectors := make([]*faultinject.Injector, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		target := targets[w%len(targets)]
+		m, err := jit.NewMachineTarget(target, mem.Uncosted)
+		if err != nil {
+			return err
+		}
+		summer, buf, err := buildSummer(m.Core())
+		if err != nil {
+			return err
+		}
+		inj := faultinject.New(faultinject.Config{
+			Seed:             seed + int64(w),
+			FetchErrorRate:   0.0005,
+			FetchFlipRate:    0.001,
+			LoadErrorRate:    0.002,
+			StoreErrorRate:   0.002,
+			CompileErrorRate: 0.10,
+			CompilePanicRate: 0.05,
+		})
+		injectors[w] = inj
+		m.Core().Mem().SetFaultHook(inj)
+		cacheCfg := codecache.Config{Machine: m.Core(), MaxEntries: capacity}
+		if w%2 == 1 {
+			// Half the workers negative-cache failed compiles, so both
+			// retry policies soak.
+			cacheCfg.FailureBackoff = 100 * time.Microsecond
+		}
+		cache := codecache.New(cacheCfg)
+
+		progs := make([]*jit.Func, keys)
+		cacheKeys := make([]string, keys)
+		for i := range progs {
+			progs[i] = jit.Synthetic(int32(i))
+			cacheKeys[i] = progs[i].CacheKey()
+		}
+
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			const arg, sumSq = 10, 385
+			per := requests / workers
+			if w < requests%workers {
+				per++
+			}
+			for i := 0; i < per; i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							hostPanics.Add(1)
+							fmt.Printf("  PANIC escaped to worker %d: %v\n", w, r)
+						}
+					}()
+					k := (w + i*7) % keys
+					start := time.Now()
+					opts := core.CallOpts{Fuel: 200_000, PollStride: 256}
+					err := func() error {
+						if i%31 == 0 {
+							// Memory-touching slice: runs generated
+							// loads/stores so access faults fire.  The
+							// buffer is self-corrupting (prefix sums plus
+							// injected flips), so only the error path is
+							// checked, not the value.
+							_, err := m.Core().CallWith(context.Background(), opts,
+								summer, core.P(buf), core.I(256))
+							if err != nil {
+								return err
+							}
+							okCalls.Add(1)
+							return nil
+						}
+						fn, err := cache.GetOrCompile(cacheKeys[k], inj.WrapCompile(func() (*core.Func, error) {
+							return m.Compile(progs[k])
+						}))
+						if err != nil {
+							return err
+						}
+						ctx := context.Background()
+						callArg := int32(arg)
+						longRun := false
+						switch {
+						case i%97 == 1:
+							// Runaway slice: a loop far past the fuel
+							// budget — must be cut by ErrFuelExhausted.
+							callArg, longRun = 1<<30, true
+						case i%64 == 63:
+							// Deadline slice: the same long loop under a
+							// tight context — cancellation cuts it first.
+							callArg, longRun = 1<<30, true
+							var cancel context.CancelFunc
+							ctx, cancel = context.WithTimeout(ctx, 100*time.Microsecond)
+							defer cancel()
+						}
+						if longRun {
+							// Suspend injection for this call: at these
+							// fault rates a 200k-step run is certain to
+							// hit an injected fetch fault first, which
+							// would mask the fuel/deadline cutoff under
+							// test.  The worker owns this machine, so
+							// toggling the hook is race-free.
+							m.Core().Mem().SetFaultHook(nil)
+							defer m.Core().Mem().SetFaultHook(inj)
+						}
+						got, _, err := m.RunWith(ctx, opts, fn, callArg)
+						if err != nil {
+							return err
+						}
+						if longRun {
+							// Unreachable in practice (fuel or deadline
+							// fires first); don't check the value.
+							okCalls.Add(1)
+						} else if want := int32(sumSq + arg*k); got != want {
+							wrongValue.Add(1)
+						} else {
+							okCalls.Add(1)
+						}
+						return nil
+					}()
+					if el := time.Since(start).Nanoseconds(); el > maxCallNanos.Load() {
+						maxCallNanos.Store(el) // racy max is fine for a report
+					}
+					if err != nil {
+						classify(err)
+					}
+				}()
+			}
+		}(w)
+	}
+
+	// Watchdog: the whole soak must finish — a hang here is exactly the
+	// deadlock class this mode exists to catch.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadlocked := false
+	select {
+	case <-done:
+	case <-time.After(5 * time.Minute):
+		deadlocked = true
+	}
+
+	var inj faultinject.Stats
+	for _, in := range injectors {
+		s := in.Stats()
+		inj.FetchErrors += s.FetchErrors
+		inj.BitFlips += s.BitFlips
+		inj.LoadErrors += s.LoadErrors
+		inj.StoreErrors += s.StoreErrors
+		inj.CompileErrors += s.CompileErrors
+		inj.CompilePanics += s.CompilePanics
+	}
+
+	fail := 0
+	check := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			fail++
+		}
+		fmt.Printf("  [%s] %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	calls := okCalls.Load() + wrongValue.Load() + injectedErrs.Load() + compilePanics.Load() +
+		fuelErrs.Load() + deadlineErrs.Load() + simErrs.Load() +
+		simPanics.Load() + trapPanics.Load() + hostPanics.Load()
+	fmt.Println(inj)
+	fmt.Printf("call outcomes: %d ok, %d wrong-value, %d injected, %d compile-panic, %d fuel, %d deadline, %d simulator-rejected\n\n",
+		okCalls.Load(), wrongValue.Load(), injectedErrs.Load(), compilePanics.Load(),
+		fuelErrs.Load(), deadlineErrs.Load(), simErrs.Load())
+
+	check(!deadlocked, "soak completed (no deadlock)")
+	check(calls == uint64(requests), "all %d calls accounted for (got %d)", requests, calls)
+	check(hostPanics.Load() == 0, "no panic escaped a worker (%d)", hostPanics.Load())
+	check(simPanics.Load() == 0, "no simulator panic under corrupted code (%d)", simPanics.Load())
+	check(trapPanics.Load() == 0, "no trap handler panic (%d)", trapPanics.Load())
+	check(inj.BitFlips > 0 && inj.FetchErrors > 0 && inj.LoadErrors+inj.StoreErrors > 0 &&
+		inj.CompileErrors > 0 && inj.CompilePanics > 0,
+		"fault mix exercised every class (%d total)", inj.Total())
+	check(compilePanics.Load() > 0,
+		"injected compile panics surfaced as *CompilePanicError (%d) — flights closed", compilePanics.Load())
+	check(injectedErrs.Load() > 0, "injected access faults surfaced typed (%d)", injectedErrs.Load())
+	check(fuelErrs.Load() > 0, "runaway loops cut by fuel (%d ErrFuelExhausted)", fuelErrs.Load())
+	check(deadlineErrs.Load() > 0, "deadlined calls cancelled mid-loop (%d)", deadlineErrs.Load())
+	lat := time.Duration(maxCallNanos.Load())
+	check(lat < 2*time.Second, "max single-call latency %v < 2s (bounded error latency)", lat.Round(time.Microsecond))
+
+	if fail > 0 {
+		return fmt.Errorf("%d invariant(s) violated", fail)
+	}
+	return nil
+}

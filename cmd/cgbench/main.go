@@ -7,6 +7,12 @@
 // (internal/codecache) with a mixed key stream across goroutines,
 // verifying single-flight compilation, the zero-recompile warm path and
 // eviction-bounded resident code memory.
+//
+// With -faults it soaks the hardened pipeline under deterministic fault
+// injection (internal/faultinject) across all three simulated targets,
+// verifying that no fault — corrupted code words, failed accesses,
+// panicking compiles, runaway loops — ever panics, hangs, or escapes as
+// anything but a typed error.
 package main
 
 import (
@@ -24,10 +30,13 @@ import (
 func main() {
 	iters := flag.Int("iters", 2000, "workload repetitions per system")
 	cacheMode := flag.Bool("cache", false, "drive the concurrent code-cache subsystem instead")
-	workers := flag.Int("workers", 0, "cache mode: concurrent workers (0 = GOMAXPROCS)")
-	keys := flag.Int("keys", 64, "cache mode: distinct functions in the key stream")
-	capacity := flag.Int("capacity", 16, "cache mode: cache capacity in entries")
+	faultsMode := flag.Bool("faults", false, "soak the pipeline under fault injection instead")
+	workers := flag.Int("workers", 0, "cache/faults mode: concurrent workers (0 = GOMAXPROCS)")
+	keys := flag.Int("keys", 64, "cache/faults mode: distinct functions in the key stream")
+	capacity := flag.Int("capacity", 16, "cache/faults mode: cache capacity in entries")
 	requests := flag.Int("requests", 200000, "cache mode: warm-phase lookup requests")
+	calls := flag.Int("calls", 120000, "faults mode: mixed compile/execute calls")
+	seed := flag.Int64("seed", 1, "faults mode: base PRNG seed (reproduces a fault stream)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -38,6 +47,10 @@ func main() {
 	}
 	if *cacheMode {
 		die(runCacheBench(*workers, *keys, *capacity, *requests))
+		return
+	}
+	if *faultsMode {
+		die(runFaultsBench(*workers, *keys, *capacity, *calls, *seed))
 		return
 	}
 

@@ -1,0 +1,25 @@
+package alpha
+
+import "repro/internal/verify"
+
+// Classify decodes the control-flow behaviour of one Alpha word for the
+// pre-install verifier.  Branch-format displacements are relative to the
+// updated pc (pc+4); the jump format (jmp/jsr/ret) is register-indirect.
+func (a *Backend) Classify(w uint32, pc uint64) verify.Insn {
+	op := w >> 26
+	switch {
+	case op == opJump:
+		if w>>21&0x1f != 31 { // writes a link register: indirect call
+			return verify.Insn{Kind: verify.KindCall}
+		}
+		return verify.Insn{Kind: verify.KindJumpReg}
+	case op >= 0x30 && op <= 0x3f:
+		disp := int64(int32(w<<11) >> 11)
+		target := pc + 4 + uint64(disp*4)
+		if op == opBsr {
+			return verify.Insn{Kind: verify.KindCall, Target: target, HasTarget: true}
+		}
+		return verify.Insn{Kind: verify.KindBranch, Target: target, HasTarget: true}
+	}
+	return verify.Insn{Kind: verify.KindOther}
+}

@@ -72,12 +72,14 @@ type System struct {
 // capBytes.
 func NewSystem(conf mem.MachineConfig, capBytes int) (*System, error) {
 	bk := mips.New()
-	m := conf.Build(false)
+	m, err := conf.Build(false)
+	if err != nil {
+		return nil, err
+	}
 	cpu := mips.NewCPU(m)
 	mc := core.NewMachine(bk, cpu, m)
 	s := &System{machine: mc, backend: bk, cpu: cpu, conf: conf, capBytes: capBytes,
 		funcs: make(map[string][]*core.Func)}
-	var err error
 	if s.src, err = mc.Alloc(capBytes); err != nil {
 		return nil, err
 	}

@@ -42,16 +42,37 @@ type Config struct {
 	// Machine, when set, receives Install on insert and Uninstall on
 	// eviction, so eviction actually frees simulator code memory.
 	Machine *core.Machine
+	// FailureBackoff, when positive, negative-caches failed compiles:
+	// requests for a key whose compile just failed are answered with the
+	// cached error (no recompile) until the backoff expires, so a bad key
+	// under heavy traffic cannot form a compile storm.  Zero keeps the
+	// legacy behaviour — failures are not cached and the next request
+	// retries immediately.
+	FailureBackoff time.Duration
+}
+
+// CompilePanicError reports that a compile callback panicked.  The cache
+// recovers the panic, converts it to this error for every waiter of the
+// flight, and (with FailureBackoff) negative-caches it like any other
+// compile failure.
+type CompilePanicError struct {
+	Key   string
+	Value any
+}
+
+func (e *CompilePanicError) Error() string {
+	return fmt.Sprintf("codecache: compile for key %q panicked: %v", e.Key, e.Value)
 }
 
 // Cache is a sharded, single-flight, LRU-evicting map from content hash to
 // compiled function.  The zero value is not usable; call New.
 type Cache struct {
-	machine    *core.Machine
-	maxEntries int
-	maxBytes   int64
-	shards     []*shard
-	mask       uint32
+	machine        *core.Machine
+	maxEntries     int
+	maxBytes       int64
+	failureBackoff time.Duration
+	shards         []*shard
+	mask           uint32
 
 	// clock is a global touch counter: every hit or insert stamps the
 	// entry, and eviction picks the smallest stamp among the shard LRU
@@ -61,6 +82,7 @@ type Cache struct {
 	hits, misses, coalesced     atomic.Uint64
 	evictions, compiles         atomic.Uint64
 	compileErrors, compileNanos atomic.Uint64
+	compilePanics, negativeHits atomic.Uint64
 	entries, codeBytes          atomic.Int64
 }
 
@@ -79,9 +101,16 @@ type entry struct {
 	size  int64
 	stamp uint64
 	// done is closed when the flight finishes (fn or err is set); ready
-	// marks the entry linked into the LRU and visible as a hit.
-	done  chan struct{}
-	ready bool
+	// marks the entry linked into the LRU and visible as a hit.  failed
+	// marks a negative entry (err set, never linked); it stays mapped
+	// until negUntil so repeated requests for a broken key back off
+	// instead of recompiling.  ready/failed are written under the shard
+	// lock; waiters blocked on done read fn/err through the channel's
+	// happens-before edge instead.
+	done     chan struct{}
+	ready    bool
+	failed   bool
+	negUntil time.Time
 
 	prev, next *entry
 }
@@ -97,11 +126,12 @@ func New(cfg Config) *Cache {
 		pow <<= 1
 	}
 	c := &Cache{
-		machine:    cfg.Machine,
-		maxEntries: cfg.MaxEntries,
-		maxBytes:   cfg.MaxCodeBytes,
-		shards:     make([]*shard, pow),
-		mask:       uint32(pow - 1),
+		machine:        cfg.Machine,
+		maxEntries:     cfg.MaxEntries,
+		maxBytes:       cfg.MaxCodeBytes,
+		failureBackoff: cfg.FailureBackoff,
+		shards:         make([]*shard, pow),
+		mask:           uint32(pow - 1),
 	}
 	for i := range c.shards {
 		c.shards[i] = &shard{entries: make(map[string]*entry)}
@@ -135,26 +165,39 @@ func (c *Cache) shard(key string) *shard {
 // GetOrCompile returns the cached function for key, compiling (and, when a
 // machine is bound, installing) it on a miss.  Concurrent calls for the
 // same key coalesce into one compile: exactly one caller runs compile, the
-// rest wait for its result.  Failed compiles are not cached — the next
-// request retries.
+// rest wait for its result.  A compile that fails — or panics; the panic
+// is recovered into a *CompilePanicError — always closes the flight, so
+// waiters never deadlock.  Failed keys are negative-cached for
+// Config.FailureBackoff (not at all when zero — the next request retries).
 func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error) {
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
-		if e.ready {
+		switch {
+		case e.ready:
 			e.stamp = c.clock.Add(1)
 			s.moveToFront(e)
 			s.mu.Unlock()
 			c.hits.Add(1)
 			return e.fn, nil
+		case e.failed:
+			if time.Now().Before(e.negUntil) {
+				err := e.err
+				s.mu.Unlock()
+				c.negativeHits.Add(1)
+				return nil, err
+			}
+			// Backoff expired: drop the negative entry and retry below.
+			delete(s.entries, key)
+		default:
+			s.mu.Unlock()
+			c.coalesced.Add(1)
+			<-e.done
+			if e.err != nil {
+				return nil, e.err
+			}
+			return e.fn, nil
 		}
-		s.mu.Unlock()
-		c.coalesced.Add(1)
-		<-e.done
-		if e.err != nil {
-			return nil, e.err
-		}
-		return e.fn, nil
 	}
 	e := &entry{key: key, done: make(chan struct{})}
 	s.entries[key] = e
@@ -162,7 +205,7 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 	c.misses.Add(1)
 
 	start := time.Now()
-	fn, err := compile()
+	fn, err := c.runCompile(key, compile)
 	c.compileNanos.Add(uint64(time.Since(start)))
 	if err == nil {
 		c.compiles.Add(1)
@@ -172,10 +215,15 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 	}
 	if err != nil {
 		c.compileErrors.Add(1)
-		s.mu.Lock()
-		delete(s.entries, key)
-		s.mu.Unlock()
 		e.err = err
+		s.mu.Lock()
+		if c.failureBackoff > 0 {
+			e.failed = true
+			e.negUntil = time.Now().Add(c.failureBackoff)
+		} else {
+			delete(s.entries, key)
+		}
+		s.mu.Unlock()
 		close(e.done)
 		return nil, err
 	}
@@ -191,6 +239,19 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 	close(e.done)
 	c.enforce()
 	return fn, nil
+}
+
+// runCompile runs the client's compile callback with panic isolation: the
+// single-flight contract requires the flight to complete no matter what
+// the callback does, so a panic becomes an error like any other.
+func (c *Cache) runCompile(key string, compile CompileFunc) (fn *core.Func, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.compilePanics.Add(1)
+			fn, err = nil, &CompilePanicError{Key: key, Value: r}
+		}
+	}()
+	return compile()
 }
 
 // Get returns the cached function for key without compiling, counting a
@@ -232,6 +293,11 @@ func (c *Cache) Invalidate(key string) bool {
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	if !ok || !e.ready {
+		if ok && e.failed {
+			// Invalidating a negative entry clears the backoff so the
+			// next request retries immediately.
+			delete(s.entries, key)
+		}
 		s.mu.Unlock()
 		return false
 	}
@@ -344,6 +410,10 @@ type Metrics struct {
 	// Compiles counts successful compilations, CompileErrors failed
 	// ones, and CompileNanos the wall time summed over both.
 	Compiles, CompileErrors, CompileNanos uint64
+	// CompilePanics counts compile callbacks that panicked (a subset of
+	// CompileErrors); NegativeHits counts requests answered from the
+	// failure backoff window without recompiling.
+	CompilePanics, NegativeHits uint64
 	// Evictions counts capacity-driven removals.
 	Evictions uint64
 	// Entries and CodeBytes describe current residency as accounted by
@@ -362,6 +432,8 @@ func (c *Cache) Snapshot() Metrics {
 		Compiles:      c.compiles.Load(),
 		CompileErrors: c.compileErrors.Load(),
 		CompileNanos:  c.compileNanos.Load(),
+		CompilePanics: c.compilePanics.Load(),
+		NegativeHits:  c.negativeHits.Load(),
 		Evictions:     c.evictions.Load(),
 		Entries:       c.entries.Load(),
 		CodeBytes:     c.codeBytes.Load(),
@@ -381,11 +453,11 @@ func (m Metrics) String() string {
 	}
 	return fmt.Sprintf(
 		"codecache: %d entries, %d code bytes resident\n"+
-			"  requests   %d (%.1f%% hit: %d hits, %d misses, %d coalesced)\n"+
-			"  compiles   %d ok, %d failed, %v mean\n"+
+			"  requests   %d (%.1f%% hit: %d hits, %d misses, %d coalesced, %d negative)\n"+
+			"  compiles   %d ok, %d failed (%d panics), %v mean\n"+
 			"  evictions  %d",
 		m.Entries, m.CodeBytes,
-		total, hitRate, m.Hits, m.Misses, m.Coalesced,
-		m.Compiles, m.CompileErrors, meanCompile,
+		total, hitRate, m.Hits, m.Misses, m.Coalesced, m.NegativeHits,
+		m.Compiles, m.CompileErrors, m.CompilePanics, meanCompile,
 		m.Evictions)
 }

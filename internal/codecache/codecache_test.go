@@ -320,3 +320,98 @@ func TestInvalidate(t *testing.T) {
 		t.Error("second Invalidate reported present")
 	}
 }
+
+// TestPanickingCompileClosesFlight rushes one key whose compile panics:
+// the leader and every coalesced waiter must get a *CompilePanicError
+// (not deadlock on the flight channel), and the key must stay retryable.
+func TestPanickingCompileClosesFlight(t *testing.T) {
+	c := New(Config{})
+	const K = 16
+	release := make(chan struct{})
+	errs := make(chan error, K)
+	for i := 0; i < K; i++ {
+		go func() {
+			_, err := c.GetOrCompile("bad", func() (*core.Func, error) {
+				<-release
+				panic("compiler bug")
+			})
+			errs <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the waiters pile onto the flight
+	close(release)
+	for i := 0; i < K; i++ {
+		select {
+		case err := <-errs:
+			var pe *CompilePanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *CompilePanicError", err)
+			}
+			if pe.Key != "bad" || pe.Value != "compiler bug" {
+				t.Errorf("panic error contents: %+v", pe)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter deadlocked on panicked flight")
+		}
+	}
+	if c.Contains("bad") {
+		t.Error("panicked compile left a cached entry")
+	}
+	if got := c.Snapshot().CompilePanics; got == 0 {
+		t.Error("CompilePanics metric not incremented")
+	}
+	var n atomic.Int64
+	if _, err := c.GetOrCompile("bad", fake(&n, 4)); err != nil || n.Load() != 1 {
+		t.Errorf("key not retryable after panic: err=%v compiles=%d", err, n.Load())
+	}
+}
+
+// TestFailureBackoff negative-caches a failed compile: within the window
+// requests get the stored error without invoking the compiler; after it
+// expires the key recompiles.
+func TestFailureBackoff(t *testing.T) {
+	c := New(Config{FailureBackoff: 80 * time.Millisecond})
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	failing := func() (*core.Func, error) { calls.Add(1); return nil, boom }
+
+	if _, err := c.GetOrCompile("k", failing); !errors.Is(err, boom) {
+		t.Fatalf("first compile: err = %v", err)
+	}
+	if _, err := c.GetOrCompile("k", failing); !errors.Is(err, boom) {
+		t.Fatalf("negative hit: err = %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compiler invoked %d times inside backoff window", calls.Load())
+	}
+	if got := c.Snapshot().NegativeHits; got != 1 {
+		t.Errorf("NegativeHits = %d, want 1", got)
+	}
+	if c.Contains("k") {
+		t.Error("Contains reports a negative entry as present")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("Get returned a negative entry")
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	var n atomic.Int64
+	if _, err := c.GetOrCompile("k", fake(&n, 4)); err != nil {
+		t.Fatalf("recompile after expiry: %v", err)
+	}
+	if calls.Load() != 1 || n.Load() != 1 {
+		t.Errorf("expiry retry: failing=%d fresh=%d", calls.Load(), n.Load())
+	}
+
+	// Invalidate clears a fresh negative entry immediately.
+	if _, err := c.GetOrCompile("k2", failing); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if c.Invalidate("k2") {
+		t.Error("Invalidate counted a negative entry as live")
+	}
+	var n2 atomic.Int64
+	if _, err := c.GetOrCompile("k2", fake(&n2, 4)); err != nil || n2.Load() != 1 {
+		t.Errorf("k2 not retryable after Invalidate: err=%v compiles=%d", err, n2.Load())
+	}
+}

@@ -332,7 +332,7 @@ func (a *Asm) End() (*Func, error) {
 	}
 
 	// Constant pool: 8-byte entries after the code.
-	var poolStart int
+	poolStart := a.buf.Len()
 	if len(a.pool) > 0 {
 		if a.buf.Len()%2 != 0 {
 			a.backend.Nop(a.buf)
@@ -363,6 +363,7 @@ func (a *Asm) End() (*Func, error) {
 		StackArgBytes: a.inStack,
 		FrameBytes:    a.frame.Size,
 		NumInsns:      a.insnCount,
+		PoolStart:     poolStart,
 	}
 	fn.Relocs = append(fn.Relocs, a.relocs...)
 	for _, pr := range a.poolRefs {

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/verify"
+
 // Backend is the per-target port of VCODE: the mapping from the core
 // instruction set onto one machine's binary encodings plus that machine's
 // calling conventions and activation-record layout.  Retargeting VCODE
@@ -132,6 +134,13 @@ type Backend interface {
 	// Disasm decodes one instruction word at byte address pc for
 	// debugging and tests.
 	Disasm(w uint32, pc uint64) string
+
+	// Classify decodes the control-flow behaviour of one word for the
+	// pre-install verifier (internal/verify): whether it branches,
+	// calls or jumps indirect, and the absolute target when it is
+	// statically known.  Together with Disasm and BranchDelaySlots this
+	// makes every Backend a verify.Decoder.
+	Classify(w uint32, pc uint64) verify.Insn
 }
 
 // RegFile describes a target's register banks.

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/verify"
 )
 
 // fakeBackend is a minimal backend for exercising the Asm lifecycle
@@ -194,6 +196,10 @@ func (f *fakeBackend) TryExt(b *Buf, name string, t Type, rd Reg, rs []Reg) (boo
 }
 
 func (f *fakeBackend) Disasm(w uint32, pc uint64) string { return "?" }
+
+func (f *fakeBackend) Classify(w uint32, pc uint64) verify.Insn {
+	return verify.Insn{Kind: verify.KindOther}
+}
 
 // --- tests ---
 

@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors reported by the assembler.  The first error encountered
 // while emitting sticks to the Asm and is returned from End, so straight-
@@ -38,4 +41,33 @@ var (
 	// ErrUnknownExt is reported when an extension instruction name has
 	// no registered definition.
 	ErrUnknownExt = errors.New("vcode: unknown extension instruction")
+	// ErrFuelExhausted is reported by Call/CallWith when generated code
+	// runs past its step budget (CallOpts.Fuel, or the machine-wide
+	// MaxSteps backstop).
+	ErrFuelExhausted = errors.New("vcode: fuel exhausted")
 )
+
+// TrapPanicError reports that a runtime-helper trap handler panicked
+// during a call.  The sandbox recovers the panic so a faulty helper
+// surfaces as an error from Call instead of unwinding the host process.
+type TrapPanicError struct {
+	Sym   string // the trap's symbol name
+	PC    uint64 // the trap vector address
+	Value any    // the recovered panic value
+}
+
+func (e *TrapPanicError) Error() string {
+	return fmt.Sprintf("vcode: trap handler %q at %#x panicked: %v", e.Sym, e.PC, e.Value)
+}
+
+// PanicError reports a panic recovered from the simulator itself — the
+// last line of defense; simulators are expected to return typed errors on
+// any input.
+type PanicError struct {
+	PC    uint64
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("vcode: simulator panicked at pc %#x: %v", e.PC, e.Value)
+}

@@ -58,6 +58,10 @@ type Func struct {
 	// specified; Words may be longer (synthesized sequences) and
 	// includes padding.
 	NumInsns int
+	// PoolStart is the word index where the trailing constant pool
+	// begins; it equals len(Words) when the function has no pool.  The
+	// pre-install verifier decodes only [Entry, PoolStart).
+	PoolStart int
 
 	addr      uint64
 	installed bool

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 
 	"repro/internal/mem"
+	"repro/internal/verify"
 )
 
 // CPU is the execution substrate for one target: a cycle-counted simulator
@@ -75,6 +77,9 @@ type Machine struct {
 	// MaxSteps bounds a single Call (guards against runaway generated
 	// code in tests).
 	MaxSteps uint64
+
+	// verifyOff disables the pre-install code verifier (SetVerify).
+	verifyOff bool
 
 	trace io.Writer
 }
@@ -359,7 +364,26 @@ func (m *Machine) install(f *Func) error {
 	f.owner = m
 	f.codeSize = size
 	f.sumValid = false
+	if err := m.linkVerifyWrite(f); err != nil {
+		// Roll back so a rejected function neither leaks code space nor
+		// claims to be installed (a later retry — e.g. after the missing
+		// symbol is defined — starts clean).
+		m.freeRegion(codeRegion{addr: f.addr, size: f.codeSize})
+		f.addr = 0
+		f.installed = false
+		f.owner = nil
+		f.codeSize = 0
+		return err
+	}
+	f.sum = sumWords(f.Words)
+	f.sumValid = true
+	return nil
+}
 
+// linkVerifyWrite resolves f's relocations, verifies the finished image,
+// and copies it into simulated memory.  The caller has already reserved
+// f's code region and handles rollback on error.
+func (m *Machine) linkVerifyWrite(f *Func) error {
 	// Resolve relocations against a patchable view of the words.
 	buf := &Buf{w: f.Words}
 	for _, r := range f.Relocs {
@@ -396,6 +420,12 @@ func (m *Machine) install(f *Func) error {
 		}
 	}
 
+	if !m.verifyOff {
+		if err := m.verifyFunc(f); err != nil {
+			return err
+		}
+	}
+
 	// Copy the finished words into simulated memory in target byte
 	// order.
 	bytes := make([]byte, 4*len(f.Words))
@@ -412,20 +442,90 @@ func (m *Machine) install(f *Func) error {
 			bytes[4*i+3] = byte(w >> 24)
 		}
 	}
-	if err := m.mem.WriteBytes(addr, bytes); err != nil {
-		return err
+	return m.mem.WriteBytes(f.addr, bytes)
+}
+
+// SetVerify enables or disables the pre-install code verifier.  It is on
+// by default; benchmarks that install in a hot loop may turn it off.
+func (m *Machine) SetVerify(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.verifyOff = !on
+}
+
+// verifyFunc runs the static verifier over f's relocated image.
+func (m *Machine) verifyFunc(f *Func) error {
+	var prs []verify.PoolRef
+	for _, r := range f.Relocs {
+		if r.Kind == RelocAddr && r.Target == f && r.Addend != relocEntry {
+			prs = append(prs, verify.PoolRef{Sites: r.Sites, Offset: r.Addend, Size: 8})
+		}
 	}
-	f.sum = sumWords(f.Words)
-	f.sumValid = true
-	return nil
+	ps := f.PoolStart
+	if ps < f.Entry || ps > len(f.Words) {
+		ps = len(f.Words)
+	}
+	return verify.Verify(m.backend, &verify.Code{
+		Name:      f.Name,
+		Words:     f.Words,
+		Base:      f.addr,
+		Entry:     f.Entry,
+		PoolStart: ps,
+		PoolRefs:  prs,
+	}, verify.Options{ExternTarget: m.validCallTarget})
+}
+
+// validCallTarget reports whether an out-of-function call target is an
+// address the machine can account for: the halt vector, a registered trap,
+// or somewhere in the installed-code region.
+func (m *Machine) validCallTarget(addr uint64) bool {
+	if addr == m.haltAddr {
+		return true
+	}
+	if _, ok := m.traps[addr]; ok {
+		return true
+	}
+	return addr >= m.codeBase && addr < m.codeNext && addr%4 == 0
+}
+
+// CallOpts tunes the sandbox around one call.
+type CallOpts struct {
+	// Fuel bounds the number of simulated steps (instructions plus trap
+	// dispatches) this call may consume; 0 means no per-call budget (the
+	// machine-wide MaxSteps backstop still applies).  Exhaustion returns
+	// an error wrapping ErrFuelExhausted.
+	Fuel uint64
+	// PollStride is how many steps run between context checks; 0 means
+	// the default (1024).  Smaller strides bound cancellation latency
+	// more tightly at a small dispatch cost.
+	PollStride uint64
 }
 
 // Call installs f if needed, marshals args per the backend's default
 // calling convention, runs the simulator until the function returns, and
 // returns the typed result.
 func (m *Machine) Call(f *Func, args ...Value) (Value, error) {
+	return m.CallWith(context.Background(), CallOpts{}, f, args...)
+}
+
+// CallContext is Call with cancellation: the run loop polls ctx on a
+// stride and returns ctx.Err() (wrapped) once the deadline passes or the
+// context is canceled.
+func (m *Machine) CallContext(ctx context.Context, f *Func, args ...Value) (Value, error) {
+	return m.CallWith(ctx, CallOpts{}, f, args...)
+}
+
+// CallWith is the fully sandboxed call: context cancellation, a per-call
+// fuel budget, trap-handler panic recovery, and a last-resort recover
+// around the simulator itself.  Every failure surfaces as a typed error;
+// the call never panics and never outlives ctx by more than one poll
+// stride of simulated steps.
+func (m *Machine) CallWith(ctx context.Context, opts CallOpts, f *Func, args ...Value) (Value, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := m.install(f); err != nil {
 		return Value{}, err
 	}
@@ -467,7 +567,7 @@ func (m *Machine) Call(f *Func, args ...Value) (Value, error) {
 	m.cpu.SetReg(conv.SP, sp)
 	m.cpu.SetReg(conv.RA, m.retLinkValue(m.haltAddr))
 	m.cpu.SetPC(f.EntryAddr())
-	if err := m.run(conv); err != nil {
+	if err := m.run(ctx, opts, conv); err != nil {
 		return Value{}, fmt.Errorf("machine: running %s: %w", f.Name, err)
 	}
 
@@ -489,18 +589,48 @@ func (m *Machine) retLinkValue(target uint64) uint64 {
 // instructions appear automatically.
 func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
 
-func (m *Machine) run(conv *CallConv) error {
+func (m *Machine) run(ctx context.Context, opts CallOpts, conv *CallConv) (err error) {
+	// Last line of defense: the simulators are panic-proofed and fuzzed,
+	// but if one does panic the call must still return an error rather
+	// than unwind the caller (who may be a cache or a server loop).
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{PC: m.cpu.PC(), Value: r}
+		}
+	}()
+	budget := m.MaxSteps
+	if opts.Fuel > 0 && opts.Fuel < budget {
+		budget = opts.Fuel
+	}
+	stride := opts.PollStride
+	if stride == 0 {
+		stride = 1024
+	}
+	cancelable := ctx.Done() != nil
 	var steps uint64
 	for {
 		pc := m.cpu.PC()
 		if pc == m.haltAddr {
 			return nil
 		}
+		if cancelable && steps%stride == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("after %d steps: %w", steps, err)
+			}
+		}
+		// A trap dispatch consumes a step too, so a trap that returns to
+		// itself burns fuel instead of spinning forever.
+		steps++
+		if steps > budget {
+			return fmt.Errorf("%w: %d steps (runaway generated code?)", ErrFuelExhausted, budget)
+		}
 		if h, ok := m.traps[pc]; ok {
 			if m.trace != nil {
 				fmt.Fprintf(m.trace, "%08x: <trap %s>\n", pc, m.symAt(pc))
 			}
-			h(m.cpu, m.mem)
+			if err := m.safeTrap(pc, h); err != nil {
+				return err
+			}
 			ret := m.cpu.Reg(conv.RA) + uint64(m.backend.RetAddrOffset())
 			m.cpu.SetPC(ret)
 			continue
@@ -513,11 +643,19 @@ func (m *Machine) run(conv *CallConv) error {
 		if err := m.cpu.Step(); err != nil {
 			return err
 		}
-		steps++
-		if steps > m.MaxSteps {
-			return fmt.Errorf("exceeded MaxSteps=%d (runaway generated code?)", m.MaxSteps)
-		}
 	}
+}
+
+// safeTrap runs one trap handler with panic isolation: a faulty runtime
+// helper becomes a *TrapPanicError instead of unwinding the process.
+func (m *Machine) safeTrap(pc uint64, h TrapHandler) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TrapPanicError{Sym: m.symAt(pc), PC: pc, Value: r}
+		}
+	}()
+	h(m.cpu, m.mem)
+	return nil
 }
 
 func (m *Machine) symAt(addr uint64) string {

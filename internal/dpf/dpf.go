@@ -1,6 +1,7 @@
 package dpf
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -71,17 +72,24 @@ func NewDPFTarget(target string, conf mem.MachineConfig) (*DPF, error) {
 	var bk core.Backend
 	var cpu core.CPU
 	var m *mem.Memory
+	var err error
 	switch target {
 	case "mips":
-		m = conf.Build(false)
+		if m, err = conf.Build(false); err != nil {
+			return nil, err
+		}
 		bk = mips.New()
 		cpu = mips.NewCPU(m)
 	case "sparc":
-		m = conf.Build(true)
+		if m, err = conf.Build(true); err != nil {
+			return nil, err
+		}
 		bk = sparc.New()
 		cpu = sparc.NewCPU(m)
 	case "alpha":
-		m = conf.Build(false)
+		if m, err = conf.Build(false); err != nil {
+			return nil, err
+		}
 		bk = alpha.New()
 		cpu = alpha.NewCPU(m)
 	default:
@@ -254,6 +262,14 @@ func (d *DPF) installFresh(filters []Filter) error {
 // Classify copies the packet into simulated memory and runs the compiled
 // classifier, returning its result and cycle cost.
 func (d *DPF) Classify(pkt []byte) (int, uint64, error) {
+	return d.ClassifyContext(context.Background(), pkt)
+}
+
+// ClassifyContext is Classify with cancellation: a classifier driven from
+// a request path can bound its latency with a context deadline, and a
+// compiled trie gone wrong surfaces as a typed error instead of wedging
+// the packet loop.
+func (d *DPF) ClassifyContext(ctx context.Context, pkt []byte) (int, uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.fn == nil {
@@ -266,7 +282,7 @@ func (d *DPF) Classify(pkt []byte) (int, uint64, error) {
 		return 0, 0, err
 	}
 	d.cpu.ResetStats()
-	ret, err := d.machine.Call(d.fn, core.P(d.pktAddr), core.I(int32(len(pkt))))
+	ret, err := d.machine.CallContext(ctx, d.fn, core.P(d.pktAddr), core.I(int32(len(pkt))))
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,193 @@
+// Package faultinject is a deterministic, probabilistic fault layer over
+// the simulated machine stack.  An Injector plugs into internal/mem as a
+// FaultHook — corrupting fetched instruction words with bit flips and
+// failing fetches, loads and stores at configured rates — and wraps code
+// cache compile callbacks with injected errors and panics.
+//
+// Its purpose is to prove the hardening contract: under any injected
+// fault the generate→install→execute pipeline must degrade to typed
+// errors — never panic, never hang.  Every fault the injector raises
+// wraps ErrInjected, so a soak driver can separate "failures we caused"
+// from "failures the stack invented" with errors.Is.
+//
+// All fault decisions come from a single seeded PRNG, so a failing soak
+// run reproduces exactly from its seed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ErrInjected is wrapped by every error the injector raises.  Use
+// errors.Is(err, faultinject.ErrInjected) to recognize deliberate faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is the concrete error for one injected fault.
+type Fault struct {
+	Op   string // "fetch", "load", "store", "compile"
+	Addr uint64 // faulted address (0 for compile faults)
+	Size int    // access size in bytes (0 for fetch/compile)
+}
+
+func (f *Fault) Error() string {
+	if f.Op == "compile" {
+		return "faultinject: injected compile failure"
+	}
+	return fmt.Sprintf("faultinject: injected %s fault at %#x", f.Op, f.Addr)
+}
+
+// Unwrap makes every Fault match ErrInjected.
+func (f *Fault) Unwrap() error { return ErrInjected }
+
+// Config sets the per-event fault probabilities (all in [0,1]; zero
+// disables that fault class).
+type Config struct {
+	// Seed initializes the PRNG; runs with equal seeds and equal event
+	// sequences inject identical faults.
+	Seed int64
+
+	// FetchErrorRate fails an instruction fetch outright.
+	FetchErrorRate float64
+	// FetchFlipRate corrupts a fetched instruction word by flipping one
+	// random bit — the simulator must then decode-or-reject it, never
+	// panic.
+	FetchFlipRate float64
+	// LoadErrorRate / StoreErrorRate fail data accesses.
+	LoadErrorRate  float64
+	StoreErrorRate float64
+
+	// CompileErrorRate makes a wrapped compile callback return an
+	// injected error; CompilePanicRate makes it panic instead (the code
+	// cache must recover it into a CompilePanicError and close the
+	// single-flight).  Panic is rolled first.
+	CompileErrorRate float64
+	CompilePanicRate float64
+}
+
+// Stats counts injected faults by class.
+type Stats struct {
+	FetchErrors   uint64
+	BitFlips      uint64
+	LoadErrors    uint64
+	StoreErrors   uint64
+	CompileErrors uint64
+	CompilePanics uint64
+}
+
+// Total is the number of faults injected across all classes.
+func (s Stats) Total() uint64 {
+	return s.FetchErrors + s.BitFlips + s.LoadErrors + s.StoreErrors +
+		s.CompileErrors + s.CompilePanics
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("injected %d faults: %d fetch errors, %d bit flips, %d load errors, %d store errors, %d compile errors, %d compile panics",
+		s.Total(), s.FetchErrors, s.BitFlips, s.LoadErrors, s.StoreErrors, s.CompileErrors, s.CompilePanics)
+}
+
+// Injector implements mem.FaultHook and wraps compile callbacks.  Safe
+// for concurrent use; fault decisions serialize on one PRNG so a given
+// seed yields a reproducible fault stream for a deterministic caller.
+type Injector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg Config
+
+	fetchErrors   atomic.Uint64
+	bitFlips      atomic.Uint64
+	loadErrors    atomic.Uint64
+	storeErrors   atomic.Uint64
+	compileErrors atomic.Uint64
+	compilePanics atomic.Uint64
+}
+
+// New builds an injector with the given rates and seed.
+func New(cfg Config) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// roll draws one uniform variate under the PRNG lock; true with
+// probability p.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v < p
+}
+
+// bit picks a random bit position in a 32-bit word.
+func (in *Injector) bit() uint {
+	in.mu.Lock()
+	b := uint(in.rng.Intn(32))
+	in.mu.Unlock()
+	return b
+}
+
+// FetchFault implements mem.FaultHook: fail the fetch, or flip one bit of
+// the fetched word, at the configured rates.
+func (in *Injector) FetchFault(addr uint64, w uint32) (uint32, error) {
+	if in.roll(in.cfg.FetchErrorRate) {
+		in.fetchErrors.Add(1)
+		return 0, &Fault{Op: "fetch", Addr: addr}
+	}
+	if in.roll(in.cfg.FetchFlipRate) {
+		in.bitFlips.Add(1)
+		w ^= 1 << in.bit()
+	}
+	return w, nil
+}
+
+// LoadFault implements mem.FaultHook.
+func (in *Injector) LoadFault(addr uint64, size int) error {
+	if in.roll(in.cfg.LoadErrorRate) {
+		in.loadErrors.Add(1)
+		return &Fault{Op: "load", Addr: addr, Size: size}
+	}
+	return nil
+}
+
+// StoreFault implements mem.FaultHook.
+func (in *Injector) StoreFault(addr uint64, size int) error {
+	if in.roll(in.cfg.StoreErrorRate) {
+		in.storeErrors.Add(1)
+		return &Fault{Op: "store", Addr: addr, Size: size}
+	}
+	return nil
+}
+
+// WrapCompile decorates a code cache compile callback with injected
+// failures and panics at the configured rates.
+func (in *Injector) WrapCompile(compile func() (*core.Func, error)) func() (*core.Func, error) {
+	return func() (*core.Func, error) {
+		if in.roll(in.cfg.CompilePanicRate) {
+			in.compilePanics.Add(1)
+			panic("faultinject: injected compile panic")
+		}
+		if in.roll(in.cfg.CompileErrorRate) {
+			in.compileErrors.Add(1)
+			return nil, &Fault{Op: "compile"}
+		}
+		return compile()
+	}
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		FetchErrors:   in.fetchErrors.Load(),
+		BitFlips:      in.bitFlips.Load(),
+		LoadErrors:    in.loadErrors.Load(),
+		StoreErrors:   in.storeErrors.Load(),
+		CompileErrors: in.compileErrors.Load(),
+		CompilePanics: in.compilePanics.Load(),
+	}
+}

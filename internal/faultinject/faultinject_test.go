@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// TestDeterminism: equal seeds and event sequences inject identical
+// faults (same corrupted words, same errors, same counters).
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, FetchErrorRate: 0.05, FetchFlipRate: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 2000; i++ {
+		wa, ea := a.FetchFault(uint64(4*i), 0xdeadbeef)
+		wb, eb := b.FetchFault(uint64(4*i), 0xdeadbeef)
+		if wa != wb || (ea == nil) != (eb == nil) {
+			t.Fatalf("event %d diverged: (%#x,%v) vs (%#x,%v)", i, wa, ea, wb, eb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %v vs %v", a.Stats(), b.Stats())
+	}
+	if a.Stats().BitFlips == 0 || a.Stats().FetchErrors == 0 {
+		t.Errorf("expected some faults at these rates: %v", a.Stats())
+	}
+}
+
+// TestZeroConfig: the zero rates never fault and never corrupt.
+func TestZeroConfig(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if w, err := in.FetchFault(0x1000, 0x1234); w != 0x1234 || err != nil {
+			t.Fatalf("fetch corrupted with zero config: %#x, %v", w, err)
+		}
+		if err := in.LoadFault(0x2000, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.StoreFault(0x2000, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := in.Stats().Total(); got != 0 {
+		t.Errorf("injected %d faults with zero config", got)
+	}
+}
+
+// TestRates: a 50% load-fault rate lands near half over many trials.
+func TestRates(t *testing.T) {
+	in := New(Config{Seed: 7, LoadErrorRate: 0.5})
+	const n = 10000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if in.LoadFault(0, 4) != nil {
+			fails++
+		}
+	}
+	if fails < 4500 || fails > 5500 {
+		t.Errorf("50%% rate yielded %d/%d faults", fails, n)
+	}
+}
+
+// TestFaultTyping: every injected error matches ErrInjected and carries
+// the faulted operation.
+func TestFaultTyping(t *testing.T) {
+	in := New(Config{Seed: 3, StoreErrorRate: 1})
+	err := in.StoreFault(0xbeef, 8)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.Op != "store" || f.Addr != 0xbeef || f.Size != 8 {
+		t.Errorf("fault contents: %+v", f)
+	}
+}
+
+// TestWrapCompile: injected compile errors are typed; injected panics
+// actually panic (the code cache recovers them downstream).
+func TestWrapCompile(t *testing.T) {
+	in := New(Config{Seed: 5, CompileErrorRate: 1})
+	wrapped := in.WrapCompile(func() (*core.Func, error) {
+		t.Fatal("inner compile ran despite injected failure")
+		return nil, nil
+	})
+	if _, err := wrapped(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+
+	in = New(Config{Seed: 5, CompilePanicRate: 1})
+	wrapped = in.WrapCompile(func() (*core.Func, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Error("injected panic did not fire")
+		}
+		if in.Stats().CompilePanics != 1 {
+			t.Errorf("CompilePanics = %d", in.Stats().CompilePanics)
+		}
+	}()
+	wrapped()
+}
+
+// TestHookThroughMemory: the injector plugs into mem.Memory and faults
+// surface from Load/Store/FetchWord with ErrInjected preserved.
+func TestHookThroughMemory(t *testing.T) {
+	m := mem.New(1<<16, false)
+	in := New(Config{Seed: 9, LoadErrorRate: 1, StoreErrorRate: 1, FetchErrorRate: 1})
+	m.SetFaultHook(in)
+	if _, err := m.Load(0x100, 4); !errors.Is(err, ErrInjected) {
+		t.Errorf("Load: %v", err)
+	}
+	if err := m.Store(0x100, 4, 0); !errors.Is(err, ErrInjected) {
+		t.Errorf("Store: %v", err)
+	}
+	if _, err := m.FetchWord(0x100); !errors.Is(err, ErrInjected) {
+		t.Errorf("FetchWord: %v", err)
+	}
+	m.SetFaultHook(nil)
+	if err := m.Store(0x100, 4, 0); err != nil {
+		t.Errorf("Store after hook removal: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package jit
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -38,17 +39,24 @@ func NewMachineTarget(target string, conf mem.MachineConfig) (*Machine, error) {
 	var bk core.Backend
 	var cpu core.CPU
 	var m *mem.Memory
+	var err error
 	switch target {
 	case "mips":
-		m = conf.Build(false)
+		if m, err = conf.Build(false); err != nil {
+			return nil, err
+		}
 		bk = mips.New()
 		cpu = mips.NewCPU(m)
 	case "sparc":
-		m = conf.Build(true)
+		if m, err = conf.Build(true); err != nil {
+			return nil, err
+		}
 		bk = sparc.New()
 		cpu = sparc.NewCPU(m)
 	case "alpha":
-		m = conf.Build(false)
+		if m, err = conf.Build(false); err != nil {
+			return nil, err
+		}
 		bk = alpha.New()
 		cpu = alpha.NewCPU(m)
 	default:
@@ -206,6 +214,17 @@ func (m *Machine) Core() *core.Machine { return m.machine }
 // Run executes a compiled function on the simulator, returning the result
 // and cycle cost.
 func (m *Machine) Run(fn *core.Func, args ...int32) (int32, uint64, error) {
+	return m.RunWith(context.Background(), core.CallOpts{}, fn, args...)
+}
+
+// RunContext is Run with cancellation: the simulator run loop observes
+// ctx's deadline on a stride.
+func (m *Machine) RunContext(ctx context.Context, fn *core.Func, args ...int32) (int32, uint64, error) {
+	return m.RunWith(ctx, core.CallOpts{}, fn, args...)
+}
+
+// RunWith executes with the full sandbox (context plus per-call fuel).
+func (m *Machine) RunWith(ctx context.Context, opts core.CallOpts, fn *core.Func, args ...int32) (int32, uint64, error) {
 	m.runMu.Lock()
 	defer m.runMu.Unlock()
 	vals := make([]core.Value, len(args))
@@ -213,7 +232,7 @@ func (m *Machine) Run(fn *core.Func, args ...int32) (int32, uint64, error) {
 		vals[i] = core.I(a)
 	}
 	m.cpu.ResetStats()
-	got, err := m.machine.Call(fn, vals...)
+	got, err := m.machine.CallWith(ctx, opts, fn, vals...)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -20,10 +20,11 @@ type Cache struct {
 
 // NewCache builds a cache model.  readMiss is the stall charged per read
 // miss; writeCycles is the per-write cost of the write-through path (the
-// write buffer).
-func NewCache(lineSize, numLines int, readMiss, writeCycles uint64) *Cache {
-	if lineSize&(lineSize-1) != 0 || numLines&(numLines-1) != 0 {
-		panic(fmt.Sprintf("mem: cache geometry must be powers of two (%d lines of %dB)", numLines, lineSize))
+// write buffer).  The geometry must be positive powers of two.
+func NewCache(lineSize, numLines int, readMiss, writeCycles uint64) (*Cache, error) {
+	if lineSize <= 0 || numLines <= 0 ||
+		lineSize&(lineSize-1) != 0 || numLines&(numLines-1) != 0 {
+		return nil, fmt.Errorf("mem: cache geometry must be powers of two (%d lines of %dB)", numLines, lineSize)
 	}
 	return &Cache{
 		lineSize:    lineSize,
@@ -32,7 +33,7 @@ func NewCache(lineSize, numLines int, readMiss, writeCycles uint64) *Cache {
 		writeCycles: writeCycles,
 		tags:        make([]uint64, numLines),
 		valid:       make([]bool, numLines),
-	}
+	}, nil
 }
 
 // SizeBytes returns the total cache capacity.

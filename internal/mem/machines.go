@@ -52,13 +52,19 @@ var Uncosted = MachineConfig{
 }
 
 // Build constructs the Memory (with cache attached when configured) for
-// this machine model.
-func (mc MachineConfig) Build(bigEndian bool) *Memory {
+// this machine model.  An invalid cache geometry is an error, not a
+// panic: configurations can come from user input (cmd flags, config
+// files), and a malformed one must not take the process down.
+func (mc MachineConfig) Build(bigEndian bool) (*Memory, error) {
 	m := New(mc.MemBytes, bigEndian)
 	if mc.CacheLineBytes > 0 {
-		m.AttachCache(NewCache(mc.CacheLineBytes, mc.CacheLines, mc.ReadMissCycles, mc.WriteCycles))
+		c, err := NewCache(mc.CacheLineBytes, mc.CacheLines, mc.ReadMissCycles, mc.WriteCycles)
+		if err != nil {
+			return nil, err
+		}
+		m.AttachCache(c)
 	}
-	return m
+	return m, nil
 }
 
 // Micros converts a cycle count to microseconds under this clock.

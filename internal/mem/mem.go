@@ -20,7 +20,26 @@ type Memory struct {
 	// penaltyCycles accumulates memory-system stall cycles charged by
 	// the cache model.
 	penaltyCycles uint64
+	// hook, when set, intercepts accesses for fault injection
+	// (internal/faultinject); nil in normal operation.
+	hook FaultHook
 }
+
+// FaultHook intercepts memory operations for fault injection.  A hook may
+// force an error on any access or corrupt fetched instruction words; the
+// rest of the stack must degrade to typed errors under either.
+type FaultHook interface {
+	// FetchFault is consulted after every successful instruction fetch;
+	// it may rewrite the word (bit flips) or replace it with an error.
+	FetchFault(addr uint64, w uint32) (uint32, error)
+	// LoadFault runs before a data load; a non-nil error aborts it.
+	LoadFault(addr uint64, size int) error
+	// StoreFault runs before a data store; a non-nil error aborts it.
+	StoreFault(addr uint64, size int) error
+}
+
+// SetFaultHook installs (or with nil removes) a fault-injection hook.
+func (m *Memory) SetFaultHook(h FaultHook) { m.hook = h }
 
 // New returns a memory of the given size.  bigEndian selects the byte
 // order (SPARC is big-endian; the DECstation MIPS and Alpha are little).
@@ -49,6 +68,11 @@ func (m *Memory) check(addr uint64, size int) error {
 func (m *Memory) Load(addr uint64, size int) (uint64, error) {
 	if err := m.check(addr, size); err != nil {
 		return 0, err
+	}
+	if m.hook != nil {
+		if err := m.hook.LoadFault(addr, size); err != nil {
+			return 0, err
+		}
 	}
 	if m.dc != nil {
 		m.penaltyCycles += m.dc.access(addr, false)
@@ -89,6 +113,11 @@ func (m *Memory) Store(addr uint64, size int, v uint64) error {
 	if err := m.check(addr, size); err != nil {
 		return err
 	}
+	if m.hook != nil {
+		if err := m.hook.StoreFault(addr, size); err != nil {
+			return err
+		}
+	}
 	if m.dc != nil {
 		m.penaltyCycles += m.dc.access(addr, true)
 	}
@@ -126,7 +155,11 @@ func (m *Memory) FetchWord(addr uint64) (uint32, error) {
 	if err := m.check(addr, 4); err != nil {
 		return 0, err
 	}
-	return uint32(m.loadRaw(addr, 4)), nil
+	w := uint32(m.loadRaw(addr, 4))
+	if m.hook != nil {
+		return m.hook.FetchFault(addr, w)
+	}
+	return w, nil
 }
 
 // WriteBytes copies raw bytes into memory (loader use; no cost accounting).

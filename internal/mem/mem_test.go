@@ -68,7 +68,10 @@ func TestAlignmentAndBounds(t *testing.T) {
 
 func TestCacheModel(t *testing.T) {
 	m := New(1<<16, false)
-	c := NewCache(16, 4, 10, 1)
+	c, err := NewCache(16, 4, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m.AttachCache(c)
 
 	// First read of a line misses; the second hits.
@@ -133,7 +136,11 @@ func TestCacheModel(t *testing.T) {
 
 func TestFetchWordUncosted(t *testing.T) {
 	m := New(4096, false)
-	m.AttachCache(NewCache(16, 16, 10, 1))
+	fc, err := NewCache(16, 16, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachCache(fc)
 	if err := m.Store(128, 4, 0xdeadbeef); err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +184,10 @@ func TestAccessors(t *testing.T) {
 
 func TestMachineConfigs(t *testing.T) {
 	for _, mc := range []MachineConfig{DEC3100, DEC5000} {
-		m := mc.Build(false)
+		m, err := mc.Build(false)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if m.Cache() == nil {
 			t.Errorf("%s: no cache attached", mc.Name)
 		}
@@ -185,8 +195,8 @@ func TestMachineConfigs(t *testing.T) {
 			t.Errorf("%s: cache is %d bytes, want 64KB", mc.Name, m.Cache().SizeBytes())
 		}
 	}
-	if mu := Uncosted.Build(true); mu.Cache() != nil {
-		t.Error("Uncosted should have no cache")
+	if mu, err := Uncosted.Build(true); err != nil || mu.Cache() != nil {
+		t.Errorf("Uncosted should build cacheless (err %v)", err)
 	}
 	if us := DEC5000.Micros(2500); us != 100 {
 		t.Errorf("25MHz: 2500 cycles = %v us, want 100", us)

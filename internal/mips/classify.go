@@ -1,0 +1,47 @@
+package mips
+
+import "repro/internal/verify"
+
+// Classify decodes the control-flow behaviour of one MIPS word for the
+// pre-install verifier.  Branch displacements are delay-slot-relative
+// (pc+4), J-format targets are 256MB-region absolute, and jr/jalr are
+// register-indirect.
+func (m *Backend) Classify(w uint32, pc uint64) verify.Insn {
+	op := w >> 26
+	rel := func() uint64 { // conditional-branch target: pc+4 + simm16<<2
+		return pc + 4 + uint64(int64(int16(w))<<2)
+	}
+	switch op {
+	case opSpecial:
+		switch w & 0x3f {
+		case fnJr:
+			return verify.Insn{Kind: verify.KindJumpReg}
+		case fnJalr:
+			return verify.Insn{Kind: verify.KindCall}
+		}
+		return verify.Insn{Kind: verify.KindOther}
+	case opRegimm:
+		switch w >> 16 & 0x1f {
+		case rtBltz, rtBgez:
+			return verify.Insn{Kind: verify.KindBranch, Target: rel(), HasTarget: true}
+		case rtBal:
+			return verify.Insn{Kind: verify.KindCall, Target: rel(), HasTarget: true}
+		}
+		return verify.Insn{Kind: verify.KindIllegal}
+	case opJ, opJal:
+		target := (pc+4)&^uint64(0x0fffffff) | uint64(w&0x03ffffff)<<2
+		kind := verify.KindBranch
+		if op == opJal {
+			kind = verify.KindCall
+		}
+		return verify.Insn{Kind: kind, Target: target, HasTarget: true}
+	case opBeq, opBne, opBlez, opBgtz:
+		return verify.Insn{Kind: verify.KindBranch, Target: rel(), HasTarget: true}
+	case opCop1:
+		if w>>21&0x1f == fmtBC {
+			return verify.Insn{Kind: verify.KindBranch, Target: rel(), HasTarget: true}
+		}
+		return verify.Insn{Kind: verify.KindOther}
+	}
+	return verify.Insn{Kind: verify.KindOther}
+}

@@ -1,0 +1,228 @@
+package regtest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/verify"
+)
+
+// buildCountdown assembles f(n) = n + (n-1) + … + 1 with a backward
+// conditional branch — the shape the corruption tests pick apart.
+func buildCountdown(t *testing.T, tg Target) *core.Func {
+	t.Helper()
+	a := core.NewAsm(tg.Backend)
+	a.SetName("countdown")
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := a.GetReg(core.Temp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Seti(acc, 0)
+	top := a.NewLabel()
+	a.Bind(top)
+	a.Addi(acc, acc, args[0])
+	a.Subii(args[0], args[0], 1)
+	a.Bgtii(args[0], 0, top)
+	a.Reti(acc)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+// TestVerifierRejectsCorruptedBranch flips the displacement sign bit of
+// the loop branch in a good function: the pre-install verifier must
+// reject the now out-of-range target, the failed install must roll back
+// cleanly, and the restored function must install and run.
+func TestVerifierRejectsCorruptedBranch(t *testing.T) {
+	// Displacement sign-bit position per target ISA (imm16 / disp22 /
+	// disp21) — flipping it keeps the opcode but throws the target far
+	// out of the function.
+	signBit := map[string]uint{"mips": 15, "sparc": 21, "alpha": 20}
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			fn := buildCountdown(t, tg)
+
+			branch := -1
+			for i, w := range fn.Words {
+				in := tg.Backend.Classify(w, uint64(4*i))
+				if in.Kind == verify.KindBranch && in.HasTarget {
+					branch = i
+					break
+				}
+			}
+			if branch < 0 {
+				t.Fatal("no conditional branch found to corrupt")
+			}
+			good := fn.Words[branch]
+			fn.Words[branch] = good ^ 1<<signBit[tg.Name]
+
+			err := m.Install(fn)
+			if err == nil {
+				t.Fatal("install accepted a corrupted branch")
+			}
+			if !errors.Is(err, verify.ErrBranchTarget) {
+				t.Fatalf("err = %v, want ErrBranchTarget", err)
+			}
+			if m.Installed(fn) {
+				t.Fatal("failed install left function marked installed")
+			}
+
+			// The rejected install must have rolled back completely:
+			// restore the word and everything works.
+			fn.Words[branch] = good
+			if err := m.Install(fn); err != nil {
+				t.Fatalf("reinstall after rollback: %v", err)
+			}
+			got, err := m.Call(fn, core.I(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Int() != 55 {
+				t.Errorf("countdown(10) = %d, want 55", got.Int())
+			}
+		})
+	}
+}
+
+// TestUnboundSymbolInstall installs a function calling a symbol nobody
+// defined; the relocation step must fail with an error, not link
+// garbage.
+func TestUnboundSymbolInstall(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			a := core.NewAsm(tg.Backend)
+			a.SetName("dangling")
+			if _, err := a.Begin("%i", core.NonLeaf); err != nil {
+				t.Fatal(err)
+			}
+			a.StartCall("")
+			a.CallSym("no-such-helper")
+			a.RetVoid()
+			fn, err := a.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Install(fn); err == nil {
+				t.Fatal("install resolved a symbol that was never defined")
+			}
+			if m.Installed(fn) {
+				t.Error("failed install left function marked installed")
+			}
+		})
+	}
+}
+
+// TestCallDeadlineMidLoop runs an infinite loop under a context
+// deadline and under a fuel budget; both sandboxes must cut it short
+// with their typed error while the simulated CPU is mid-flight.
+func TestCallDeadlineMidLoop(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			a := core.NewAsm(tg.Backend)
+			a.SetName("spin")
+			args, err := a.Begin("%i", core.Leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			top := a.NewLabel()
+			a.Bind(top)
+			a.Addii(args[0], args[0], 1)
+			a.Jmp(top)
+			a.Reti(args[0]) // unreachable
+			fn, err := a.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Install(fn); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err = m.CallContext(ctx, fn, core.I(0))
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want DeadlineExceeded", err)
+			}
+			if el := time.Since(start); el > 5*time.Second {
+				t.Errorf("cancellation took %v", el)
+			}
+
+			_, err = m.CallWith(context.Background(), core.CallOpts{Fuel: 5000}, fn, core.I(0))
+			if !errors.Is(err, core.ErrFuelExhausted) {
+				t.Fatalf("err = %v, want ErrFuelExhausted", err)
+			}
+		})
+	}
+}
+
+// TestTrapPanicRecovery registers a runtime helper that panics; the
+// sandbox must surface it as a *TrapPanicError naming the trap, and the
+// machine must stay usable afterwards.
+func TestTrapPanicRecovery(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			if err := m.DefineTrap("boom", func(core.CPU, *mem.Memory) {
+				panic("helper exploded")
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			a := core.NewAsm(tg.Backend)
+			a.SetName("caller")
+			if _, err := a.Begin("%i", core.NonLeaf); err != nil {
+				t.Fatal(err)
+			}
+			a.StartCall("")
+			a.CallSym("boom")
+			a.RetVoid()
+			fn, err := a.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Install(fn); err != nil {
+				t.Fatal(err)
+			}
+
+			_, err = m.Call(fn, core.I(0))
+			var tp *core.TrapPanicError
+			if !errors.As(err, &tp) {
+				t.Fatalf("err = %v, want *TrapPanicError", err)
+			}
+			if tp.Sym != "boom" || tp.Value != "helper exploded" {
+				t.Errorf("trap panic contents: %+v", tp)
+			}
+
+			// The machine survives: a healthy function still runs.
+			ok := buildCountdown(t, tg)
+			if err := m.Install(ok); err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Call(ok, core.I(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Int() != 10 {
+				t.Errorf("countdown(4) = %d, want 10", got.Int())
+			}
+		})
+	}
+}

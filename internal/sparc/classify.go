@@ -1,0 +1,38 @@
+package sparc
+
+import "repro/internal/verify"
+
+// Classify decodes the control-flow behaviour of one SPARC word for the
+// pre-install verifier.  Bicc/FBfcc displacements and the call
+// instruction are pc-relative (from the branch itself); jmpl is
+// register-indirect and serves as jump, indirect call and return.
+func (s *Backend) Classify(w uint32, pc uint64) verify.Insn {
+	switch w >> 30 {
+	case 0:
+		switch w >> 22 & 7 {
+		case 2, 6: // Bicc / FBfcc
+			disp := int64(int32(w<<10) >> 10)
+			return verify.Insn{
+				Kind:      verify.KindBranch,
+				Target:    uint64(int64(pc) + disp*4),
+				HasTarget: true,
+			}
+		}
+		return verify.Insn{Kind: verify.KindOther}
+	case 1: // call disp30
+		disp := int64(int32(w<<2) >> 2)
+		return verify.Insn{
+			Kind:      verify.KindCall,
+			Target:    uint64(int64(pc) + disp*4),
+			HasTarget: true,
+		}
+	case 2:
+		if w>>19&0x3f == op3Jmpl {
+			if w>>25&0x1f != 0 { // writes a link register: indirect call
+				return verify.Insn{Kind: verify.KindCall}
+			}
+			return verify.Insn{Kind: verify.KindJumpReg}
+		}
+	}
+	return verify.Insn{Kind: verify.KindOther}
+}

@@ -87,14 +87,18 @@ func (c *CPU) wr(n, v uint32) {
 	}
 }
 
+// fdouble/wfdouble access an even/odd register pair.  The architecture
+// requires double operands in even-aligned pairs; forcing the alignment
+// here (n&^1, n|1) keeps an odd register number in a hand-crafted word
+// from indexing past the register file.
 func (c *CPU) fdouble(n uint32) float64 {
-	return math.Float64frombits(uint64(c.f[n])<<32 | uint64(c.f[n+1]))
+	return math.Float64frombits(uint64(c.f[n&^1])<<32 | uint64(c.f[n|1]))
 }
 
 func (c *CPU) wfdouble(n uint32, v float64) {
 	bits := math.Float64bits(v)
-	c.f[n] = uint32(bits >> 32)
-	c.f[n+1] = uint32(bits)
+	c.f[n&^1] = uint32(bits >> 32)
+	c.f[n|1] = uint32(bits)
 }
 
 func (c *CPU) fsingle(n uint32) float32     { return math.Float32frombits(c.f[n]) }
@@ -442,8 +446,8 @@ func (c *CPU) memOp(w uint32) error {
 		if err != nil {
 			return fmt.Errorf("sparc: lddf at pc %#x: %w", c.pc, err)
 		}
-		c.f[rd] = uint32(v >> 32)
-		c.f[rd+1] = uint32(v)
+		c.f[rd&^1] = uint32(v >> 32)
+		c.f[rd|1] = uint32(v)
 	case op3St, op3Stb, op3Sth:
 		size := map[uint32]int{op3St: 4, op3Stb: 1, op3Sth: 2}[op3]
 		if err := c.m.Store(addr, size, uint64(c.ru(rd))); err != nil {
@@ -454,7 +458,7 @@ func (c *CPU) memOp(w uint32) error {
 			return fmt.Errorf("sparc: stf at pc %#x: %w", c.pc, err)
 		}
 	case op3Stdf:
-		v := uint64(c.f[rd])<<32 | uint64(c.f[rd+1])
+		v := uint64(c.f[rd&^1])<<32 | uint64(c.f[rd|1])
 		if err := c.m.Store(addr, 8, v); err != nil {
 			return fmt.Errorf("sparc: stdf at pc %#x: %w", c.pc, err)
 		}

@@ -1,0 +1,33 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSpecParse feeds arbitrary text to the instruction-spec parser;
+// malformed specs must come back as errors, never panics.
+func FuzzSpecParse(f *testing.F) {
+	f.Add(paperExample)
+	f.Add("(clip (rd, rs1, rs2) (i u l ul clipw clipwi) (d clipd))")
+	f.Add("(a (rd) (i x))\n(b (rd, rs) (f y))")
+	f.Add("; comment\n(sqrt (rd, rs) (f fsqrts))")
+	f.Add("(")
+	f.Add("()")
+	f.Add("(x)")
+	f.Add("(x (rd,) (i y))")
+	f.Add("(x (rd) ())")
+	// Regression: deep nesting must hit the depth limit, not the stack.
+	f.Add(strings.Repeat("(", 2000))
+	f.Fuzz(func(t *testing.T, text string) {
+		defs, err := Parse(text)
+		if err != nil {
+			return
+		}
+		for _, d := range defs {
+			if d == nil {
+				t.Error("nil def without error")
+			}
+		}
+	})
+}

@@ -62,9 +62,15 @@ type sexpr struct {
 }
 
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
+
+// maxListDepth bounds s-expression nesting: the parser is recursive, and
+// without a limit "((((…" input overflows the goroutine stack — a fatal
+// runtime error that no recover can catch.
+const maxListDepth = 200
 
 func (p *parser) skipSpace() {
 	for p.pos < len(p.src) {
@@ -89,6 +95,11 @@ func (p *parser) parse() (*sexpr, error) {
 		return nil, nil
 	}
 	if p.src[p.pos] == '(' {
+		p.depth++
+		defer func() { p.depth-- }()
+		if p.depth > maxListDepth {
+			return nil, fmt.Errorf("spec: lists nested deeper than %d", maxListDepth)
+		}
 		p.pos++
 		node := &sexpr{list: []*sexpr{}}
 		for {

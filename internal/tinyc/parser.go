@@ -21,9 +21,26 @@ func Parse(src string) (*Program, error) {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds statement and expression nesting.  The parser is
+// recursive-descent, so without a limit pathological input ("((((…" or
+// "{{{{…") grows the goroutine stack until the runtime kills the whole
+// process — a fatal error no recover can catch.
+const maxParseDepth = 500
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("line %d: nesting deeper than %d", p.line(), maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) tok() token { return p.toks[p.pos] }
 func (p *parser) line() int  { return p.tok().line }
@@ -121,6 +138,10 @@ func (p *parser) block() (*Block, error) {
 }
 
 func (p *parser) stmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	line := p.line()
 	switch {
 	case p.at(tokPunct, "{"):
@@ -317,6 +338,10 @@ var binPrec = map[string]int{
 func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
 
 func (p *parser) binExpr(minPrec int) (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	lhs, err := p.unary()
 	if err != nil {
 		return nil, err
@@ -337,6 +362,10 @@ func (p *parser) binExpr(minPrec int) (Expr, error) {
 }
 
 func (p *parser) unary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.accept(tokPunct, "-"):
 		x, err := p.unary()

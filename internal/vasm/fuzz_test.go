@@ -1,0 +1,34 @@
+package vasm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+// FuzzVasmParse feeds arbitrary source through the full assemble path —
+// parse, emit, install (which runs the pre-install verifier) — on a
+// fresh machine.  Any input must yield a program or an error; a panic
+// fails the fuzz run.
+func FuzzVasmParse(f *testing.F) {
+	f.Add(factSrc)
+	f.Add(callSrc)
+	f.Add(recSrc)
+	f.Add(".func f (%i) leaf\n reti arg0\n.end\n")
+	f.Add(".func f (%i) leaf\n.reg a\n seti a, 9\nloop:\n subii arg0, arg0, 1\n bgtii arg0, 0, loop\n reti a\n.end\n")
+	f.Add(".func f () leaf\n.local x 8\n retv\n.end\n")
+	f.Add(".func f (%i)\n startcall (%i)\n setarg 0, arg0\n callsym missing\n retv\n.end\n")
+	f.Add("; comment only\n")
+	f.Add(".func")
+	f.Add(".end")
+	f.Fuzz(func(t *testing.T, src string) {
+		m := mem.New(1<<21, false)
+		machine := core.NewMachine(mips.New(), mips.NewCPU(m), m)
+		prog, err := Assemble(machine, src)
+		if err == nil && prog == nil {
+			t.Error("nil program without error")
+		}
+	})
+}

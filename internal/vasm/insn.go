@@ -34,17 +34,23 @@ type insnDef struct {
 
 // insnTable maps the paper's instruction names (addii, bltuli, cvi2d, …)
 // onto the generic emitters — built by composition, exactly like the
-// generated method layer.
-var insnTable = buildInsnTable()
+// generated method layer.  A construction failure (a typo'd type letter in
+// the table source) is held in insnTableErr and surfaced on first lookup
+// rather than panicking at package init.
+var insnTable, insnTableErr = buildInsnTable()
 
-func buildInsnTable() map[string]insnDef {
+func buildInsnTable() (map[string]insnDef, error) {
 	m := map[string]insnDef{}
+	var buildErr error
 	types := func(ss ...string) []core.Type {
 		out := make([]core.Type, len(ss))
 		for i, s := range ss {
 			t, err := core.ParseType(s)
 			if err != nil {
-				panic(err)
+				if buildErr == nil {
+					buildErr = fmt.Errorf("vasm: instruction table: %w", err)
+				}
+				continue
 			}
 			out[i] = t
 		}
@@ -118,7 +124,7 @@ func buildInsnTable() map[string]insnDef {
 			}
 		}
 	}
-	return m
+	return m, buildErr
 }
 
 func (p *parser) insn(f []string) error {
@@ -245,6 +251,9 @@ func (p *parser) insn(f []string) error {
 		return a.Err()
 	}
 
+	if insnTableErr != nil {
+		return insnTableErr
+	}
 	d, ok := insnTable[name]
 	if !ok {
 		return p.errf("unknown instruction %q", name)

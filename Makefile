@@ -28,4 +28,9 @@ test:
 bench:
 	go test -bench . -benchtime 1s .
 
-.PHONY: verify fuzz-smoke soak test bench
+# Machine-readable benchmark record: ns/generated-instruction for every
+# backend, cache hit rate and calls/sec, plus the full telemetry dump.
+bench-json:
+	go run ./cmd/cgbench -cache -metrics -requests 50000 -iters 2000 -json BENCH_pr3.json
+
+.PHONY: verify fuzz-smoke soak test bench bench-json

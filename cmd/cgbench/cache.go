@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jit"
 	"repro/internal/mem"
+	"repro/internal/profile"
 )
 
 // runCacheBench drives the concurrent code-cache subsystem end to end: a
@@ -25,7 +26,10 @@ import (
 //  3. eviction: under a key stream larger than capacity, resident
 //     simulator code memory stays bounded while total compiled bytes
 //     grow without bound.
-func runCacheBench(workers, keys, capacity, requests int) error {
+//
+// When prof is non-nil the simulator is PC-sampled for the whole run;
+// when rep is non-nil the summary lands in the JSON record under "cache".
+func runCacheBench(workers, keys, capacity, requests int, prof *profile.Profiler, rep *jsonReport) error {
 	if workers <= 0 {
 		// At least 4 even on small hosts: the point is contention, not
 		// parallel speedup.
@@ -38,7 +42,16 @@ func runCacheBench(workers, keys, capacity, requests int) error {
 	if err != nil {
 		return err
 	}
-	cache := codecache.New(codecache.Config{Machine: m.Core(), MaxEntries: capacity})
+	if prof != nil {
+		if err := prof.Attach(m.Core()); err != nil {
+			return err
+		}
+		defer prof.Detach(m.Core())
+	}
+	// Name "bench" re-exports the cache counters through the telemetry
+	// registry as codecache.bench.* (live, whether -metrics is on or not;
+	// rendering is what costs, not registration).
+	cache := codecache.New(codecache.Config{Machine: m.Core(), MaxEntries: capacity, Name: "bench"})
 
 	progs := make([]*jit.Func, keys)
 	cacheKeys := make([]string, keys)
@@ -105,6 +118,7 @@ func runCacheBench(workers, keys, capacity, requests int) error {
 		}
 	}
 	before := cache.Snapshot()
+	var lookupsPerSec float64
 	for _, w := range []int{1, workers} {
 		start := time.Now()
 		var wg2 sync.WaitGroup
@@ -123,17 +137,20 @@ func runCacheBench(workers, keys, capacity, requests int) error {
 		}
 		wg2.Wait()
 		el := time.Since(start)
+		lookupsPerSec = float64(per*w) / el.Seconds()
 		fmt.Printf("  %2d worker(s): %9.0f lookups/sec (%v for %d)\n",
-			w, float64(per*w)/el.Seconds(), el.Round(time.Microsecond), per*w)
+			w, lookupsPerSec, el.Round(time.Microsecond), per*w)
 	}
 	// A slice of the stream also executes, to show the hit path feeds
 	// straight into the simulator.
+	const execPerWorker = 50
+	callsStart := time.Now()
 	var wg3 sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		wg3.Add(1)
 		go func(g int) {
 			defer wg3.Done()
-			for i := 0; i < 50; i++ {
+			for i := 0; i < execPerWorker; i++ {
 				if err := exec((g + i) % hot); err != nil {
 					errs.Add(1)
 				}
@@ -141,6 +158,7 @@ func runCacheBench(workers, keys, capacity, requests int) error {
 		}(g)
 	}
 	wg3.Wait()
+	callsPerSec := float64(execPerWorker*workers) / time.Since(callsStart).Seconds()
 	after := cache.Snapshot()
 	check(errs.Load() == 0, "warm stream served without errors")
 	check(after.Compiles == before.Compiles,
@@ -177,9 +195,28 @@ func runCacheBench(workers, keys, capacity, requests int) error {
 	check(resident <= bound,
 		"resident code %d bytes <= bound %d (total ever compiled ≈ %d bytes)", resident, bound, totalCompiled)
 
-	fmt.Println("\n" + cache.Snapshot().String())
+	final := cache.Snapshot()
+	fmt.Println("\n" + final.String())
+	if rep != nil {
+		rep.Cache = &cacheStats{
+			HitRate:       hitRate(final.Hits, final.Misses),
+			LookupsPerSec: lookupsPerSec,
+			CallsPerSec:   callsPerSec,
+			Compiles:      final.Compiles,
+			Evictions:     final.Evictions,
+			Entries:       final.Entries,
+		}
+	}
 	if fail > 0 {
 		return fmt.Errorf("%d invariant(s) violated", fail)
 	}
 	return nil
+}
+
+// hitRate is the warm-path fraction in [0,1].
+func hitRate(hits, misses uint64) float64 {
+	if total := hits + misses; total > 0 {
+		return float64(hits) / float64(total)
+	}
+	return 0
 }

@@ -13,18 +13,33 @@
 // verifying that no fault — corrupted code words, failed accesses,
 // panicking compiles, runaway loops — ever panics, hangs, or escapes as
 // anything but a typed error.
+//
+// Observability flags (any mode):
+//
+//	-metrics       enable the telemetry registry + trace ring and print
+//	               the Prometheus-text dump after the run
+//	-json PATH     write a machine-readable benchmark record ("-" = stdout)
+//	-profile PATH  PC-sample the simulator workload and write a
+//	               pprof-compatible profile
+//	-http ADDR     serve /metrics, /metrics.json and /debug/vars; the
+//	               process keeps serving after the workload until killed
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/cgbench"
 	"repro/internal/core"
 	"repro/internal/dcg"
+	"repro/internal/jit"
+	"repro/internal/mem"
 	"repro/internal/mips"
+	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +52,11 @@ func main() {
 	requests := flag.Int("requests", 200000, "cache mode: warm-phase lookup requests")
 	calls := flag.Int("calls", 120000, "faults mode: mixed compile/execute calls")
 	seed := flag.Int64("seed", 1, "faults mode: base PRNG seed (reproduces a fault stream)")
+	metricsOn := flag.Bool("metrics", false, "enable telemetry and print the registry dump")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark record to this path (\"-\" = stdout)")
+	profilePath := flag.String("profile", "", "PC-sample generated code and write a pprof profile to this path")
+	stride := flag.Uint64("stride", profile.DefaultStride, "profiling: sample every N simulated instructions")
+	httpAddr := flag.String("http", "", "serve telemetry over HTTP on this address (e.g. :8317)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -45,15 +65,81 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *cacheMode {
-		die(runCacheBench(*workers, *keys, *capacity, *requests))
-		return
+
+	if *metricsOn {
+		telemetry.SetEnabled(true)
+		telemetry.SetTraceEnabled(true)
 	}
-	if *faultsMode {
-		die(runFaultsBench(*workers, *keys, *capacity, *calls, *seed))
-		return
+	var prof *profile.Profiler
+	if *profilePath != "" {
+		prof = profile.New(*stride)
+		prof.RegisterTelemetry(telemetry.Default, "cgbench")
+	}
+	if *httpAddr != "" {
+		telemetry.SetEnabled(true)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, telemetry.NewMux(telemetry.Default)); err != nil {
+				fmt.Fprintln(os.Stderr, "cgbench: http:", err)
+			}
+		}()
+		fmt.Printf("serving telemetry on http://%s/metrics\n", *httpAddr)
 	}
 
+	var rep *jsonReport
+	switch {
+	case *cacheMode:
+		if *jsonPath != "" {
+			rep = newReport("cache")
+		}
+		die(runCacheBench(*workers, *keys, *capacity, *requests, prof, rep))
+		if rep != nil {
+			// A short emit-only pass so the record always carries the
+			// headline ns/insn numbers alongside the cache workload.
+			die(rep.measureCodegen(max(50, *iters/10)))
+		}
+	case *faultsMode:
+		die(runFaultsBench(*workers, *keys, *capacity, *calls, *seed))
+		if *jsonPath != "" {
+			rep = newReport("faults")
+			die(rep.measureCodegen(max(50, *iters/10)))
+		}
+	default:
+		rep = runCodegenBench(*iters, *jsonPath != "")
+		if prof != nil {
+			// Emit-only mode runs no simulator; profile a small JIT
+			// workload so -profile still demonstrates the sampler.
+			die(runProfileDemo(prof))
+		}
+	}
+
+	if prof != nil {
+		die(writeProfile(prof, *profilePath, rep))
+	}
+	if rep != nil && *jsonPath != "" {
+		if *metricsOn {
+			rep.attachTelemetry()
+		}
+		die(rep.write(*jsonPath))
+	}
+	if *metricsOn {
+		fmt.Println("\n--- telemetry ---")
+		fmt.Print(telemetry.Default.TextString())
+	}
+	if *httpAddr != "" {
+		fmt.Printf("workload done; still serving http://%s/metrics (Ctrl-C to exit)\n", *httpAddr)
+		select {}
+	}
+}
+
+// runCodegenBench reproduces the E1 table on the mips port and, when
+// wantJSON is set, returns a report with all three backends measured.
+func runCodegenBench(iters int, wantJSON bool) *jsonReport {
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cgbench:", err)
+			os.Exit(1)
+		}
+	}
 	bk := mips.New()
 
 	measure := func(f func() (int, error)) float64 {
@@ -61,12 +147,12 @@ func main() {
 		n, err := f()
 		die(err)
 		start := time.Now()
-		for i := 0; i < *iters; i++ {
+		for i := 0; i < iters; i++ {
 			if n, err = f(); err != nil {
 				die(err)
 			}
 		}
-		return float64(time.Since(start).Nanoseconds()) / float64(*iters*n)
+		return float64(time.Since(start).Nanoseconds()) / float64(iters*n)
 	}
 
 	asm := core.NewAsm(bk)
@@ -111,4 +197,72 @@ func main() {
 	}
 	fmt.Print(cgbench.Format(rows))
 	fmt.Printf("\nDCG/VCODE = %.1fx, DCG/raw = %.1fx\n", dcgNs/vcode, dcgNs/raw)
+
+	if !wantJSON {
+		return nil
+	}
+	rep := newReport("codegen")
+	die(rep.measureCodegen(max(50, iters/4)))
+	// The mips row from the table run is the higher-precision number;
+	// keep it.
+	rep.Codegen["mips"] = codegenStats{NsPerInsn: vcode, HardNsPerInsn: hard}
+	return rep
+}
+
+// runProfileDemo exercises the PC-sampling profiler when no simulator
+// workload was requested: two JIT-compiled functions, one called 20x as
+// often, so the report shows the expected skew.
+func runProfileDemo(prof *profile.Profiler) error {
+	m, err := jit.NewMachineTarget("mips", mem.Uncosted)
+	if err != nil {
+		return err
+	}
+	if err := prof.Attach(m.Core()); err != nil {
+		return err
+	}
+	defer prof.Detach(m.Core())
+	hotFn, err := m.Compile(jit.Synthetic(1))
+	if err != nil {
+		return err
+	}
+	coldFn, err := m.Compile(jit.Synthetic(2))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 400; i++ {
+		if _, _, err := m.Run(hotFn, 50); err != nil {
+			return err
+		}
+		if i%20 == 0 {
+			if _, _, err := m.Run(coldFn, 50); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeProfile renders the flat report to stdout, writes the pprof file,
+// and records the headline in the JSON report when one is being built.
+func writeProfile(prof *profile.Profiler, path string, rep *jsonReport) error {
+	snap := prof.Snapshot(10)
+	fmt.Println("\n--- profile ---")
+	snap.Render(os.Stdout)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := prof.WritePprof(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d samples, stride %d)\n", path, snap.TotalSamples, snap.Stride)
+	if rep != nil {
+		ps := &profileStats{Samples: snap.TotalSamples, Stride: snap.Stride, Path: path}
+		if len(snap.Funcs) > 0 {
+			ps.TopFunc, ps.TopPct = snap.Funcs[0].Name, snap.Funcs[0].Pct
+		}
+		rep.Profile = ps
+	}
+	return nil
 }

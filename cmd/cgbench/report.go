@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/alpha"
+	"repro/internal/cgbench"
+	"repro/internal/core"
+	"repro/internal/mips"
+	"repro/internal/sparc"
+	"repro/internal/telemetry"
+)
+
+// jsonReport is the machine-readable benchmark record written by -json.
+// The schema string is versioned so downstream tooling (CI key checks,
+// the BENCH_pr3.json artifact) can detect format drift.
+type jsonReport struct {
+	Schema    string                  `json:"schema"`
+	Mode      string                  `json:"mode"`
+	Codegen   map[string]codegenStats `json:"codegen"`
+	Cache     *cacheStats             `json:"cache,omitempty"`
+	Telemetry map[string]any          `json:"telemetry,omitempty"`
+	Trace     []telemetry.TraceEvent  `json:"trace,omitempty"`
+	Profile   *profileStats           `json:"profile,omitempty"`
+}
+
+// codegenStats is the headline paper number per backend: host nanoseconds
+// per generated instruction through the dynamic-register interface, and
+// through hard-coded register names (§5.3's ~2x-cheaper path).
+type codegenStats struct {
+	NsPerInsn     float64 `json:"ns_per_insn"`
+	HardNsPerInsn float64 `json:"hard_ns_per_insn"`
+}
+
+// cacheStats summarizes the -cache workload.
+type cacheStats struct {
+	HitRate       float64 `json:"hit_rate"`
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	CallsPerSec   float64 `json:"calls_per_sec"`
+	Compiles      uint64  `json:"compiles"`
+	Evictions     uint64  `json:"evictions"`
+	Entries       int64   `json:"entries"`
+}
+
+// profileStats summarizes a -profile run (the full sample set goes to the
+// pprof file; this is the headline for the JSON record).
+type profileStats struct {
+	Samples uint64  `json:"samples"`
+	Stride  uint64  `json:"stride"`
+	Path    string  `json:"path"`
+	TopFunc string  `json:"top_func,omitempty"`
+	TopPct  float64 `json:"top_pct,omitempty"`
+}
+
+func newReport(mode string) *jsonReport {
+	return &jsonReport{
+		Schema:  "cgbench/v1",
+		Mode:    mode,
+		Codegen: map[string]codegenStats{},
+	}
+}
+
+// measureCodegen fills the per-backend ns/generated-instruction numbers.
+// All three ports run the same E1 workload; iters trades precision for
+// runtime (the -cache path uses a short pass just to populate the keys).
+func (r *jsonReport) measureCodegen(iters int) error {
+	backends := []core.Backend{mips.New(), sparc.New(), alpha.New()}
+	for _, bk := range backends {
+		soft, err := emitNsPerInsn(bk, iters, false)
+		if err != nil {
+			return err
+		}
+		hard, err := emitNsPerInsn(bk, iters, true)
+		if err != nil {
+			return err
+		}
+		r.Codegen[bk.Name()] = codegenStats{NsPerInsn: soft, HardNsPerInsn: hard}
+	}
+	return nil
+}
+
+// emitNsPerInsn times the E1 emit workload on one backend: one warm-up
+// pass, then iters timed repetitions.
+func emitNsPerInsn(bk core.Backend, iters int, hard bool) (float64, error) {
+	a := core.NewAsm(bk)
+	_, n, err := cgbench.EmitVCODE(a, cgbench.Blocks, hard)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, n, err = cgbench.EmitVCODE(a, cgbench.Blocks, hard); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters*n), nil
+}
+
+// attachTelemetry copies the registry snapshot (and recent trace events)
+// into the report.  Call after the workload, with telemetry enabled.
+func (r *jsonReport) attachTelemetry() {
+	r.Telemetry = telemetry.Default.Snapshot()
+	r.Trace = telemetry.TraceEvents()
+}
+
+// write emits the report as indented JSON; path "-" means stdout.
+func (r *jsonReport) write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

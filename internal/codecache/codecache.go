@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // CompileFunc produces the function for a key on a cache miss.  It runs
@@ -49,6 +50,13 @@ type Config struct {
 	// legacy behaviour — failures are not cached and the next request
 	// retries immediately.
 	FailureBackoff time.Duration
+	// Name, when non-empty, registers the cache's counters in the
+	// process-wide telemetry registry under "codecache.<Name>.*", so the
+	// HTTP/JSON exporters include hit/miss/eviction/single-flight rates
+	// alongside the codegen metrics.  Leave empty for throwaway caches
+	// (tests); an unnamed cache can still be exported later with
+	// RegisterTelemetry.
+	Name string
 }
 
 // CompilePanicError reports that a compile callback panicked.  The cache
@@ -135,6 +143,9 @@ func New(cfg Config) *Cache {
 	}
 	for i := range c.shards {
 		c.shards[i] = &shard{entries: make(map[string]*entry)}
+	}
+	if cfg.Name != "" {
+		c.RegisterTelemetry(telemetry.Default, cfg.Name)
 	}
 	return c
 }
@@ -357,6 +368,9 @@ func (c *Cache) drop(e *entry, evicted bool) {
 	c.codeBytes.Add(-e.size)
 	if evicted {
 		c.evictions.Add(1)
+		if telemetry.Enabled() {
+			telemetry.TraceRecord(telemetry.PhaseEvict, e.fn.BackendName, e.fn.Name, 0, e.size)
+		}
 	}
 	if c.machine != nil {
 		// A racing caller may already be re-running the function (Call
@@ -440,24 +454,15 @@ func (c *Cache) Snapshot() Metrics {
 	}
 }
 
-// String renders a human-readable dump.
+// String renders the snapshot through the telemetry text formatter — the
+// same rendering path the registry HTTP endpoint uses, so there is one
+// metrics format across the system.
+//
+// Deprecated: bind the live cache to a registry instead (Config.Name or
+// RegisterTelemetry) and render the registry; String survives for
+// existing CLI output and renders a frozen snapshot.
 func (m Metrics) String() string {
-	total := m.Hits + m.Misses
-	hitRate := 0.0
-	if total > 0 {
-		hitRate = 100 * float64(m.Hits) / float64(total)
-	}
-	meanCompile := time.Duration(0)
-	if n := m.Compiles + m.CompileErrors; n > 0 {
-		meanCompile = time.Duration(m.CompileNanos / n)
-	}
-	return fmt.Sprintf(
-		"codecache: %d entries, %d code bytes resident\n"+
-			"  requests   %d (%.1f%% hit: %d hits, %d misses, %d coalesced, %d negative)\n"+
-			"  compiles   %d ok, %d failed (%d panics), %v mean\n"+
-			"  evictions  %d",
-		m.Entries, m.CodeBytes,
-		total, hitRate, m.Hits, m.Misses, m.Coalesced, m.NegativeHits,
-		m.Compiles, m.CompileErrors, m.CompilePanics, meanCompile,
-		m.Evictions)
+	reg := telemetry.NewRegistry()
+	m.register(reg, "codecache")
+	return "codecache:\n" + reg.TextString()
 }

@@ -286,7 +286,7 @@ func TestMetricsString(t *testing.T) {
 	c.GetOrCompile("a", fake(&n, 4))
 	c.GetOrCompile("b", fake(&n, 4))
 	got := c.Snapshot().String()
-	for _, want := range []string{"1 entries", "hits", "evictions"} {
+	for _, want := range []string{"codecache_entries 1", "codecache_hits 1", "codecache_evictions 1"} {
 		if !contains(got, want) {
 			t.Errorf("dump missing %q:\n%s", want, got)
 		}

@@ -1,0 +1,68 @@
+package codecache
+
+import "repro/internal/telemetry"
+
+// RegisterTelemetry exports the cache's counters through reg as derived
+// gauges named "codecache.<name>.*" — the hit/miss/eviction/single-flight
+// metrics the cache already keeps, re-read live at every snapshot.  The
+// derived hit_rate_pct and mean_compile_ns gauges replace the arithmetic
+// the old ad-hoc Metrics.String formatting performed inline.
+func (c *Cache) RegisterTelemetry(reg *telemetry.Registry, name string) {
+	prefix := "codecache." + name + "."
+	u := func(metric string, load func() uint64) {
+		reg.GaugeFunc(prefix+metric, func() float64 { return float64(load()) })
+	}
+	u("hits", c.hits.Load)
+	u("misses", c.misses.Load)
+	u("coalesced", c.coalesced.Load)
+	u("negative_hits", c.negativeHits.Load)
+	u("compiles", c.compiles.Load)
+	u("compile_errors", c.compileErrors.Load)
+	u("compile_panics", c.compilePanics.Load)
+	u("compile_ns_total", c.compileNanos.Load)
+	u("evictions", c.evictions.Load)
+	reg.GaugeFunc(prefix+"entries", func() float64 { return float64(c.entries.Load()) })
+	reg.GaugeFunc(prefix+"code_bytes", func() float64 { return float64(c.codeBytes.Load()) })
+	reg.GaugeFunc(prefix+"hit_rate_pct", func() float64 {
+		return hitRatePct(c.hits.Load(), c.misses.Load())
+	})
+	reg.GaugeFunc(prefix+"mean_compile_ns", func() float64 {
+		return meanCompileNS(c.compileNanos.Load(), c.compiles.Load()+c.compileErrors.Load())
+	})
+}
+
+// register exports a frozen Metrics snapshot (the deprecated String path)
+// through the same gauge names RegisterTelemetry uses live.
+func (m Metrics) register(reg *telemetry.Registry, name string) {
+	prefix := name + "."
+	set := func(metric string, v float64) {
+		reg.GaugeFunc(prefix+metric, func() float64 { return v })
+	}
+	set("hits", float64(m.Hits))
+	set("misses", float64(m.Misses))
+	set("coalesced", float64(m.Coalesced))
+	set("negative_hits", float64(m.NegativeHits))
+	set("compiles", float64(m.Compiles))
+	set("compile_errors", float64(m.CompileErrors))
+	set("compile_panics", float64(m.CompilePanics))
+	set("compile_ns_total", float64(m.CompileNanos))
+	set("evictions", float64(m.Evictions))
+	set("entries", float64(m.Entries))
+	set("code_bytes", float64(m.CodeBytes))
+	set("hit_rate_pct", hitRatePct(m.Hits, m.Misses))
+	set("mean_compile_ns", meanCompileNS(m.CompileNanos, m.Compiles+m.CompileErrors))
+}
+
+func hitRatePct(hits, misses uint64) float64 {
+	if total := hits + misses; total > 0 {
+		return 100 * float64(hits) / float64(total)
+	}
+	return 0
+}
+
+func meanCompileNS(nanos, compiles uint64) float64 {
+	if compiles > 0 {
+		return float64(nanos / compiles)
+	}
+	return 0
+}

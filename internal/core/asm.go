@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // Label names a code position for branches and jumps.  Labels are created
 // with NewLabel (v_genlabel) and bound to the current position with Bind
@@ -88,6 +93,13 @@ type Asm struct {
 
 	insnCount int
 	exts      map[string]*ExtDef
+
+	// emitStart stamps Begin when telemetry is enabled (zero otherwise);
+	// tstats caches the per-backend instrument handles.  With telemetry
+	// off the only emission-path cost is one atomic load in Begin and
+	// one in End — nothing per instruction.
+	emitStart time.Time
+	tstats    *telemetry.CodegenStats
 }
 
 // NewAsm returns an assembler for the target's default conventions.
@@ -174,6 +186,14 @@ func (a *Asm) BeginTypes(params []Type, leaf bool) ([]Reg, error) {
 		if t.IsSubWord() || t == TypeV {
 			return nil, fmt.Errorf("%w: parameter type %s", ErrBadType, t)
 		}
+	}
+	if telemetry.Enabled() {
+		if a.tstats == nil {
+			a.tstats = telemetry.ForBackend(a.backend.Name())
+		}
+		a.emitStart = time.Now()
+	} else {
+		a.emitStart = time.Time{}
 	}
 	a.buf.Reset()
 	a.err = nil
@@ -373,6 +393,13 @@ func (a *Asm) End() (*Func, error) {
 			Target: fn,
 			Addend: int64(4 * (poolStart + 2*pr.entry)),
 		})
+	}
+	if !a.emitStart.IsZero() && telemetry.Enabled() {
+		d := time.Since(a.emitStart)
+		a.tstats.EmitNS.Observe(uint64(d))
+		a.tstats.Insns.Add(uint64(a.insnCount))
+		a.tstats.Funcs.Inc()
+		telemetry.TraceRecord(telemetry.PhaseEmit, a.backend.Name(), a.name, d, int64(a.insnCount))
 	}
 	return fn, nil
 }

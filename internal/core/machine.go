@@ -4,9 +4,13 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 	"repro/internal/verify"
 )
 
@@ -37,6 +41,31 @@ type CPU interface {
 	Insns() uint64
 	// ResetStats zeroes both counters.
 	ResetStats()
+}
+
+// SamplingCPU is implemented by simulators that can invoke a hook with
+// the pre-execution program counter every fixed number of retired
+// instructions — the substrate of the PC-sampling profiler.  The hook
+// runs inside Step, so it must not call back into the Machine's locked
+// API (the lock-free FuncSpans/SymbolizePC are safe).
+type SamplingCPU interface {
+	// SetSampler installs fn to fire every stride instructions; nil fn
+	// or zero stride disables sampling.
+	SetSampler(fn func(pc uint64), stride uint64)
+}
+
+// SetSampler installs (or, with a nil fn, removes) a PC-sampling hook on
+// the machine's simulator.  It reports an error if the CPU does not
+// implement SamplingCPU.
+func (m *Machine) SetSampler(fn func(pc uint64), stride uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sc, ok := m.cpu.(SamplingCPU)
+	if !ok {
+		return fmt.Errorf("machine: %s CPU does not support PC sampling", m.backend.Name())
+	}
+	sc.SetSampler(fn, stride)
+	return nil
 }
 
 // TrapHandler implements a runtime helper in the host: it reads arguments
@@ -81,7 +110,29 @@ type Machine struct {
 	// verifyOff disables the pre-install code verifier (SetVerify).
 	verifyOff bool
 
+	// spanList maps installed code regions (and trap vectors) to names;
+	// sorted by Start, maintained under mu.  spans is its immutable
+	// published copy, rebuilt copy-on-write after every change so the
+	// PC-sampling profiler can symbolize from inside the simulator step
+	// loop without taking mu (which the run loop already holds).
+	spanList []FuncSpan
+	spans    atomic.Pointer[[]FuncSpan]
+
+	// tstats caches the telemetry instrument bundle for this backend
+	// (resolved lazily on the first enabled-telemetry operation).
+	tstats *telemetry.CodegenStats
+
 	trace io.Writer
+}
+
+// FuncSpan maps one installed code region — or a trap vector — to a
+// symbolic name: the install-time address map behind SymbolizePC and the
+// PC-sampling profiler.
+type FuncSpan struct {
+	// Start and End bound the region as [Start, End).
+	Start, End uint64
+	// Name is the installed function's name, or the trap symbol.
+	Name string
 }
 
 // Memory layout of a Machine (all regions within the simulated memory):
@@ -115,8 +166,19 @@ func NewMachine(b Backend, cpu CPU, m *mem.Memory) *Machine {
 		MaxSteps: 1 << 28,
 	}
 	mc.haltAddr = trapBase
+	mc.spanList = append(mc.spanList, FuncSpan{Start: trapBase, End: trapBase + 16, Name: "<halt>"})
 	registerDivHelpers(mc)
+	mc.publishSpans()
 	return mc
+}
+
+// stats lazily resolves the machine's telemetry handles (callers hold mu
+// or are otherwise serialized; NewMachine runs before any concurrency).
+func (m *Machine) stats() *telemetry.CodegenStats {
+	if m.tstats == nil {
+		m.tstats = telemetry.ForBackend(m.backend.Name())
+	}
+	return m.tstats
 }
 
 // Backend returns the machine's target port.
@@ -146,7 +208,71 @@ func (m *Machine) DefineTrap(sym string, h TrapHandler) error {
 	m.trapNext += 16
 	m.syms[sym] = addr
 	m.traps[addr] = h
+	m.addSpan(FuncSpan{Start: addr, End: addr + 16, Name: sym})
 	return nil
+}
+
+// addSpan inserts s into the address map (sorted by Start) and publishes
+// a fresh immutable snapshot.  Caller holds mu (or is pre-concurrency).
+func (m *Machine) addSpan(s FuncSpan) {
+	i := sort.Search(len(m.spanList), func(i int) bool { return m.spanList[i].Start >= s.Start })
+	m.spanList = append(m.spanList, FuncSpan{})
+	copy(m.spanList[i+1:], m.spanList[i:])
+	m.spanList[i] = s
+	m.publishSpans()
+}
+
+// removeSpan drops the span starting at start.  Caller holds mu.
+func (m *Machine) removeSpan(start uint64) {
+	for i, s := range m.spanList {
+		if s.Start == start {
+			m.spanList = append(m.spanList[:i], m.spanList[i+1:]...)
+			m.publishSpans()
+			return
+		}
+	}
+}
+
+// pruneSpans drops every code span at or above limit (Release reclaims
+// wholesale; trap vectors live below codeBase and are never pruned).
+// Caller holds mu.
+func (m *Machine) pruneSpans(limit uint64) {
+	kept := m.spanList[:0]
+	for _, s := range m.spanList {
+		if s.Start >= m.codeBase && s.Start >= limit {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	m.spanList = kept
+	m.publishSpans()
+}
+
+func (m *Machine) publishSpans() {
+	cp := append([]FuncSpan(nil), m.spanList...)
+	m.spans.Store(&cp)
+}
+
+// FuncSpans returns the current install-time address map as an immutable,
+// Start-sorted slice.  It is lock-free and safe to call from a sampling
+// hook running inside the simulator.
+func (m *Machine) FuncSpans() []FuncSpan {
+	if p := m.spans.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SymbolizePC resolves a program counter to the name of the installed
+// function (or trap vector) containing it.  Lock-free; safe from a
+// sampling hook.
+func (m *Machine) SymbolizePC(pc uint64) (string, bool) {
+	spans := m.FuncSpans()
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].Start > pc })
+	if i > 0 && pc < spans[i-1].End {
+		return spans[i-1].Name, true
+	}
+	return "", false
 }
 
 // DefineSym binds a symbol to an arbitrary address (e.g. a data table the
@@ -198,6 +324,7 @@ func (m *Machine) Release(mk Mark) {
 			kept = append(kept, r)
 		}
 		m.freeCode = kept
+		m.pruneSpans(m.codeNext)
 	}
 	if mk.heap <= m.heapNext && mk.heap >= m.mem.Size()/2 {
 		m.heapNext = mk.heap
@@ -271,6 +398,11 @@ func (m *Machine) Uninstall(f *Func) error {
 		return fmt.Errorf("machine: uninstall %s: installed on a different machine", f.Name)
 	}
 	m.freeRegion(codeRegion{addr: f.addr, size: f.codeSize})
+	m.removeSpan(f.addr)
+	if telemetry.Enabled() {
+		m.stats().Uninstalls.Inc()
+		telemetry.TraceRecord(telemetry.PhaseEvict, f.BackendName, f.Name, 0, int64(f.codeSize))
+	}
 	f.addr = 0
 	f.installed = false
 	f.owner = nil
@@ -354,6 +486,10 @@ func (m *Machine) install(f *Func) error {
 	if f.BackendName != m.backend.Name() {
 		return fmt.Errorf("machine: %s code installed on %s machine", f.BackendName, m.backend.Name())
 	}
+	var start time.Time
+	if telemetry.Enabled() {
+		start = time.Now()
+	}
 	size := (uint64(4*len(f.Words)) + 15) &^ 15
 	addr, err := m.allocCode(size)
 	if err != nil {
@@ -377,6 +513,20 @@ func (m *Machine) install(f *Func) error {
 	}
 	f.sum = sumWords(f.Words)
 	f.sumValid = true
+	name := f.Name
+	if name == "" {
+		name = fmt.Sprintf("func@%#x", addr)
+	}
+	m.addSpan(FuncSpan{Start: addr, End: addr + size, Name: name})
+	if !start.IsZero() && telemetry.Enabled() {
+		// Nested installs (referenced functions) are timed individually;
+		// the parent's duration includes its children.
+		d := time.Since(start)
+		st := m.stats()
+		st.InstallNS.Observe(uint64(d))
+		st.Installs.Inc()
+		telemetry.TraceRecord(telemetry.PhaseInstall, f.BackendName, f.Name, d, int64(size))
+	}
 	return nil
 }
 
@@ -455,6 +605,14 @@ func (m *Machine) SetVerify(on bool) {
 
 // verifyFunc runs the static verifier over f's relocated image.
 func (m *Machine) verifyFunc(f *Func) error {
+	if telemetry.Enabled() {
+		start := time.Now()
+		defer func() {
+			d := time.Since(start)
+			m.stats().VerifyNS.Observe(uint64(d))
+			telemetry.TraceRecord(telemetry.PhaseVerify, f.BackendName, f.Name, d, int64(len(f.Words)))
+		}()
+	}
 	var prs []verify.PoolRef
 	for _, r := range f.Relocs {
 		if r.Kind == RelocAddr && r.Target == f && r.Addend != relocEntry {
@@ -521,16 +679,57 @@ func (m *Machine) CallContext(ctx context.Context, f *Func, args ...Value) (Valu
 // the call never panics and never outlives ctx by more than one poll
 // stride of simulated steps.
 func (m *Machine) CallWith(ctx context.Context, opts CallOpts, f *Func, args ...Value) (Value, error) {
+	v, _, err := m.CallWithStats(ctx, opts, f, args...)
+	return v, err
+}
+
+// CallStats describes one completed (or failed) call's cost: the
+// simulator's cycle and retired-instruction deltas for this call alone,
+// and the host wall time including any install-on-demand.  Because the
+// machine serializes calls internally, the deltas are exact per-call
+// attributions — no stat reset (and no reset race) is needed.
+type CallStats struct {
+	Cycles, Insns uint64
+	Wall          time.Duration
+}
+
+// CallWithStats is CallWith returning per-call simulator statistics
+// alongside the result.
+func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, args ...Value) (Value, CallStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
+	cycles0, insns0 := m.cpu.Cycles(), m.cpu.Insns()
+	stats := func() CallStats {
+		return CallStats{
+			Cycles: m.cpu.Cycles() - cycles0,
+			Insns:  m.cpu.Insns() - insns0,
+			Wall:   time.Since(start),
+		}
+	}
+	finish := func(v Value, err error) (Value, CallStats, error) {
+		st := stats()
+		if telemetry.Enabled() {
+			ts := m.stats()
+			ts.Calls.Inc()
+			if err != nil {
+				ts.CallErrors.Inc()
+			}
+			ts.CallNS.Observe(uint64(st.Wall))
+			ts.SimInsns.Add(st.Insns)
+			ts.SimCycles.Add(st.Cycles)
+			telemetry.TraceRecord(telemetry.PhaseCall, f.BackendName, f.Name, st.Wall, int64(st.Insns))
+		}
+		return v, st, err
+	}
 	if err := m.install(f); err != nil {
-		return Value{}, err
+		return finish(Value{}, err)
 	}
 	if len(args) != len(f.Params) {
-		return Value{}, fmt.Errorf("machine: %s takes %d args, got %d", f.Name, len(f.Params), len(args))
+		return finish(Value{}, fmt.Errorf("machine: %s takes %d args, got %d", f.Name, len(f.Params), len(args)))
 	}
 	conv := m.backend.DefaultConv()
 
@@ -539,7 +738,7 @@ func (m *Machine) CallWith(ctx context.Context, opts CallOpts, f *Func, args ...
 	for i, a := range args {
 		types[i] = a.T
 		if a.T != f.Params[i] {
-			return Value{}, fmt.Errorf("machine: %s arg %d: have %s, want %s", f.Name, i, a.T, f.Params[i])
+			return finish(Value{}, fmt.Errorf("machine: %s arg %d: have %s, want %s", f.Name, i, a.T, f.Params[i]))
 		}
 	}
 	locs, stackBytes := conv.layoutArgs(types)
@@ -560,7 +759,7 @@ func (m *Machine) CallWith(ctx context.Context, opts CallOpts, f *Func, args ...
 		}
 		sz := loc.t.Size(m.backend.PtrBytes())
 		if err := m.mem.Store(sp+uint64(loc.stackOff), sz, args[i].Bits); err != nil {
-			return Value{}, err
+			return finish(Value{}, err)
 		}
 	}
 
@@ -568,10 +767,10 @@ func (m *Machine) CallWith(ctx context.Context, opts CallOpts, f *Func, args ...
 	m.cpu.SetReg(conv.RA, m.retLinkValue(m.haltAddr))
 	m.cpu.SetPC(f.EntryAddr())
 	if err := m.run(ctx, opts, conv); err != nil {
-		return Value{}, fmt.Errorf("machine: running %s: %w", f.Name, err)
+		return finish(Value{}, fmt.Errorf("machine: running %s: %w", f.Name, err))
 	}
 
-	return m.result(f.Result, conv), nil
+	return finish(m.result(f.Result, conv), nil)
 }
 
 // retLinkValue converts a desired return target into the value stored in

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/codecache"
 	"repro/internal/core"
+	"repro/internal/profile"
 )
 
 // Adaptive is the full shape of the paper's best-known application of
@@ -26,9 +27,12 @@ type Adaptive struct {
 
 	cache *codecache.Cache
 
-	mu     sync.Mutex
-	counts map[*Func]int
-	keys   map[*Func]string // memoized content hashes
+	// hot is the shared hot-count table (profile.HotCounts): one atomic
+	// bump per call replaces the old mutex-guarded count map, and the
+	// profiler joins the same counts into its reports.
+	hot *profile.HotCounts
+
+	keys sync.Map // *Func -> memoized content hash (string)
 }
 
 // NewAdaptive wraps a JIT machine with a cache bounded at 128 compiled
@@ -46,8 +50,7 @@ func NewAdaptiveCache(m *Machine, threshold int, cache *codecache.Cache) *Adapti
 		m:         m,
 		Threshold: threshold,
 		cache:     cache,
-		counts:    map[*Func]int{},
-		keys:      map[*Func]string{},
+		hot:       profile.NewHotCounts(),
 	}
 }
 
@@ -57,44 +60,37 @@ func (ad *Adaptive) Cache() *codecache.Cache { return ad.cache }
 // Metrics snapshots the cache counters.
 func (ad *Adaptive) Metrics() codecache.Metrics { return ad.cache.Snapshot() }
 
+// Hot exposes the invocation-count table, keyed by bytecode content
+// hash; a profiler links it with SetHotCounts to show calls alongside
+// samples.
+func (ad *Adaptive) Hot() *profile.HotCounts { return ad.hot }
+
 // key memoizes f's content hash (hashing bytecode on every call would
 // erase the win of calling compiled code).
 func (ad *Adaptive) key(f *Func) string {
-	ad.mu.Lock()
-	defer ad.mu.Unlock()
-	k, ok := ad.keys[f]
-	if !ok {
-		k = f.CacheKey()
-		ad.keys[f] = k
+	if k, ok := ad.keys.Load(f); ok {
+		return k.(string)
 	}
-	return k
+	k, _ := ad.keys.LoadOrStore(f, f.CacheKey())
+	return k.(string)
 }
 
 // Compiled reports whether f's code is resident in the cache.
 func (ad *Adaptive) Compiled(f *Func) bool { return ad.cache.Contains(ad.key(f)) }
 
-// Calls returns how many times f has been invoked through the wrapper.
-func (ad *Adaptive) Calls(f *Func) int {
-	ad.mu.Lock()
-	defer ad.mu.Unlock()
-	return ad.counts[f]
-}
+// Calls returns how many times f has been invoked through the wrapper
+// (two Funcs with identical bytecode share a count, as they share a
+// compilation).
+func (ad *Adaptive) Calls(f *Func) int { return int(ad.hot.Get(ad.key(f))) }
 
 // Call runs f, interpreting while it is cold and compiling it once it
 // crosses the threshold.  It returns the result and the modelled cycle
 // cost of this call.
 func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
-	ad.mu.Lock()
-	ad.counts[f]++
-	n := ad.counts[f]
-	key, ok := ad.keys[f]
-	if !ok {
-		key = f.CacheKey()
-		ad.keys[f] = key
-	}
-	ad.mu.Unlock()
+	key := ad.key(f)
+	n := ad.hot.Inc(key, f.Name)
 
-	if n > ad.Threshold || ad.cache.Contains(key) {
+	if int(n) > ad.Threshold || ad.cache.Contains(key) {
 		fn, err := ad.cache.GetOrCompile(key, func() (*core.Func, error) {
 			return ad.m.Compile(f)
 		})

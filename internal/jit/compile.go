@@ -3,7 +3,6 @@ package jit
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/alpha"
 	"repro/internal/core"
@@ -14,16 +13,14 @@ import (
 
 // Machine owns a simulated target for JIT-compiled bytecode.  Compile may
 // run from any number of goroutines; Run serializes on the single
-// simulated CPU.
+// simulated CPU (inside core.Machine), and per-call cycle costs come from
+// the machine's CallStats deltas — no stat reset, and so no reset race
+// between concurrent Runs.
 type Machine struct {
 	machine *core.Machine
 	backend core.Backend
 	cpu     core.CPU
 	conf    mem.MachineConfig
-
-	// runMu serializes Run: the CPU's statistic counters must not be
-	// reset while another call is executing.
-	runMu sync.Mutex
 }
 
 // NewMachine builds a MIPS JIT target with the given cost model.
@@ -224,19 +221,18 @@ func (m *Machine) RunContext(ctx context.Context, fn *core.Func, args ...int32) 
 }
 
 // RunWith executes with the full sandbox (context plus per-call fuel).
+// The returned cycle count is this call's simulator delta (CallStats), so
+// concurrent Runs never clobber each other's statistics.
 func (m *Machine) RunWith(ctx context.Context, opts core.CallOpts, fn *core.Func, args ...int32) (int32, uint64, error) {
-	m.runMu.Lock()
-	defer m.runMu.Unlock()
 	vals := make([]core.Value, len(args))
 	for i, a := range args {
 		vals[i] = core.I(a)
 	}
-	m.cpu.ResetStats()
-	got, err := m.machine.CallWith(ctx, opts, fn, vals...)
+	got, stats, err := m.machine.CallWithStats(ctx, opts, fn, vals...)
 	if err != nil {
 		return 0, 0, err
 	}
-	return int32(got.Int()), m.cpu.Cycles(), nil
+	return int32(got.Int()), stats.Cycles, nil
 }
 
 // Micros converts cycles under the machine's clock.

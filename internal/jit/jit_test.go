@@ -250,3 +250,43 @@ func TestAdaptiveConcurrent(t *testing.T) {
 		t.Error("call counting lost under concurrency")
 	}
 }
+
+// TestConcurrentRunCycles pins the statistics fix: per-call cycle counts
+// come from CallStats deltas taken under the machine lock, so concurrent
+// Runs of a deterministic function must all report the identical cost —
+// with the old reset-the-CPU-counters scheme, interleaved calls would
+// corrupt each other's numbers.
+func TestConcurrentRunCycles(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	fn, err := m.Compile(Synthetic(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := m.Run(fn, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("baseline call reported zero cycles")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, cycles, err := m.Run(fn, 50)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if cycles != want {
+					t.Errorf("concurrent call cost %d cycles, want %d", cycles, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -30,6 +30,24 @@ type CPU struct {
 	baseCycles uint64
 	insns      uint64
 	lastLoad   int // GPR written by the immediately preceding load, or -1
+
+	// PC-sampling hook (core.SamplingCPU): sampleFn fires with the
+	// pre-execution PC every sampleEvery retired instructions.  Disabled
+	// (sampleEvery == 0) the cost is one predictable branch per step.
+	sampleFn    func(pc uint64)
+	sampleEvery uint64
+	sampleLeft  uint64
+}
+
+// SetSampler installs fn to be called with the pre-execution program
+// counter every stride retired instructions; nil fn or zero stride
+// disables sampling.
+func (c *CPU) SetSampler(fn func(pc uint64), stride uint64) {
+	if fn == nil || stride == 0 {
+		c.sampleFn, c.sampleEvery, c.sampleLeft = nil, 0, 0
+		return
+	}
+	c.sampleFn, c.sampleEvery, c.sampleLeft = fn, stride, stride
 }
 
 // NewCPU returns a simulator bound to m.
@@ -134,6 +152,12 @@ func (c *CPU) Step() error {
 	}
 	c.insns++
 	c.baseCycles++
+	if c.sampleEvery != 0 {
+		if c.sampleLeft--; c.sampleLeft == 0 {
+			c.sampleLeft = c.sampleEvery
+			c.sampleFn(c.pc)
+		}
+	}
 
 	op := w >> 26
 	rs := w >> 21 & 31

@@ -1,0 +1,88 @@
+package profile
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HotCounts is a lock-light invocation counter table keyed by a stable
+// content key (e.g. a bytecode hash), with a display name per entry.  The
+// adaptive JIT bumps one atomic per call instead of a mutex-guarded map,
+// and the profiler joins the counts into its reports — one shared notion
+// of "hot" across promotion decisions and profiles.
+type HotCounts struct {
+	m sync.Map // key string -> *hotEntry
+}
+
+type hotEntry struct {
+	name string
+	n    atomic.Int64
+}
+
+// NewHotCounts returns an empty table.
+func NewHotCounts() *HotCounts { return &HotCounts{} }
+
+// Inc bumps the counter for key (creating it with the given display name
+// on first sight) and returns the new count.
+func (h *HotCounts) Inc(key, name string) int64 {
+	if e, ok := h.m.Load(key); ok {
+		return e.(*hotEntry).n.Add(1)
+	}
+	e := &hotEntry{name: name}
+	if prev, loaded := h.m.LoadOrStore(key, e); loaded {
+		e = prev.(*hotEntry)
+	}
+	return e.n.Add(1)
+}
+
+// Get returns the count for key (0 when unseen).
+func (h *HotCounts) Get(key string) int64 {
+	if e, ok := h.m.Load(key); ok {
+		return e.(*hotEntry).n.Load()
+	}
+	return 0
+}
+
+// GetByName sums counts over entries with the given display name (names
+// need not be unique, unlike keys).
+func (h *HotCounts) GetByName(name string) int64 {
+	var n int64
+	h.m.Range(func(_, v any) bool {
+		if e := v.(*hotEntry); e.name == name {
+			n += e.n.Load()
+		}
+		return true
+	})
+	return n
+}
+
+// HotCount is one snapshot row.
+type HotCount struct {
+	Key, Name string
+	Calls     int64
+}
+
+// Snapshot returns all entries sorted by call count, hottest first.
+func (h *HotCounts) Snapshot() []HotCount {
+	var out []HotCount
+	h.m.Range(func(k, v any) bool {
+		e := v.(*hotEntry)
+		out = append(out, HotCount{Key: k.(string), Name: e.name, Calls: e.n.Load()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Len returns the number of tracked keys.
+func (h *HotCounts) Len() int {
+	n := 0
+	h.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}

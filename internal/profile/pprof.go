@@ -1,0 +1,143 @@
+package profile
+
+import (
+	"compress/gzip"
+	"io"
+	"time"
+)
+
+// WritePprof serializes the profile in pprof's gzipped protobuf format
+// (profile.proto), so standard tooling — `go tool pprof` — can read
+// profiles of simulated generated code.  The encoding is hand-rolled:
+// the format is a small, stable proto3 schema and the repo takes no
+// dependencies.
+//
+// Two sample types are emitted: "samples/count" (raw sample counts) and
+// "instructions/count" (samples scaled by the sampling stride), with the
+// period recorded as one sample per stride instructions.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	p.mu.Lock()
+	type row struct {
+		pc    uint64
+		name  string
+		count uint64
+	}
+	rows := make([]row, 0, len(p.samples))
+	for pc, b := range p.samples {
+		rows = append(rows, row{pc: pc, name: b.name, count: b.count})
+	}
+	stride := p.stride
+	p.mu.Unlock()
+
+	// String table: index 0 must be "".
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+	samplesStr, countStr := intern("samples"), intern("count")
+	insnsStr := intern("instructions")
+
+	// Functions: one per distinct name.
+	funcID := map[string]uint64{}
+	var functions []byte
+	for _, r := range rows {
+		if _, ok := funcID[r.name]; ok {
+			continue
+		}
+		id := uint64(len(funcID) + 1)
+		funcID[r.name] = id
+		var fn []byte
+		fn = appendVarintField(fn, 1, id)                     // id
+		fn = appendVarintField(fn, 2, uint64(intern(r.name))) // name
+		fn = appendVarintField(fn, 3, uint64(intern(r.name))) // system_name
+		functions = appendBytesField(functions, 5, fn)
+	}
+
+	// Locations and samples: one location per PC.
+	var locations, samples []byte
+	for i, r := range rows {
+		locID := uint64(i + 1)
+		var line []byte
+		line = appendVarintField(line, 1, funcID[r.name]) // function_id
+		var loc []byte
+		loc = appendVarintField(loc, 1, locID) // id
+		loc = appendVarintField(loc, 3, r.pc)  // address
+		loc = appendBytesField(loc, 4, line)   // line
+		locations = appendBytesField(locations, 4, loc)
+
+		var smp []byte
+		smp = appendPacked(smp, 1, []uint64{locID})                     // location_id
+		smp = appendPacked(smp, 2, []uint64{r.count, r.count * stride}) // values
+		samples = appendBytesField(samples, 2, smp)
+	}
+
+	var out []byte
+	out = appendBytesField(out, 1, valueType(samplesStr, countStr)) // sample_type[0]
+	out = appendBytesField(out, 1, valueType(insnsStr, countStr))   // sample_type[1]
+	out = append(out, samples...)
+	out = append(out, locations...)
+	out = append(out, functions...)
+	for _, s := range strs {
+		out = appendBytesField(out, 6, []byte(s)) // string_table
+	}
+	out = appendVarintField(out, 9, uint64(time.Now().UnixNano())) // time_nanos
+	out = appendBytesField(out, 11, valueType(insnsStr, countStr)) // period_type
+	out = appendVarintField(out, 12, stride)                       // period
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// valueType encodes a ValueType{type, unit} message.
+func valueType(typ, unit int64) []byte {
+	var b []byte
+	b = appendVarintField(b, 1, uint64(typ))
+	b = appendVarintField(b, 2, uint64(unit))
+	return b
+}
+
+// --- minimal proto3 wire-format helpers ---
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// appendVarintField appends a varint-typed field (wire type 0), omitting
+// proto3 zero defaults.
+func appendVarintField(b []byte, field int, v uint64) []byte {
+	if v == 0 {
+		return b
+	}
+	b = appendUvarint(b, uint64(field)<<3|0)
+	return appendUvarint(b, v)
+}
+
+// appendBytesField appends a length-delimited field (wire type 2).
+func appendBytesField(b []byte, field int, data []byte) []byte {
+	b = appendUvarint(b, uint64(field)<<3|2)
+	b = appendUvarint(b, uint64(len(data)))
+	return append(b, data...)
+}
+
+// appendPacked appends a packed repeated varint field.
+func appendPacked(b []byte, field int, vals []uint64) []byte {
+	var payload []byte
+	for _, v := range vals {
+		payload = appendUvarint(payload, v)
+	}
+	return appendBytesField(b, field, payload)
+}

@@ -28,6 +28,22 @@ type CPU struct {
 	baseCycles uint64
 	insns      uint64
 	lastLoad   int
+
+	// PC-sampling hook (core.SamplingCPU).
+	sampleFn    func(pc uint64)
+	sampleEvery uint64
+	sampleLeft  uint64
+}
+
+// SetSampler installs fn to be called with the pre-execution program
+// counter every stride retired instructions; nil fn or zero stride
+// disables sampling.
+func (c *CPU) SetSampler(fn func(pc uint64), stride uint64) {
+	if fn == nil || stride == 0 {
+		c.sampleFn, c.sampleEvery, c.sampleLeft = nil, 0, 0
+		return
+	}
+	c.sampleFn, c.sampleEvery, c.sampleLeft = fn, stride, stride
 }
 
 // NewCPU returns a simulator bound to m.
@@ -161,6 +177,12 @@ func (c *CPU) Step() error {
 	}
 	c.insns++
 	c.baseCycles++
+	if c.sampleEvery != 0 {
+		if c.sampleLeft--; c.sampleLeft == 0 {
+			c.sampleLeft = c.sampleEvery
+			c.sampleFn(c.pc)
+		}
+	}
 
 	var target uint64
 	hasTarget := false

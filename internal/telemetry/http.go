@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+)
+
+// ServeHTTP makes a Registry an http.Handler: Prometheus text by default,
+// the JSON dump with ?format=json (or an Accept header asking for JSON).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" ||
+		req.Header.Get("Accept") == "application/json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	r.WriteText(w)
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the Default registry's snapshot (and the trace
+// ring) under the standard expvar names, so /debug/vars includes
+// telemetry alongside the runtime's memstats.  Safe to call repeatedly.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any { return Default.Snapshot() }))
+		expvar.Publish("telemetry_trace", expvar.Func(func() any { return TraceEvents() }))
+	})
+}
+
+// NewMux returns an http.ServeMux exposing reg at /metrics (Prometheus
+// text), /metrics.json (JSON dump), and the expvar page at /debug/vars.
+// Callers mount extra handlers (e.g. a profiler download) on the result.
+func NewMux(reg *Registry) *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,148 @@
+// Package telemetry is the observability layer for the code-generation
+// pipeline: a lock-light metrics registry (atomic counters, gauges and
+// bounded histograms), a structured trace ring for the full
+// v_lambda → emit → v_end → verify → install → call/evict lifecycle, and
+// HTTP/JSON/expvar exporters.
+//
+// The whole package sits behind one global switch (SetEnabled); with it
+// off, instrumented hot paths pay a single atomic load and allocate
+// nothing, which keeps the paper's headline metric — host nanoseconds per
+// generated instruction — honest even in instrumented builds.
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global gate.  Instrumented call sites check Enabled()
+// before touching clocks or metrics, so a disabled build's only cost is
+// this one atomic load.
+var enabled atomic.Bool
+
+// Enabled reports whether telemetry collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns telemetry collection on or off (default off).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a bounded histogram over uint64 observations (typically
+// nanoseconds): a fixed set of upper bounds plus an overflow bucket, all
+// updated with atomics.  Memory use is fixed at construction; Observe
+// never allocates.
+type Histogram struct {
+	bounds []uint64 // sorted ascending upper bounds (inclusive)
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given inclusive upper bounds;
+// observations above the last bound land in an implicit overflow bucket.
+// Bounds must be ascending; nil selects DefTimeBounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	if bounds == nil {
+		bounds = DefTimeBounds
+	}
+	b := append([]uint64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DefTimeBounds is the default nanosecond bucket layout: roughly
+// quarter-decade steps from 250ns to 1s, sized for codegen phase timings.
+var DefTimeBounds = []uint64{
+	250, 1e3, 4e3, 16e3, 64e3, 256e3, // 250ns .. 256µs
+	1e6, 4e6, 16e6, 64e6, 256e6, 1e9, // 1ms .. 1s
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if d := time.Since(start); d > 0 {
+		h.Observe(uint64(d))
+	} else {
+		h.Observe(0)
+	}
+}
+
+// Bucket is one histogram bucket in a snapshot: the cumulative count of
+// observations at or below UpperBound (math.MaxUint64 marks the overflow
+// bucket, rendered as "+Inf").
+type Bucket struct {
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state (cumulative bucket
+// counts, Prometheus-style).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := uint64(1<<64 - 1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	return s
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }

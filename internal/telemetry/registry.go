@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metrics.  Registration (get-or-create
+// by name) takes a mutex; the returned instruments are updated with plain
+// atomics, so steady-state metric traffic never contends on the registry
+// lock.  Callers should resolve instruments once and cache the handles.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() float64),
+	}
+}
+
+// Default is the process-wide registry the pipeline instruments feed.
+var Default = NewRegistry()
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds (nil = DefTimeBounds) if needed.  Bounds are only
+// consulted on creation.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers (or replaces) a derived gauge evaluated at snapshot
+// time — the bridge for subsystems that already keep their own atomic
+// counters, like the code cache.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot returns every metric's current value keyed by registered name:
+// counters and gauges as numbers, gauge funcs as float64, histograms as
+// HistogramSnapshot.  The map is JSON-marshalable and is the single
+// machine-readable dump format.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
+	}
+	for name, fn := range r.funcs {
+		out[name] = fn()
+	}
+	for name, h := range r.hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promName maps a dotted metric name to a Prometheus-legal one.
+func promName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText renders the registry in Prometheus text exposition format —
+// the one human/scrape rendering path shared by the HTTP endpoint and by
+// subsystem String() methods.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
+	kind := make(map[string]byte)
+	add := func(n string, k byte) {
+		names = append(names, n)
+		kind[n] = k
+	}
+	for n := range r.counters {
+		add(n, 'c')
+	}
+	for n := range r.gauges {
+		add(n, 'g')
+	}
+	for n := range r.funcs {
+		add(n, 'f')
+	}
+	for n := range r.hists {
+		add(n, 'h')
+	}
+	sort.Strings(names)
+
+	for _, n := range names {
+		pn := promName(n)
+		switch kind[n] {
+		case 'c':
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, r.counters[n].Load())
+		case 'g':
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, r.gauges[n].Load())
+		case 'f':
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(r.funcs[n]()))
+		case 'h':
+			s := r.hists[n].Snapshot()
+			fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+			for _, b := range s.Buckets {
+				le := "+Inf"
+				if b.UpperBound != 1<<64-1 {
+					le = strconv.FormatUint(b.UpperBound, 10)
+				}
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, b.Count)
+			}
+			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, s.Sum, pn, s.Count)
+		}
+	}
+}
+
+// TextString renders WriteText into a string.
+func (r *Registry) TextString() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter not idempotent: second lookup returned a new instrument")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+}
+
+func TestHistogramBounds(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	// One observation per region: bucket 0, 1, 2 and overflow.
+	for _, v := range []uint64{10, 11, 100, 101, 1000, 1001, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	// Cumulative, prom-style: le=10 -> 1, le=100 -> 3, le=1000 -> 5, +Inf -> 7.
+	want := []uint64{1, 3, 5, 7}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), len(want))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket[%d] (le=%d) = %d, want %d", i, b.UpperBound, b.Count, want[i])
+		}
+	}
+	if s.Buckets[len(s.Buckets)-1].UpperBound != math.MaxUint64 {
+		t.Error("last bucket must be +Inf")
+	}
+	if wantSum := uint64(10 + 11 + 100 + 101 + 1000 + 1001 + 5000); s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram accepted non-ascending bounds")
+		}
+	}()
+	NewHistogram([]uint64{10, 10})
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(uint64(i))
+				if i%100 == 0 {
+					_ = r.TextString()
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Errorf("shared counter = %d, want 8000", got)
+	}
+}
+
+// TestDisabledPathAllocFree pins the disabled-telemetry contract: the emit
+// hot path pays one atomic load (the Enabled gate) and zero allocations.
+func TestDisabledPathAllocFree(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The exact gate core.Asm uses around its emit instrumentation.
+		if Enabled() {
+			t.Fatal("telemetry unexpectedly enabled")
+		}
+		// Disabled trace records are equally free.
+		TraceRecord(PhaseEmit, "mips", "f", time.Nanosecond, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled gate allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEnabledOpsAllocFree verifies the instruments themselves stay off the
+// heap once created: Inc/Add/Observe must never allocate.
+func TestEnabledOpsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(35)
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Errorf("instrument ops allocate %.1f per run, want 0", allocs)
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("codegen.mips.funcs").Add(3)
+	r.Gauge("cache.entries").Set(16)
+	r.GaugeFunc("derived.rate", func() float64 { return 42.5 })
+	r.Histogram("emit.ns", []uint64{100, 200}).Observe(150)
+
+	text := r.TextString()
+	for _, want := range []string{
+		"# TYPE codegen_mips_funcs counter",
+		"codegen_mips_funcs 3",
+		"cache_entries 16",
+		"derived_rate 42.5",
+		`emit_ns_bucket{le="200"} 1`,
+		`emit_ns_bucket{le="+Inf"} 1`,
+		"emit_ns_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if m["codegen.mips.funcs"] != float64(3) {
+		t.Errorf("json counter = %v, want 3", m["codegen.mips.funcs"])
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	SetTraceEnabled(true)
+	defer SetTraceEnabled(false)
+	TraceRecord(PhaseInstall, "mips", "f1", 100*time.Nanosecond, 1)
+	TraceRecord(PhaseCall, "mips", "f1", 200*time.Nanosecond, 1)
+	evs := TraceEvents()
+	if len(evs) < 2 {
+		t.Fatalf("trace events = %d, want >= 2", len(evs))
+	}
+	last := evs[len(evs)-1]
+	if last.Phase != "call" || last.Name != "f1" || last.DurNS != 200 {
+		t.Errorf("last event = %+v, want call/f1/200ns", last)
+	}
+	if evs[len(evs)-2].Seq >= last.Seq {
+		t.Error("trace sequence numbers must be increasing")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	mux := NewMux(r)
+
+	get := func(path, accept string) (int, string, string) {
+		req := httptest.NewRequest("GET", path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		return w.Code, w.Header().Get("Content-Type"), w.Body.String()
+	}
+
+	code, ct, body := get("/metrics", "")
+	if code != 200 || !strings.Contains(body, "hits 1") {
+		t.Errorf("/metrics: code %d, body %q", code, body)
+	}
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	code, ct, body = get("/metrics.json", "")
+	if code != 200 || !strings.Contains(ct, "application/json") {
+		t.Errorf("/metrics.json: code %d, content-type %q", code, ct)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	code, _, body = get("/metrics?format=json", "")
+	if code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/metrics?format=json: code %d, body %q", code, body)
+	}
+}
+
+func TestForBackendMemoized(t *testing.T) {
+	a := ForBackend("testbk")
+	b := ForBackend("testbk")
+	if a != b {
+		t.Error("ForBackend must return the same stats for the same backend")
+	}
+	a.Funcs.Inc()
+	if b.Funcs.Load() != 1 {
+		t.Error("memoized stats must share counters")
+	}
+}

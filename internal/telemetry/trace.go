@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one stage of a generated function's lifecycle, in the
+// paper's order: v_lambda starts emission, v_end finishes and links,
+// the verifier checks the image, install places it, and the function is
+// then called until it is evicted.
+type Phase uint8
+
+const (
+	// PhaseEmit covers v_lambda through v_end: instruction emission,
+	// backpatching, prologue/epilogue synthesis and pool layout.
+	PhaseEmit Phase = iota
+	// PhaseVerify is the pre-install static verifier.
+	PhaseVerify
+	// PhaseInstall is code placement, relocation and the memory copy.
+	PhaseInstall
+	// PhaseCall is one execution of an installed function.
+	PhaseCall
+	// PhaseEvict is code reclamation (cache eviction or Uninstall).
+	PhaseEvict
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseEmit:
+		return "emit"
+	case PhaseVerify:
+		return "verify"
+	case PhaseInstall:
+		return "install"
+	case PhaseCall:
+		return "call"
+	case PhaseEvict:
+		return "evict"
+	}
+	return "unknown"
+}
+
+// CodegenStats bundles the per-backend lifecycle instruments, resolved
+// once per backend so hot paths update atomics without registry lookups.
+type CodegenStats struct {
+	// Funcs counts functions completed by v_end; Insns counts the VCODE
+	// (source-level) instructions they contained.
+	Funcs, Insns *Counter
+	// EmitNS..CallNS are per-phase wall-time histograms in nanoseconds.
+	EmitNS, VerifyNS, InstallNS, CallNS *Histogram
+	// Installs and Uninstalls count code placements and reclamations.
+	Installs, Uninstalls *Counter
+	// Calls counts completed calls; CallErrors the subset that failed.
+	Calls, CallErrors *Counter
+	// SimInsns and SimCycles accumulate the simulator's retired
+	// instruction and cycle counts across calls.
+	SimInsns, SimCycles *Counter
+}
+
+var backendStats sync.Map // backend name -> *CodegenStats
+
+// ForBackend returns the Default-registry instrument bundle for a backend
+// (memoized; safe for concurrent use).
+func ForBackend(backend string) *CodegenStats {
+	if s, ok := backendStats.Load(backend); ok {
+		return s.(*CodegenStats)
+	}
+	cg, mc := "codegen."+backend+".", "machine."+backend+"."
+	s := &CodegenStats{
+		Funcs:      Default.Counter(cg + "funcs"),
+		Insns:      Default.Counter(cg + "insns"),
+		EmitNS:     Default.Histogram(cg+"emit_ns", nil),
+		VerifyNS:   Default.Histogram(mc+"verify_ns", nil),
+		InstallNS:  Default.Histogram(mc+"install_ns", nil),
+		CallNS:     Default.Histogram(mc+"call_ns", nil),
+		Installs:   Default.Counter(mc + "installs"),
+		Uninstalls: Default.Counter(mc + "uninstalls"),
+		Calls:      Default.Counter(mc + "calls"),
+		CallErrors: Default.Counter(mc + "call_errors"),
+		SimInsns:   Default.Counter(mc + "sim_insns"),
+		SimCycles:  Default.Counter(mc + "sim_cycles"),
+	}
+	actual, _ := backendStats.LoadOrStore(backend, s)
+	return actual.(*CodegenStats)
+}
+
+// TraceEvent is one structured lifecycle record: which phase ran, for
+// which backend and function, how long it took, and a phase-specific
+// magnitude (instructions emitted, simulator instructions retired, bytes
+// reclaimed).
+type TraceEvent struct {
+	Seq     uint64        `json:"seq"`
+	At      time.Time     `json:"at"`
+	Phase   string        `json:"phase"`
+	Backend string        `json:"backend"`
+	Name    string        `json:"name"`
+	DurNS   time.Duration `json:"dur_ns"`
+	N       int64         `json:"n"`
+}
+
+// traceCap bounds the trace ring: the most recent traceCap events are
+// retained.
+const traceCap = 1024
+
+var (
+	traceOn  atomic.Bool
+	traceMu  sync.Mutex
+	traceBuf [traceCap]TraceEvent
+	traceSeq uint64
+)
+
+// TraceEnabled reports whether lifecycle trace recording is on.
+func TraceEnabled() bool { return traceOn.Load() }
+
+// SetTraceEnabled turns the lifecycle trace ring on or off (default off;
+// tracing costs a mutex and a copy per lifecycle event, so it is gated
+// separately from the counters).
+func SetTraceEnabled(on bool) { traceOn.Store(on) }
+
+// TraceRecord appends one lifecycle event to the ring.  It is a no-op
+// (one atomic load) unless tracing is enabled.
+func TraceRecord(p Phase, backend, name string, dur time.Duration, n int64) {
+	if !traceOn.Load() {
+		return
+	}
+	traceMu.Lock()
+	traceBuf[traceSeq%traceCap] = TraceEvent{
+		Seq:     traceSeq,
+		At:      time.Now(),
+		Phase:   p.String(),
+		Backend: backend,
+		Name:    name,
+		DurNS:   dur,
+		N:       n,
+	}
+	traceSeq++
+	traceMu.Unlock()
+}
+
+// TraceEvents snapshots the ring, oldest first.
+func TraceEvents() []TraceEvent {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	n := traceSeq
+	if n > traceCap {
+		n = traceCap
+	}
+	out := make([]TraceEvent, 0, n)
+	start := traceSeq - n
+	for i := start; i < traceSeq; i++ {
+		out = append(out, traceBuf[i%traceCap])
+	}
+	return out
+}

@@ -80,7 +80,7 @@ func TestVerifySentinels(t *testing.T) {
 		{"branch-before-start", d, code(opNop, branchTo(-2)), Options{}, ErrBranchTarget},
 		{"branch-into-pool", d, &Code{Name: "t", Words: []uint32{branchTo(1), opNop}, Base: 0x1000, PoolStart: 1}, Options{}, ErrBranchTarget},
 		{"call-unknown-extern", d, code(callTo(100), opNop), Options{}, ErrCallTarget},
-		{"call-known-extern", d, code(callTo(int64(0x9000-0x1000) / 4), opNop), ext, nil},
+		{"call-known-extern", d, code(callTo(int64(0x9000-0x1000)/4), opNop), ext, nil},
 		{"call-in-function", d, code(callTo(1), opNop), Options{}, nil},
 		{"control-in-delay-slot", dly, code(branchTo(1), opJumpReg, opNop), Options{}, ErrDelaySlot},
 		{"trailing-delay-slot", dly, code(opNop, branchTo(-1)), Options{}, ErrDelaySlot},

@@ -29,8 +29,12 @@ bench:
 	go test -bench . -benchtime 1s .
 
 # Machine-readable benchmark record: ns/generated-instruction for every
-# backend, cache hit rate and calls/sec, plus the full telemetry dump.
+# backend, cache hit rate and calls/sec, plus a bounded telemetry summary
+# (histogram summaries + top counters).  Also emits the lifecycle trace
+# and annotated disassembly alongside.
 bench-json:
-	go run ./cmd/cgbench -cache -metrics -requests 50000 -iters 2000 -json BENCH_pr3.json
+	go run ./cmd/cgbench -cache -metrics -requests 50000 -iters 2000 \
+		-trace BENCH_pr4.trace.json -annotate BENCH_pr4.annotate.txt \
+		-json BENCH_pr4.json
 
 .PHONY: verify fuzz-smoke soak test bench bench-json

@@ -21,8 +21,16 @@
 //	-json PATH     write a machine-readable benchmark record ("-" = stdout)
 //	-profile PATH  PC-sample the simulator workload and write a
 //	               pprof-compatible profile
-//	-http ADDR     serve /metrics, /metrics.json and /debug/vars; the
-//	               process keeps serving after the workload until killed
+//	-trace PATH    record lifecycle spans (compile → regalloc → emit →
+//	               verify → install → call → evict) and write Chrome
+//	               trace-event JSON, loadable in Perfetto ("-" = stdout);
+//	               in -cache mode the run fails unless some function's
+//	               full lifecycle chain is present
+//	-annotate PATH write profile-annotated disassembly with branch-bias
+//	               comments for a loop workload on all three backends
+//	-http ADDR     serve /metrics, /metrics.json, /debug/vars, /trace and
+//	               /trace.txt; the process keeps serving after the
+//	               workload until killed
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"repro/internal/mips"
 	"repro/internal/profile"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -56,6 +65,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark record to this path (\"-\" = stdout)")
 	profilePath := flag.String("profile", "", "PC-sample generated code and write a pprof profile to this path")
 	stride := flag.Uint64("stride", profile.DefaultStride, "profiling: sample every N simulated instructions")
+	tracePath := flag.String("trace", "", "record lifecycle spans and write Chrome trace-event JSON to this path (\"-\" = stdout)")
+	annotatePath := flag.String("annotate", "", "write profile-annotated disassembly for all three backends to this path (\"-\" = stdout)")
+	edgeStride := flag.Uint64("edgestride", profile.DefaultEdgeStride, "edge profiling: record every N conditional-branch resolutions")
 	httpAddr := flag.String("http", "", "serve telemetry over HTTP on this address (e.g. :8317)")
 	flag.Parse()
 
@@ -70,6 +82,9 @@ func main() {
 		telemetry.SetEnabled(true)
 		telemetry.SetTraceEnabled(true)
 	}
+	if *tracePath != "" {
+		trace.SetEnabled(true)
+	}
 	var prof *profile.Profiler
 	if *profilePath != "" {
 		prof = profile.New(*stride)
@@ -77,8 +92,10 @@ func main() {
 	}
 	if *httpAddr != "" {
 		telemetry.SetEnabled(true)
+		mux := telemetry.NewMux(telemetry.Default)
+		trace.RegisterHTTP(mux, telemetry.Default)
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, telemetry.NewMux(telemetry.Default)); err != nil {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "cgbench: http:", err)
 			}
 		}()
@@ -112,6 +129,17 @@ func main() {
 		}
 	}
 
+	if *tracePath != "" {
+		if *cacheMode {
+			// The cache workload must leave a complete lifecycle in the
+			// ring; exiting nonzero here is the CI acceptance check.
+			die(verifyLifecycleChain())
+		}
+		die(writeTraceFile(*tracePath))
+	}
+	if *annotatePath != "" {
+		die(runAnnotateDemo(*annotatePath, *edgeStride, rep))
+	}
 	if prof != nil {
 		die(writeProfile(prof, *profilePath, rep))
 	}

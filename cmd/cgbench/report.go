@@ -16,15 +16,22 @@ import (
 
 // jsonReport is the machine-readable benchmark record written by -json.
 // The schema string is versioned so downstream tooling (CI key checks,
-// the BENCH_pr3.json artifact) can detect format drift.
+// the BENCH_pr4.json artifact) can detect format drift.
+//
+// v2 bounds the record: the telemetry section carries every histogram as
+// a fixed-size Summary (count/min/max/mean/p50/p99) but only the top-N
+// scalar counters by value — TelemetryElided says how many were cut — and
+// the embedded telemetry event dump of v1 is gone (lifecycle spans now go
+// to the -trace Chrome-trace file, which Perfetto loads directly).
 type jsonReport struct {
-	Schema    string                  `json:"schema"`
-	Mode      string                  `json:"mode"`
-	Codegen   map[string]codegenStats `json:"codegen"`
-	Cache     *cacheStats             `json:"cache,omitempty"`
-	Telemetry map[string]any          `json:"telemetry,omitempty"`
-	Trace     []telemetry.TraceEvent  `json:"trace,omitempty"`
-	Profile   *profileStats           `json:"profile,omitempty"`
+	Schema          string                  `json:"schema"`
+	Mode            string                  `json:"mode"`
+	Codegen         map[string]codegenStats `json:"codegen"`
+	Cache           *cacheStats             `json:"cache,omitempty"`
+	Telemetry       map[string]any          `json:"telemetry,omitempty"`
+	TelemetryElided int                     `json:"telemetry_elided,omitempty"`
+	Profile         *profileStats           `json:"profile,omitempty"`
+	Edges           *edgeStats              `json:"edges,omitempty"`
 }
 
 // codegenStats is the headline paper number per backend: host nanoseconds
@@ -55,9 +62,17 @@ type profileStats struct {
 	TopPct  float64 `json:"top_pct,omitempty"`
 }
 
+// edgeStats summarizes the -annotate branch-profile demo.
+type edgeStats struct {
+	Events   uint64  `json:"events"`
+	Stride   uint64  `json:"stride"`
+	Branches int     `json:"branches"`
+	TopBias  float64 `json:"top_bias"`
+}
+
 func newReport(mode string) *jsonReport {
 	return &jsonReport{
-		Schema:  "cgbench/v1",
+		Schema:  "cgbench/v2",
 		Mode:    mode,
 		Codegen: map[string]codegenStats{},
 	}
@@ -99,11 +114,12 @@ func emitNsPerInsn(bk core.Backend, iters int, hard bool) (float64, error) {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters*n), nil
 }
 
-// attachTelemetry copies the registry snapshot (and recent trace events)
-// into the report.  Call after the workload, with telemetry enabled.
+// attachTelemetry copies a bounded registry snapshot into the report:
+// histogram summaries plus the top scalar counters, never the full
+// metric set.  Call after the workload, with telemetry enabled.
 func (r *jsonReport) attachTelemetry() {
-	r.Telemetry = telemetry.Default.Snapshot()
-	r.Trace = telemetry.TraceEvents()
+	const topN = 48
+	r.Telemetry, r.TelemetryElided = telemetry.Default.SummarySnapshot(topN)
 }
 
 // write emits the report as indented JSON; path "-" means stdout.

@@ -5,6 +5,8 @@
 //	vasm -target sparc -entry fact -args 6 fact.vs
 //	vasm -dis prog.vs            # print the generated machine code
 //	vasm -trace prog.vs          # disassemble each executed instruction
+//	vasm -annotate - prog.vs     # profile the run, print annotated
+//	                             # disassembly with branch-bias comments
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/mips"
+	"repro/internal/profile"
 	"repro/internal/sparc"
 	"repro/internal/vasm"
 )
@@ -28,6 +31,7 @@ func main() {
 	argsFlag := flag.String("args", "", "comma-separated arguments (int or float literals)")
 	dis := flag.Bool("dis", false, "print the generated code for each function")
 	trace := flag.Bool("trace", false, "disassemble each executed instruction to stderr")
+	annotate := flag.String("annotate", "", "profile the run and write annotated disassembly to this path (\"-\" = stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vasm [flags] FILE.vs")
@@ -94,10 +98,39 @@ func main() {
 	if *trace {
 		machine.SetTrace(os.Stderr)
 	}
+	var prof *profile.Profiler
+	var edges *profile.EdgeProfiler
+	if *annotate != "" {
+		// Dense strides: a single run has to light up every hot line.
+		prof = profile.New(4)
+		edges = profile.NewEdgeProfiler(1)
+		die(prof.Attach(machine))
+		die(edges.Attach(machine))
+	}
 	got, err := prog.Run(name, args...)
 	die(err)
 	fmt.Printf("%s(%s) = %v  [%d insns, %d cycles]\n",
 		name, *argsFlag, got, machine.CPU().Insns(), machine.CPU().Cycles())
+
+	if *annotate != "" {
+		// Detach only after rendering: Snapshot resolves function base
+		// addresses through the still-attached machines.
+		defer prof.Detach(machine)
+		defer edges.Detach(machine)
+		w := os.Stdout
+		if *annotate != "-" {
+			f, err := os.Create(*annotate)
+			die(err)
+			defer f.Close()
+			w = f
+		}
+		funcs := make([]*core.Func, 0, len(prog.Order))
+		for _, fname := range prog.Order {
+			funcs = append(funcs, prog.Funcs[fname])
+		}
+		profile.Annotate(w, backend, funcs, prof, edges)
+		edges.Snapshot(-1).Render(w)
+	}
 }
 
 func die(err error) {

@@ -28,6 +28,11 @@ type CPU struct {
 	sampleFn    func(pc uint64)
 	sampleEvery uint64
 	sampleLeft  uint64
+
+	// Branch edge probe (core.EdgeProfilingCPU).
+	edgeFn    func(pc uint64, taken bool)
+	edgeEvery uint64
+	edgeLeft  uint64
 }
 
 // SetSampler installs fn to be called with the pre-execution program
@@ -39,6 +44,28 @@ func (c *CPU) SetSampler(fn func(pc uint64), stride uint64) {
 		return
 	}
 	c.sampleFn, c.sampleEvery, c.sampleLeft = fn, stride, stride
+}
+
+// SetEdgeProbe installs fn to be called with (branch PC, taken) every
+// stride conditional-branch resolutions; nil fn or zero stride disables
+// the probe.
+func (c *CPU) SetEdgeProbe(fn func(pc uint64, taken bool), stride uint64) {
+	if fn == nil || stride == 0 {
+		c.edgeFn, c.edgeEvery, c.edgeLeft = nil, 0, 0
+		return
+	}
+	c.edgeFn, c.edgeEvery, c.edgeLeft = fn, stride, stride
+}
+
+// edge is the countdown-gated probe call at conditional-branch
+// resolution.
+func (c *CPU) edge(pc uint64, taken bool) {
+	if c.edgeEvery != 0 {
+		if c.edgeLeft--; c.edgeLeft == 0 {
+			c.edgeLeft = c.edgeEvery
+			c.edgeFn(pc, taken)
+		}
+	}
 }
 
 // NewCPU returns a simulator bound to m.
@@ -236,6 +263,7 @@ func (c *CPU) Step() error {
 		case opBge:
 			taken = v >= 0
 		}
+		c.edge(c.pc, taken)
 		if taken {
 			next = next + uint64(disp21*4)
 		}
@@ -256,6 +284,7 @@ func (c *CPU) Step() error {
 		case opFbge:
 			taken = v >= 0
 		}
+		c.edge(c.pc, taken)
 		if taken {
 			next = next + uint64(disp21*4)
 		}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // CompileFunc produces the function for a key on a cache miss.  It runs
@@ -181,6 +182,10 @@ func (c *Cache) shard(key string) *shard {
 // waiters never deadlock.  Failed keys are negative-cached for
 // Config.FailureBackoff (not at all when zero — the next request retries).
 func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error) {
+	var lkStart time.Time
+	if trace.Enabled() {
+		lkStart = time.Now()
+	}
 	s := c.shard(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
@@ -190,12 +195,14 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 			s.moveToFront(e)
 			s.mu.Unlock()
 			c.hits.Add(1)
+			lookupSpan(lkStart, "hit", e.fn, key, nil)
 			return e.fn, nil
 		case e.failed:
 			if time.Now().Before(e.negUntil) {
 				err := e.err
 				s.mu.Unlock()
 				c.negativeHits.Add(1)
+				lookupSpan(lkStart, "negative", nil, key, err)
 				return nil, err
 			}
 			// Backoff expired: drop the negative entry and retry below.
@@ -205,8 +212,10 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 			c.coalesced.Add(1)
 			<-e.done
 			if e.err != nil {
+				lookupSpan(lkStart, "coalesced", nil, key, e.err)
 				return nil, e.err
 			}
+			lookupSpan(lkStart, "coalesced", e.fn, key, nil)
 			return e.fn, nil
 		}
 	}
@@ -236,6 +245,7 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 		}
 		s.mu.Unlock()
 		close(e.done)
+		lookupSpan(lkStart, "miss", nil, key, err)
 		return nil, err
 	}
 	e.fn = fn
@@ -249,7 +259,28 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 	c.codeBytes.Add(e.size)
 	close(e.done)
 	c.enforce()
+	lookupSpan(lkStart, "miss", fn, key, nil)
 	return fn, nil
+}
+
+// lookupSpan records a KindLookup trace span for one GetOrCompile
+// outcome.  lkStart is zero when tracing was off at entry — then this is
+// a no-op, keeping the disabled path at its single atomic load.  On a
+// miss the span covers the whole flight (compile + install), which is
+// exactly the latency the caller saw.
+func lookupSpan(lkStart time.Time, verdict string, fn *core.Func, key string, err error) {
+	if lkStart.IsZero() {
+		return
+	}
+	name, backend, flow := key, "", uint64(0)
+	if fn != nil {
+		name, backend, flow = fn.Name, fn.BackendName, fn.TraceFlow()
+	}
+	at := trace.Attrs{Verdict: verdict}
+	if err != nil {
+		at.Err = err.Error()
+	}
+	trace.Record(trace.KindLookup, backend, name, flow, lkStart, time.Since(lkStart), at)
 }
 
 // runCompile runs the client's compile callback with panic isolation: the

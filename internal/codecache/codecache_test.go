@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/mips"
+	"repro/internal/trace"
 )
 
 // fake returns a CompileFunc yielding a standalone (uninstallable) Func
@@ -413,5 +414,44 @@ func TestFailureBackoff(t *testing.T) {
 	var n2 atomic.Int64
 	if _, err := c.GetOrCompile("k2", fake(&n2, 4)); err != nil || n2.Load() != 1 {
 		t.Errorf("k2 not retryable after Invalidate: err=%v compiles=%d", err, n2.Load())
+	}
+}
+
+// TestLookupTraceVerdicts: GetOrCompile emits one KindLookup span per
+// outcome, with the verdict naming which path answered.
+func TestLookupTraceVerdicts(t *testing.T) {
+	trace.SetEnabled(true)
+	trace.Reset()
+	defer func() { trace.SetEnabled(false); trace.Reset() }()
+
+	c := New(Config{FailureBackoff: time.Minute})
+	var n atomic.Int64
+	if _, err := c.GetOrCompile("k1", fake(&n, 4)); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := c.GetOrCompile("k1", fake(&n, 4)); err != nil { // hit
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompile("bad", func() (*core.Func, error) { return nil, boom }); err == nil {
+		t.Fatal("want compile error") // miss (failed)
+	}
+	if _, err := c.GetOrCompile("bad", fake(&n, 4)); err == nil {
+		t.Fatal("want negative-cache error") // negative
+	}
+
+	got := map[string]int{}
+	for _, s := range trace.Spans() {
+		if s.Kind == trace.KindLookup {
+			got[s.Attrs.Verdict]++
+		}
+	}
+	if got["miss"] != 2 || got["hit"] != 1 || got["negative"] != 1 {
+		t.Errorf("lookup verdicts = %v, want miss=2 hit=1 negative=1", got)
+	}
+	for _, s := range trace.Spans() {
+		if s.Kind == trace.KindLookup && s.Attrs.Verdict == "hit" && s.Name != "fake" {
+			t.Errorf("hit span name = %q, want compiled function name", s.Name)
+		}
 	}
 }

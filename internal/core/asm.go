@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Label names a code position for branches and jumps.  Labels are created
@@ -94,13 +95,21 @@ type Asm struct {
 	insnCount int
 	exts      map[string]*ExtDef
 
-	// emitStart stamps Begin when telemetry is enabled (zero otherwise);
-	// tstats caches the per-backend instrument handles.  With telemetry
-	// off the only emission-path cost is one atomic load in Begin and
-	// one in End — nothing per instruction.
+	// emitStart stamps Begin when telemetry or tracing is enabled (zero
+	// otherwise); tstats caches the per-backend instrument handles.  With
+	// both off the only emission-path cost is one atomic load in Begin
+	// and one in End — nothing per instruction.
 	emitStart time.Time
 	tstats    *telemetry.CodegenStats
+	// flow is the lifecycle span ID for the function under construction,
+	// assigned at Begin when tracing is on so front ends (jit.Compile)
+	// can hang regalloc/compile spans on it before End produces the Func.
+	flow uint64
 }
+
+// TraceFlow returns the lifecycle span ID of the function currently being
+// built (0 when tracing is off or no build is active).
+func (a *Asm) TraceFlow() uint64 { return a.flow }
 
 // NewAsm returns an assembler for the target's default conventions.
 func NewAsm(b Backend) *Asm { return NewAsmConv(b, b.DefaultConv()) }
@@ -187,13 +196,19 @@ func (a *Asm) BeginTypes(params []Type, leaf bool) ([]Reg, error) {
 			return nil, fmt.Errorf("%w: parameter type %s", ErrBadType, t)
 		}
 	}
+	a.emitStart = time.Time{}
+	a.flow = 0
 	if telemetry.Enabled() {
 		if a.tstats == nil {
 			a.tstats = telemetry.ForBackend(a.backend.Name())
 		}
 		a.emitStart = time.Now()
-	} else {
-		a.emitStart = time.Time{}
+	}
+	if trace.Enabled() {
+		a.flow = trace.NextFlow()
+		if a.emitStart.IsZero() {
+			a.emitStart = time.Now()
+		}
 	}
 	a.buf.Reset()
 	a.err = nil
@@ -394,12 +409,19 @@ func (a *Asm) End() (*Func, error) {
 			Addend: int64(4 * (poolStart + 2*pr.entry)),
 		})
 	}
-	if !a.emitStart.IsZero() && telemetry.Enabled() {
+	fn.flow = a.flow
+	if !a.emitStart.IsZero() {
 		d := time.Since(a.emitStart)
-		a.tstats.EmitNS.Observe(uint64(d))
-		a.tstats.Insns.Add(uint64(a.insnCount))
-		a.tstats.Funcs.Inc()
-		telemetry.TraceRecord(telemetry.PhaseEmit, a.backend.Name(), a.name, d, int64(a.insnCount))
+		if telemetry.Enabled() && a.tstats != nil {
+			a.tstats.EmitNS.Observe(uint64(d))
+			a.tstats.Insns.Add(uint64(a.insnCount))
+			a.tstats.Funcs.Inc()
+			telemetry.TraceRecord(telemetry.PhaseEmit, a.backend.Name(), a.name, d, int64(a.insnCount))
+		}
+		if trace.Enabled() {
+			trace.Record(trace.KindEmit, a.backend.Name(), a.name, fn.lifecycleFlow(),
+				a.emitStart, d, trace.Attrs{N: int64(a.insnCount), Bytes: int64(fn.SizeBytes())})
+		}
 	}
 	return fn, nil
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // RelocKind classifies a relocation left in a Func for the loader.
 type RelocKind uint8
@@ -76,6 +80,24 @@ type Func struct {
 	// re-enter Install before the final words exist).
 	sum      uint64
 	sumValid bool
+	// flow is the lifecycle span ID shared by every trace span this
+	// function generates (see internal/trace); 0 until tracing assigns
+	// one.
+	flow uint64
+}
+
+// TraceFlow returns the function's lifecycle span ID, or 0 if tracing
+// never touched it.
+func (f *Func) TraceFlow() uint64 { return f.flow }
+
+// lifecycleFlow returns the lifecycle span ID, assigning one on first
+// use.  Callers must serialize (the Machine invokes it under its mutex;
+// the Asm owns the Func exclusively until End returns).
+func (f *Func) lifecycleFlow() uint64 {
+	if f.flow == 0 {
+		f.flow = trace.NextFlow()
+	}
+	return f.flow
 }
 
 // Installed reports whether a Machine has placed the function in memory.

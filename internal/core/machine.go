@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/verify"
 )
 
@@ -68,6 +69,32 @@ func (m *Machine) SetSampler(fn func(pc uint64), stride uint64) error {
 	return nil
 }
 
+// EdgeProfilingCPU is implemented by simulators that can invoke a hook
+// with (branch PC, taken) at conditional-branch resolution, countdown-
+// gated so only every strideth branch event fires — the substrate of
+// basic-block edge profiling.  Like the sampling hook, it runs inside
+// Step and must not call back into the Machine's locked API (the
+// lock-free FuncSpans/SymbolizePC/InCodeRegion are safe).
+type EdgeProfilingCPU interface {
+	// SetEdgeProbe installs fn to fire every stride conditional-branch
+	// resolutions; nil fn or zero stride disables the probe.
+	SetEdgeProbe(fn func(pc uint64, taken bool), stride uint64)
+}
+
+// SetEdgeProbe installs (or, with a nil fn, removes) a branch edge probe
+// on the machine's simulator.  It reports an error if the CPU does not
+// implement EdgeProfilingCPU.
+func (m *Machine) SetEdgeProbe(fn func(pc uint64, taken bool), stride uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ec, ok := m.cpu.(EdgeProfilingCPU)
+	if !ok {
+		return fmt.Errorf("machine: %s CPU does not support edge profiling", m.backend.Name())
+	}
+	ec.SetEdgeProbe(fn, stride)
+	return nil
+}
+
 // TrapHandler implements a runtime helper in the host: it reads arguments
 // from the CPU per the emulation convention and writes only the result
 // register.
@@ -92,6 +119,10 @@ type Machine struct {
 
 	codeBase uint64
 	codeNext uint64
+	// codeNextPub mirrors codeNext for lock-free readers (InCodeRegion,
+	// called from sampling hooks inside the simulator step loop); it is
+	// refreshed after every mutation of codeNext under mu.
+	codeNextPub atomic.Uint64
 	// freeCode holds code regions returned by Uninstall: sorted by
 	// address, coalesced, and all strictly below codeNext.  Installs are
 	// served first-fit from here before bumping codeNext.
@@ -166,6 +197,7 @@ func NewMachine(b Backend, cpu CPU, m *mem.Memory) *Machine {
 		MaxSteps: 1 << 28,
 	}
 	mc.haltAddr = trapBase
+	mc.codeNextPub.Store(mc.codeNext)
 	mc.spanList = append(mc.spanList, FuncSpan{Start: trapBase, End: trapBase + 16, Name: "<halt>"})
 	registerDivHelpers(mc)
 	mc.publishSpans()
@@ -263,6 +295,14 @@ func (m *Machine) FuncSpans() []FuncSpan {
 	return nil
 }
 
+// InCodeRegion reports whether pc falls inside the machine's code arena
+// (at or above the code base and below the allocation high-water mark).
+// Lock-free; safe from a sampling hook.  A PC that is in the region but
+// fails SymbolizePC points at code that was installed and since evicted.
+func (m *Machine) InCodeRegion(pc uint64) bool {
+	return pc >= m.codeBase && pc < m.codeNextPub.Load()
+}
+
 // SymbolizePC resolves a program counter to the name of the installed
 // function (or trap vector) containing it.  Lock-free; safe from a
 // sampling hook.
@@ -324,6 +364,7 @@ func (m *Machine) Release(mk Mark) {
 			kept = append(kept, r)
 		}
 		m.freeCode = kept
+		m.codeNextPub.Store(m.codeNext)
 		m.pruneSpans(m.codeNext)
 	}
 	if mk.heap <= m.heapNext && mk.heap >= m.mem.Size()/2 {
@@ -403,6 +444,10 @@ func (m *Machine) Uninstall(f *Func) error {
 		m.stats().Uninstalls.Inc()
 		telemetry.TraceRecord(telemetry.PhaseEvict, f.BackendName, f.Name, 0, int64(f.codeSize))
 	}
+	if trace.Enabled() {
+		trace.Record(trace.KindEvict, f.BackendName, f.Name, f.lifecycleFlow(),
+			time.Now(), 0, trace.Attrs{Bytes: int64(f.codeSize)})
+	}
 	f.addr = 0
 	f.installed = false
 	f.owner = nil
@@ -446,6 +491,7 @@ func (m *Machine) freeRegion(r codeRegion) {
 		if top := m.freeCode[n-1]; top.addr+top.size == m.codeNext {
 			m.codeNext = top.addr
 			m.freeCode = m.freeCode[:n-1]
+			m.codeNextPub.Store(m.codeNext)
 		}
 	}
 }
@@ -470,6 +516,7 @@ func (m *Machine) allocCode(size uint64) (uint64, error) {
 		return 0, fmt.Errorf("machine: code region exhausted")
 	}
 	m.codeNext = end
+	m.codeNextPub.Store(m.codeNext)
 	return addr, nil
 }
 
@@ -487,7 +534,7 @@ func (m *Machine) install(f *Func) error {
 		return fmt.Errorf("machine: %s code installed on %s machine", f.BackendName, m.backend.Name())
 	}
 	var start time.Time
-	if telemetry.Enabled() {
+	if telemetry.Enabled() || trace.Enabled() {
 		start = time.Now()
 	}
 	size := (uint64(4*len(f.Words)) + 15) &^ 15
@@ -518,14 +565,20 @@ func (m *Machine) install(f *Func) error {
 		name = fmt.Sprintf("func@%#x", addr)
 	}
 	m.addSpan(FuncSpan{Start: addr, End: addr + size, Name: name})
-	if !start.IsZero() && telemetry.Enabled() {
+	if !start.IsZero() {
 		// Nested installs (referenced functions) are timed individually;
 		// the parent's duration includes its children.
 		d := time.Since(start)
-		st := m.stats()
-		st.InstallNS.Observe(uint64(d))
-		st.Installs.Inc()
-		telemetry.TraceRecord(telemetry.PhaseInstall, f.BackendName, f.Name, d, int64(size))
+		if telemetry.Enabled() {
+			st := m.stats()
+			st.InstallNS.Observe(uint64(d))
+			st.Installs.Inc()
+			telemetry.TraceRecord(telemetry.PhaseInstall, f.BackendName, f.Name, d, int64(size))
+		}
+		if trace.Enabled() {
+			trace.Record(trace.KindInstall, f.BackendName, f.Name, f.lifecycleFlow(),
+				start, d, trace.Attrs{Bytes: int64(size)})
+		}
 	}
 	return nil
 }
@@ -605,13 +658,9 @@ func (m *Machine) SetVerify(on bool) {
 
 // verifyFunc runs the static verifier over f's relocated image.
 func (m *Machine) verifyFunc(f *Func) error {
-	if telemetry.Enabled() {
-		start := time.Now()
-		defer func() {
-			d := time.Since(start)
-			m.stats().VerifyNS.Observe(uint64(d))
-			telemetry.TraceRecord(telemetry.PhaseVerify, f.BackendName, f.Name, d, int64(len(f.Words)))
-		}()
+	var start time.Time
+	if telemetry.Enabled() || trace.Enabled() {
+		start = time.Now()
 	}
 	var prs []verify.PoolRef
 	for _, r := range f.Relocs {
@@ -623,7 +672,7 @@ func (m *Machine) verifyFunc(f *Func) error {
 	if ps < f.Entry || ps > len(f.Words) {
 		ps = len(f.Words)
 	}
-	return verify.Verify(m.backend, &verify.Code{
+	err := verify.Verify(m.backend, &verify.Code{
 		Name:      f.Name,
 		Words:     f.Words,
 		Base:      f.addr,
@@ -631,6 +680,35 @@ func (m *Machine) verifyFunc(f *Func) error {
 		PoolStart: ps,
 		PoolRefs:  prs,
 	}, verify.Options{ExternTarget: m.validCallTarget})
+	if !start.IsZero() {
+		d := time.Since(start)
+		if telemetry.Enabled() {
+			m.stats().VerifyNS.Observe(uint64(d))
+			telemetry.TraceRecord(telemetry.PhaseVerify, f.BackendName, f.Name, d, int64(len(f.Words)))
+		}
+		if trace.Enabled() {
+			verdict := "ok"
+			if err != nil {
+				verdict = "reject"
+			}
+			trace.Record(trace.KindVerify, f.BackendName, f.Name, f.lifecycleFlow(),
+				start, d, trace.Attrs{N: int64(len(f.Words)), Verdict: verdict, Err: errText(err)})
+		}
+	}
+	return err
+}
+
+// errText renders an error for a span attribute, bounded so one failure
+// cannot bloat the ring.
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	if len(s) > 120 {
+		s = s[:120]
+	}
+	return s
 }
 
 // validCallTarget reports whether an out-of-function call target is an
@@ -710,6 +788,7 @@ func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, arg
 			Wall:   time.Since(start),
 		}
 	}
+	var fuelUsed uint64 // simulated steps the run loop consumed
 	finish := func(v Value, err error) (Value, CallStats, error) {
 		st := stats()
 		if telemetry.Enabled() {
@@ -722,6 +801,10 @@ func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, arg
 			ts.SimInsns.Add(st.Insns)
 			ts.SimCycles.Add(st.Cycles)
 			telemetry.TraceRecord(telemetry.PhaseCall, f.BackendName, f.Name, st.Wall, int64(st.Insns))
+		}
+		if trace.Enabled() {
+			trace.Record(trace.KindCall, f.BackendName, f.Name, f.lifecycleFlow(),
+				start, st.Wall, trace.Attrs{N: int64(st.Insns), Fuel: fuelUsed, Err: errText(err)})
 		}
 		return v, st, err
 	}
@@ -766,7 +849,9 @@ func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, arg
 	m.cpu.SetReg(conv.SP, sp)
 	m.cpu.SetReg(conv.RA, m.retLinkValue(m.haltAddr))
 	m.cpu.SetPC(f.EntryAddr())
-	if err := m.run(ctx, opts, conv); err != nil {
+	steps, err := m.run(ctx, opts, conv)
+	fuelUsed = steps
+	if err != nil {
 		return finish(Value{}, fmt.Errorf("machine: running %s: %w", f.Name, err))
 	}
 
@@ -788,7 +873,7 @@ func (m *Machine) retLinkValue(target uint64) uint64 {
 // instructions appear automatically.
 func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
 
-func (m *Machine) run(ctx context.Context, opts CallOpts, conv *CallConv) (err error) {
+func (m *Machine) run(ctx context.Context, opts CallOpts, conv *CallConv) (steps uint64, err error) {
 	// Last line of defense: the simulators are panic-proofed and fuzzed,
 	// but if one does panic the call must still return an error rather
 	// than unwind the caller (who may be a cache or a server loop).
@@ -806,29 +891,28 @@ func (m *Machine) run(ctx context.Context, opts CallOpts, conv *CallConv) (err e
 		stride = 1024
 	}
 	cancelable := ctx.Done() != nil
-	var steps uint64
 	for {
 		pc := m.cpu.PC()
 		if pc == m.haltAddr {
-			return nil
+			return steps, nil
 		}
 		if cancelable && steps%stride == 0 {
 			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("after %d steps: %w", steps, err)
+				return steps, fmt.Errorf("after %d steps: %w", steps, err)
 			}
 		}
 		// A trap dispatch consumes a step too, so a trap that returns to
 		// itself burns fuel instead of spinning forever.
 		steps++
 		if steps > budget {
-			return fmt.Errorf("%w: %d steps (runaway generated code?)", ErrFuelExhausted, budget)
+			return steps, fmt.Errorf("%w: %d steps (runaway generated code?)", ErrFuelExhausted, budget)
 		}
 		if h, ok := m.traps[pc]; ok {
 			if m.trace != nil {
 				fmt.Fprintf(m.trace, "%08x: <trap %s>\n", pc, m.symAt(pc))
 			}
 			if err := m.safeTrap(pc, h); err != nil {
-				return err
+				return steps, err
 			}
 			ret := m.cpu.Reg(conv.RA) + uint64(m.backend.RetAddrOffset())
 			m.cpu.SetPC(ret)
@@ -840,7 +924,7 @@ func (m *Machine) run(ctx context.Context, opts CallOpts, conv *CallConv) (err e
 			}
 		}
 		if err := m.cpu.Step(); err != nil {
-			return err
+			return steps, err
 		}
 	}
 }

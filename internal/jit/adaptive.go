@@ -24,6 +24,13 @@ type Adaptive struct {
 	m *Machine
 	// Threshold is the call count at which a function becomes hot.
 	Threshold int
+	// BlockThreshold, when positive, also promotes on block heat: a
+	// function whose accumulated loop backedges (interpreted calls) plus
+	// estimated branch resolutions (edge-profiled compiled runs) reach it
+	// compiles on the next call even if its call count is still cold.
+	// One call spinning a million-iteration loop promotes this way; it
+	// never would on call counts alone.
+	BlockThreshold int64
 
 	cache *codecache.Cache
 
@@ -31,6 +38,10 @@ type Adaptive struct {
 	// bump per call replaces the old mutex-guarded count map, and the
 	// profiler joins the same counts into its reports.
 	hot *profile.HotCounts
+	// blocks accumulates per-function block heat under the same content
+	// key (interpreter backedges feed it directly; an attached
+	// profile.EdgeProfiler may feed it too via SetHotCounts(ad.Blocks())).
+	blocks *profile.HotCounts
 
 	keys sync.Map // *Func -> memoized content hash (string)
 }
@@ -51,6 +62,7 @@ func NewAdaptiveCache(m *Machine, threshold int, cache *codecache.Cache) *Adapti
 		Threshold: threshold,
 		cache:     cache,
 		hot:       profile.NewHotCounts(),
+		blocks:    profile.NewHotCounts(),
 	}
 }
 
@@ -64,6 +76,12 @@ func (ad *Adaptive) Metrics() codecache.Metrics { return ad.cache.Snapshot() }
 // hash; a profiler links it with SetHotCounts to show calls alongside
 // samples.
 func (ad *Adaptive) Hot() *profile.HotCounts { return ad.hot }
+
+// Blocks exposes the block-heat table.  Link an edge profiler with
+// e.SetHotCounts(ad.Blocks()) so compiled-code branch activity keeps
+// feeding the same promotion signal the interpreter's backedge counts
+// seed.
+func (ad *Adaptive) Blocks() *profile.HotCounts { return ad.blocks }
 
 // key memoizes f's content hash (hashing bytecode on every call would
 // erase the win of calling compiled code).
@@ -90,7 +108,16 @@ func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
 	key := ad.key(f)
 	n := ad.hot.Inc(key, f.Name)
 
-	if int(n) > ad.Threshold || ad.cache.Contains(key) {
+	hot := int(n) > ad.Threshold || ad.cache.Contains(key)
+	if !hot && ad.BlockThreshold > 0 {
+		// Block-heat check last (it walks a sync.Map; the cheap paths
+		// above decide most calls).  Summing by display name merges the
+		// interpreter's backedge entry (keyed by content hash) with an
+		// edge profiler's entry (keyed "edge:"+name) for the same
+		// function.
+		hot = ad.blocks.GetByName(f.Name) >= ad.BlockThreshold
+	}
+	if hot {
 		fn, err := ad.cache.GetOrCompile(key, func() (*core.Func, error) {
 			return ad.m.Compile(f)
 		})
@@ -99,5 +126,9 @@ func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
 		}
 		return ad.m.Run(fn, args...)
 	}
-	return Interp(f, args...)
+	r, cycles, backedges, err := InterpCounted(f, args...)
+	if backedges > 0 {
+		ad.blocks.Add(key, f.Name, backedges)
+	}
+	return r, cycles, err
 }

@@ -188,10 +188,21 @@ const (
 // Interp executes f directly, returning the result and the modelled
 // cycle cost.
 func Interp(f *Func, args ...int32) (int32, uint64, error) {
+	r, cycles, _, err := InterpCounted(f, args...)
+	return r, cycles, err
+}
+
+// InterpCounted is Interp, additionally counting loop backedges (control
+// transfers to a lower-or-equal pc).  Backedges approximate basic-block
+// heat: one call that spins a million-iteration loop reports a million
+// backedges, which lets the adaptive JIT promote on block heat rather
+// than call counts alone.
+func InterpCounted(f *Func, args ...int32) (int32, uint64, int64, error) {
 	if len(args) != f.NArgs {
-		return 0, 0, fmt.Errorf("jit: %s takes %d args", f.Name, f.NArgs)
+		return 0, 0, 0, fmt.Errorf("jit: %s takes %d args", f.Name, f.NArgs)
 	}
 	var cycles uint64
+	var backedges int64
 	stack := make([]int32, 0, 16)
 	vars := make([]int32, f.NVars)
 	pop := func() int32 {
@@ -202,10 +213,10 @@ func Interp(f *Func, args ...int32) (int32, uint64, error) {
 	pc := 0
 	for steps := 0; ; steps++ {
 		if steps > 1<<26 {
-			return 0, cycles, fmt.Errorf("jit: %s: runaway", f.Name)
+			return 0, cycles, backedges, fmt.Errorf("jit: %s: runaway", f.Name)
 		}
 		if pc < 0 || pc >= len(f.Code) {
-			return 0, cycles, fmt.Errorf("jit: %s: pc out of range", f.Name)
+			return 0, cycles, backedges, fmt.Errorf("jit: %s: pc out of range", f.Name)
 		}
 		in := f.Code[pc]
 		cycles += jitDispatch
@@ -226,18 +237,24 @@ func Interp(f *Func, args ...int32) (int32, uint64, error) {
 			stack[len(stack)-1] = -stack[len(stack)-1]
 			cycles += jitALUCost
 		case OpJmp:
+			if in.A <= pc {
+				backedges++
+			}
 			pc = in.A
 			cycles += jitALUCost
 			continue
 		case OpJz:
 			if pop() == 0 {
+				if in.A <= pc {
+					backedges++
+				}
 				pc = in.A
 				cycles += jitALUCost
 				continue
 			}
 			cycles += jitALUCost
 		case OpRet:
-			return pop(), cycles, nil
+			return pop(), cycles, backedges, nil
 		default:
 			b, a := pop(), pop()
 			var r int32
@@ -284,7 +301,7 @@ func Interp(f *Func, args ...int32) (int32, uint64, error) {
 				r = b2i(a != b)
 				cycles += jitALUCost
 			default:
-				return 0, cycles, fmt.Errorf("jit: %s: bad opcode %v at pc %d", f.Name, in.Op, pc)
+				return 0, cycles, backedges, fmt.Errorf("jit: %s: bad opcode %v at pc %d", f.Name, in.Op, pc)
 			}
 			stack = append(stack, r)
 		}

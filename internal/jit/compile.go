@@ -9,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mips"
 	"repro/internal/sparc"
+	"repro/internal/trace"
 )
 
 // Machine owns a simulated target for JIT-compiled bytecode.  Compile may
@@ -66,6 +67,7 @@ func NewMachineTarget(target string, conf mem.MachineConfig) (*Machine, error) {
 // stack slot and local variable is assigned a VCODE register at compile
 // time; stack traffic disappears entirely.
 func (m *Machine) Compile(f *Func) (*core.Func, error) {
+	comp := trace.Begin(trace.KindCompile, m.backend.Name(), f.Name)
 	maxDepth, err := f.Validate()
 	if err != nil {
 		return nil, err
@@ -84,6 +86,7 @@ func (m *Machine) Compile(f *Func) (*core.Func, error) {
 	// Register assignment: locals first (persistent), then one register
 	// per operand-stack slot (temporaries — the stack is empty across
 	// no call, and this machine has no calls).
+	ra := trace.Begin(trace.KindRegalloc, m.backend.Name(), f.Name)
 	vars := make([]core.Reg, f.NVars)
 	for i := range vars {
 		if vars[i], err = a.GetReg(core.Var); err != nil {
@@ -96,6 +99,7 @@ func (m *Machine) Compile(f *Func) (*core.Func, error) {
 			return nil, fmt.Errorf("jit: %s: stack depth %d exceeds registers: %w", f.Name, maxDepth, err)
 		}
 	}
+	ra.End(a.TraceFlow(), trace.Attrs{N: int64(len(vars) + len(slots))})
 
 	labels := make([]core.Label, len(f.Code))
 	needLabel := make([]bool, len(f.Code))
@@ -168,7 +172,12 @@ func (m *Machine) Compile(f *Func) (*core.Func, error) {
 			depth = depthAfter(f, pc+1)
 		}
 	}
-	return a.End()
+	fn, err := a.End()
+	if err != nil {
+		return nil, err
+	}
+	comp.End(fn.TraceFlow(), trace.Attrs{N: int64(len(f.Code)), Bytes: int64(fn.SizeBytes())})
+	return fn, nil
 }
 
 // depthAfter recomputes the validated stack depth at instruction pc

@@ -290,3 +290,86 @@ func TestConcurrentRunCycles(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestInterpCountedBackedges: FibIter's loop takes one backward jump per
+// iteration, so fib(n) interprets with exactly n backedges; straight-line
+// code takes none.
+func TestInterpCountedBackedges(t *testing.T) {
+	_, _, backedges, err := InterpCounted(FibIter(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backedges != 20 {
+		t.Errorf("fib(20) backedges = %d, want 20", backedges)
+	}
+	_, _, backedges, err = InterpCounted(Poly(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backedges != 0 {
+		t.Errorf("poly backedges = %d, want 0 (straight-line)", backedges)
+	}
+	// Interp must agree with InterpCounted on results and cycles.
+	r1, c1, err := Interp(FibIter(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, c2, _, err := InterpCounted(FibIter(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || c1 != c2 {
+		t.Errorf("Interp (%d, %d) disagrees with InterpCounted (%d, %d)", r1, c1, r2, c2)
+	}
+}
+
+// TestAdaptiveBlockPromotion: with a call threshold that would never
+// trigger, block heat alone must promote a function whose single call
+// spins a long loop — the paper's motivating case for profile-directed
+// compilation.
+func TestAdaptiveBlockPromotion(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	ad := NewAdaptive(m, 1<<30) // call count alone never promotes
+	ad.BlockThreshold = 50
+
+	f := FibIter()
+	if _, _, err := ad.Call(f, 100); err != nil { // 100 backedges >= 50
+		t.Fatal(err)
+	}
+	if ad.Compiled(f) {
+		t.Fatal("compiled during the first (interpreted) call")
+	}
+	got, _, err := ad.Call(f, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ad.Compiled(f) {
+		t.Errorf("block heat %d >= %d did not promote", ad.Blocks().GetByName(f.Name), ad.BlockThreshold)
+	}
+	if got != refFib(20) {
+		t.Errorf("post-promotion result %d, want %d", got, refFib(20))
+	}
+
+	// Cold loops below the threshold must keep interpreting.
+	g := SumSquares()
+	for i := 0; i < 3; i++ {
+		if _, _, err := ad.Call(g, 10); err != nil { // 10 backedges/call
+			t.Fatal(err)
+		}
+	}
+	if ad.Compiled(g) {
+		t.Errorf("block heat %d < %d promoted anyway", ad.Blocks().GetByName(g.Name), ad.BlockThreshold)
+	}
+
+	// Disabled (zero) threshold: never promotes on blocks.
+	ad2 := NewAdaptive(m, 1<<30)
+	if _, _, err := ad2.Call(FibIter(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ad2.Call(FibIter(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if ad2.Compiled(FibIter()) {
+		t.Error("BlockThreshold=0 must disable block promotion")
+	}
+}

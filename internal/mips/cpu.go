@@ -37,6 +37,14 @@ type CPU struct {
 	sampleFn    func(pc uint64)
 	sampleEvery uint64
 	sampleLeft  uint64
+
+	// Branch edge probe (core.EdgeProfilingCPU): edgeFn fires with
+	// (branch PC, taken) every edgeEvery conditional-branch resolutions.
+	// Disabled (edgeEvery == 0) the cost is one predictable branch per
+	// conditional branch executed.
+	edgeFn    func(pc uint64, taken bool)
+	edgeEvery uint64
+	edgeLeft  uint64
 }
 
 // SetSampler installs fn to be called with the pre-execution program
@@ -48,6 +56,28 @@ func (c *CPU) SetSampler(fn func(pc uint64), stride uint64) {
 		return
 	}
 	c.sampleFn, c.sampleEvery, c.sampleLeft = fn, stride, stride
+}
+
+// SetEdgeProbe installs fn to be called with (branch PC, taken) every
+// stride conditional-branch resolutions; nil fn or zero stride disables
+// the probe.
+func (c *CPU) SetEdgeProbe(fn func(pc uint64, taken bool), stride uint64) {
+	if fn == nil || stride == 0 {
+		c.edgeFn, c.edgeEvery, c.edgeLeft = nil, 0, 0
+		return
+	}
+	c.edgeFn, c.edgeEvery, c.edgeLeft = fn, stride, stride
+}
+
+// edge is the countdown-gated probe call at conditional-branch
+// resolution.
+func (c *CPU) edge(pc uint64, taken bool) {
+	if c.edgeEvery != 0 {
+		if c.edgeLeft--; c.edgeLeft == 0 {
+			c.edgeLeft = c.edgeEvery
+			c.edgeFn(pc, taken)
+		}
+	}
 }
 
 // NewCPU returns a simulator bound to m.
@@ -186,6 +216,7 @@ func (c *CPU) Step() error {
 	var target uint64
 	hasTarget := false
 	branchRel := func(taken bool) {
+		c.edge(c.pc, taken)
 		if taken {
 			target = c.pc + 4 + uint64(int64(sImm)<<2)
 			hasTarget = true
@@ -387,6 +418,7 @@ func (c *CPU) cop1(w, fmtf, ft, fs, fd, fn uint32, sImm int32, target *uint64, h
 		return nil
 	case fmtBC:
 		taken := (ft&1 == 1) == c.cc
+		c.edge(c.pc, taken)
 		if taken {
 			*target = c.pc + 4 + uint64(int64(sImm)<<2)
 			*hasTarget = true

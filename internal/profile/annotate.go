@@ -1,0 +1,64 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Annotate writes a profile-annotated disassembly of the given functions:
+// one line per instruction word with PC-sample counts and percentages
+// from p (nil = no sample columns) interleaved with the backend's
+// disassembly, and branch-bias annotations from e (nil = none) on lines
+// whose PC carries edge counts.  Only installed functions can be
+// rendered — their word addresses are what the profiles are keyed by —
+// so uninstalled ones are reported and skipped.
+func Annotate(w io.Writer, backend core.Backend, funcs []*core.Func, p *Profiler, e *EdgeProfiler) {
+	var pcCounts map[uint64]uint64
+	var total uint64
+	if p != nil {
+		pcCounts = p.PCCounts()
+		total = p.TotalSamples()
+	}
+	for _, fn := range funcs {
+		if fn == nil {
+			continue
+		}
+		if !fn.Installed() {
+			fmt.Fprintf(w, "%s [%s]: not installed, skipping\n\n", fn.Name, fn.BackendName)
+			continue
+		}
+		fmt.Fprintf(w, "%s [%s] @ %#x (%d bytes, entry +%#x):\n",
+			fn.Name, fn.BackendName, fn.Addr(), fn.SizeBytes(), 4*uint64(fn.Entry))
+		fmt.Fprintf(w, "  samples   pct%%          pc      word  disasm\n")
+		for i, word := range fn.Words {
+			pc := fn.Addr() + 4*uint64(i)
+			if i == fn.PoolStart {
+				fmt.Fprintf(w, "  ---- constant pool ----\n")
+			}
+			var samples, pct string
+			if n := pcCounts[pc]; n > 0 {
+				samples = fmt.Sprintf("%d", n)
+				if total > 0 {
+					pct = fmt.Sprintf("%.2f", 100*float64(n)/float64(total))
+				}
+			}
+			var text string
+			if i >= fn.PoolStart {
+				text = fmt.Sprintf(".word %#08x", word)
+			} else {
+				text = backend.Disasm(word, pc)
+			}
+			var bias string
+			if e != nil {
+				if taken, not, ok := e.EdgeAt(pc); ok && taken+not > 0 {
+					bias = fmt.Sprintf("   ; taken %.1f%% (%d/%d)",
+						100*float64(taken)/float64(taken+not), taken, taken+not)
+				}
+			}
+			fmt.Fprintf(w, "  %7s %5s  %#010x  %08x  %s%s\n", samples, pct, pc, word, text, bias)
+		}
+		fmt.Fprintln(w)
+	}
+}

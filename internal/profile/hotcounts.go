@@ -25,15 +25,21 @@ func NewHotCounts() *HotCounts { return &HotCounts{} }
 
 // Inc bumps the counter for key (creating it with the given display name
 // on first sight) and returns the new count.
-func (h *HotCounts) Inc(key, name string) int64 {
+func (h *HotCounts) Inc(key, name string) int64 { return h.Add(key, name, 1) }
+
+// Add adds n to the counter for key (creating it with the given display
+// name on first sight) and returns the new count.  Weighted adds let
+// sampled sources — the edge profiler records one event per stride
+// branch resolutions — feed estimated true counts into the same table.
+func (h *HotCounts) Add(key, name string, n int64) int64 {
 	if e, ok := h.m.Load(key); ok {
-		return e.(*hotEntry).n.Add(1)
+		return e.(*hotEntry).n.Add(n)
 	}
 	e := &hotEntry{name: name}
 	if prev, loaded := h.m.LoadOrStore(key, e); loaded {
 		e = prev.(*hotEntry)
 	}
-	return e.n.Add(1)
+	return e.n.Add(n)
 }
 
 // Get returns the count for key (0 when unseen).

@@ -75,8 +75,8 @@ func (p *Profiler) SetHotCounts(h *HotCounts) {
 // not support sampling.  Attach may be called for several machines; the
 // per-machine symbolizer is captured here, at attach time.
 func (p *Profiler) Attach(m *core.Machine) error {
-	resolve := m.SymbolizePC
-	if err := m.SetSampler(func(pc uint64) { p.record(resolve, pc) }, p.stride); err != nil {
+	resolve, inCode := m.SymbolizePC, m.InCodeRegion
+	if err := m.SetSampler(func(pc uint64) { p.record(resolve, inCode, pc) }, p.stride); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -100,23 +100,44 @@ func (p *Profiler) Detach(m *core.Machine) {
 
 // record is the sampling hook: it runs inside the simulator's step loop,
 // so it symbolizes through the machine's lock-free address map and then
-// takes only the profiler's own lock.
-func (p *Profiler) record(resolve func(uint64) (string, bool), pc uint64) {
-	name := "[unknown]"
-	if n, ok := resolve(pc); ok {
-		name = n
-	}
+// takes only the profiler's own lock.  Samples that no longer resolve —
+// the containing function was just evicted — keep their previous
+// attribution if the PC was seen before, and otherwise count under
+// "[evicted]" (PC inside the code arena) or "[unknown]"; they are never
+// silently dropped.
+func (p *Profiler) record(resolve func(uint64) (string, bool), inCode func(uint64) bool, pc uint64) {
+	name, ok := resolve(pc)
 	p.mu.Lock()
 	p.total++
-	if b, ok := p.samples[pc]; ok {
+	if b, seen := p.samples[pc]; seen {
 		b.count++
-		b.name = name // re-resolve: the address may have been reused
+		if ok {
+			b.name = name // re-resolve: the address may have been reused
+		}
 	} else if len(p.samples) < p.maxPCs {
+		if !ok {
+			name = "[unknown]"
+			if inCode != nil && inCode(pc) {
+				name = "[evicted]"
+			}
+		}
 		p.samples[pc] = &pcBucket{name: name, count: 1}
 	} else {
 		p.dropped++
 	}
 	p.mu.Unlock()
+}
+
+// PCCounts snapshots the raw per-PC sample counts (the annotated-
+// disassembly renderer joins them against function word addresses).
+func (p *Profiler) PCCounts() map[uint64]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[uint64]uint64, len(p.samples))
+	for pc, b := range p.samples {
+		out[pc] = b.count
+	}
+	return out
 }
 
 // TotalSamples returns the number of samples recorded so far.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/jit"
 	"repro/internal/mem"
 	"repro/internal/profile"
@@ -178,6 +179,147 @@ func TestResetAndTelemetry(t *testing.T) {
 	p.Reset()
 	if got := p.TotalSamples(); got != 0 {
 		t.Errorf("samples after Reset = %d, want 0", got)
+	}
+}
+
+// edgeMachine builds a mips JIT target with an edge profiler attached and
+// runs a loop-heavy workload so conditional branches resolve many times.
+func edgeMachine(t *testing.T, stride uint64) (*jit.Machine, *profile.EdgeProfiler) {
+	t.Helper()
+	m, err := jit.NewMachineTarget("mips", mem.Uncosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := profile.NewEdgeProfiler(stride)
+	if err := e.Attach(m.Core()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Detach(m.Core()) })
+	fn, err := m.Compile(jit.Synthetic(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, err := m.Run(fn, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, e
+}
+
+// TestEdgeProfileEndToEnd drives the full path: simulator edge probe →
+// symbolized taken/not-taken counts → bias report.
+func TestEdgeProfileEndToEnd(t *testing.T) {
+	_, e := edgeMachine(t, 3)
+	rep := e.Snapshot(-1)
+	if rep.TotalEvents < 100 {
+		t.Fatalf("too few edge events: %d", rep.TotalEvents)
+	}
+	var sum uint64
+	for _, s := range rep.Edges {
+		sum += s.Taken + s.NotTaken
+		if s.Bias < 0 || s.Bias > 1 {
+			t.Errorf("bias out of range: %+v", s)
+		}
+	}
+	// Consistency: every undropped event lands in exactly one bucket.
+	if sum != rep.TotalEvents-rep.DroppedPCs {
+		t.Errorf("edge counts sum to %d, want %d (total %d - dropped %d)",
+			sum, rep.TotalEvents-rep.DroppedPCs, rep.TotalEvents, rep.DroppedPCs)
+	}
+	if len(rep.Edges) == 0 || rep.Edges[0].Name != "syn1" {
+		t.Errorf("hottest edge = %+v, want syn1", rep.Edges)
+	}
+	// The loop's back-to-top conditional is strongly biased one way.
+	var skewed bool
+	for _, s := range rep.Edges {
+		if s.Taken+s.NotTaken >= 20 && (s.Bias > 0.9 || s.Bias < 0.1) {
+			skewed = true
+		}
+	}
+	if !skewed {
+		t.Errorf("no strongly biased loop branch in report:\n%s", rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"edge profile", "bias", "syn1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered edge report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEdgeDetachStops verifies the edge probe is actually removed.
+func TestEdgeDetachStops(t *testing.T) {
+	m, e := edgeMachine(t, 3)
+	e.Detach(m.Core())
+	before := e.TotalEvents()
+	fn, err := m.Compile(jit.Synthetic(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Run(fn, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TotalEvents(); got != before {
+		t.Errorf("edge events grew after Detach: %d -> %d", before, got)
+	}
+	reg := telemetry.NewRegistry()
+	e.RegisterTelemetry(reg, "t")
+	if !strings.Contains(reg.TextString(), "edges_t_events") {
+		t.Error("edge telemetry export missing edges_t_events")
+	}
+	e.Reset()
+	if e.TotalEvents() != 0 {
+		t.Error("events survived Reset")
+	}
+}
+
+// TestAnnotate renders annotated disassembly with sample counts and
+// branch-bias comments, and reports uninstalled functions instead of
+// silently skipping them.
+func TestAnnotate(t *testing.T) {
+	m, err := jit.NewMachineTarget("mips", mem.Uncosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.New(4)
+	e := profile.NewEdgeProfiler(2)
+	if err := p.Attach(m.Core()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Attach(m.Core()); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Detach(m.Core())
+	defer e.Detach(m.Core())
+
+	fn, err := m.Compile(jit.Synthetic(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, _, err := m.Run(fn, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gone, err := m.Compile(jit.Synthetic(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Run(gone, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Core().Uninstall(gone); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	profile.Annotate(&buf, m.Core().Backend(), []*core.Func{fn, gone}, p, e)
+	out := buf.String()
+	for _, want := range []string{"syn1 [mips]", "; taken", "samples", "syn2 [mips]: not installed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotated disassembly missing %q:\n%s", want, out)
+		}
 	}
 }
 

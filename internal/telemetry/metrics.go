@@ -60,6 +60,10 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomic.Uint64
 	count  atomic.Uint64
+	// min is seeded with MaxUint64 so the first Observe always wins the
+	// CAS; it is only meaningful while count > 0.
+	min atomic.Uint64
+	max atomic.Uint64
 }
 
 // NewHistogram builds a histogram with the given inclusive upper bounds;
@@ -75,7 +79,9 @@ func NewHistogram(bounds []uint64) *Histogram {
 			panic("telemetry: histogram bounds must be strictly ascending")
 		}
 	}
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h.min.Store(^uint64(0))
+	return h
 }
 
 // DefTimeBounds is the default nanosecond bucket layout: roughly
@@ -91,6 +97,18 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
 }
 
 // ObserveSince records the nanoseconds elapsed since start.
@@ -139,6 +157,59 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 	}
 	return s
+}
+
+// Summary is the compact five-number reduction of a histogram, sized for
+// bounded machine-readable records (the cgbench/v2 bench artifact) and
+// one-line human renderings (the trace timeline).  P50/P99 are estimated
+// from the bucket layout: the reported value is the upper bound of the
+// bucket the quantile falls in, clamped to the observed [Min, Max].
+type Summary struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	P50   uint64  `json:"p50"`
+	P99   uint64  `json:"p99"`
+}
+
+// Summary reduces the histogram's current state.  An empty histogram
+// summarizes to all zeros.
+func (h *Histogram) Summary() Summary {
+	s := Summary{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.P50 = h.quantile(0.50, s)
+	s.P99 = h.quantile(0.99, s)
+	return s
+}
+
+// quantile returns the bucket-resolution estimate for q in (0,1].
+func (h *Histogram) quantile(q float64, s Summary) uint64 {
+	target := uint64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			v := s.Max // overflow bucket: all we know is "above the last bound"
+			if i < len(h.bounds) && h.bounds[i] < v {
+				v = h.bounds[i]
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
 }
 
 // Count returns the number of observations so far.

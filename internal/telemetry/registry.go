@@ -106,6 +106,71 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// SummarySnapshot is the bounded cousin of Snapshot, sized for artifacts
+// that must stay diffable: every histogram is reduced to its Summary, and
+// only the topN largest scalar metrics (counters, gauges, gauge funcs —
+// ranked by value, ties broken by name) are kept.  The second return is
+// how many scalars were elided.
+func (r *Registry) SummarySnapshot(topN int) (map[string]any, int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	type scalar struct {
+		name string
+		rank float64
+		val  any
+	}
+	scalars := make([]scalar, 0, len(r.counters)+len(r.gauges)+len(r.funcs))
+	for name, c := range r.counters {
+		v := c.Load()
+		scalars = append(scalars, scalar{name, float64(v), v})
+	}
+	for name, g := range r.gauges {
+		v := g.Load()
+		scalars = append(scalars, scalar{name, float64(v), v})
+	}
+	for name, fn := range r.funcs {
+		v := fn()
+		scalars = append(scalars, scalar{name, v, v})
+	}
+	sort.Slice(scalars, func(i, j int) bool {
+		if scalars[i].rank != scalars[j].rank {
+			return scalars[i].rank > scalars[j].rank
+		}
+		return scalars[i].name < scalars[j].name
+	})
+	kept := len(scalars)
+	if topN >= 0 && kept > topN {
+		kept = topN
+	}
+	out := make(map[string]any, kept+len(r.hists))
+	for _, s := range scalars[:kept] {
+		out[s.name] = s.val
+	}
+	for name, h := range r.hists {
+		out[name] = h.Summary()
+	}
+	return out, len(scalars) - kept
+}
+
+// EachHistogram calls fn for every registered histogram in name order.
+// The handles are live instruments; fn must not block on registry calls.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	hists := make([]*Histogram, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		hists = append(hists, r.hists[n])
+	}
+	r.mu.RUnlock()
+	for i, n := range names {
+		fn(n, hists[i])
+	}
+}
+
 // WriteJSON writes the snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -178,6 +178,145 @@ func TestTraceRing(t *testing.T) {
 	}
 }
 
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	if s := h.Summary(); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+	// 98 small values in the le=10 bucket, one mid, one huge.
+	for i := 0; i < 98; i++ {
+		h.Observe(5)
+	}
+	h.Observe(50)
+	h.Observe(4000)
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 5 || s.Max != 4000 {
+		t.Fatalf("summary = %+v, want count=100 min=5 max=4000", s)
+	}
+	if wantSum := uint64(98*5 + 50 + 4000); s.Sum != wantSum || s.Mean != float64(wantSum)/100 {
+		t.Fatalf("sum/mean = %d/%v, want %d/%v", s.Sum, s.Mean, wantSum, float64(wantSum)/100)
+	}
+	// p50 falls in the le=10 bucket; p99 in the le=100 bucket (99th of
+	// 100 sorted values is the 50).  Bucket-resolution estimates report
+	// the bucket upper bound.
+	if s.P50 != 10 {
+		t.Errorf("p50 = %d, want 10 (le=10 bucket bound)", s.P50)
+	}
+	if s.P99 != 100 {
+		t.Errorf("p99 = %d, want 100 (le=100 bucket bound)", s.P99)
+	}
+	// A quantile landing in the overflow bucket reports the observed max,
+	// not +Inf.
+	h2 := NewHistogram([]uint64{10})
+	h2.Observe(99999)
+	if s2 := h2.Summary(); s2.P50 != 99999 || s2.P99 != 99999 {
+		t.Errorf("overflow quantiles = p50=%d p99=%d, want observed max", s2.P50, s2.P99)
+	}
+	// Single observation inside a wide bucket: clamp to the observed
+	// range rather than reporting a bound below min.
+	h3 := NewHistogram([]uint64{1000})
+	h3.Observe(700)
+	if s3 := h3.Summary(); s3.P50 < 700 || s3.P99 < 700 {
+		t.Errorf("clamped quantiles = %+v, want >= min", s3)
+	}
+}
+
+func TestSummaryConcurrentMinMax(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				h.Observe(uint64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != 8000 || s.Min != 1 || s.Max != 8000 {
+		t.Fatalf("summary = %+v, want count=8000 min=1 max=8000", s)
+	}
+}
+
+func TestSummarySnapshotBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Counter(string(rune('a'+i))).Add(uint64(i + 1))
+	}
+	r.Histogram("phase_ns", nil).Observe(500)
+	out, elided := r.SummarySnapshot(5)
+	if elided != 15 {
+		t.Fatalf("elided = %d, want 15", elided)
+	}
+	// Histograms are always present, reduced to summaries.
+	if _, ok := out["phase_ns"].(Summary); !ok {
+		t.Fatalf("phase_ns = %T, want Summary", out["phase_ns"])
+	}
+	if len(out) != 6 { // 5 top scalars + 1 histogram
+		t.Fatalf("len = %d, want 6: %v", len(out), out)
+	}
+	// The kept scalars are the largest values.
+	for _, name := range []string{"t", "s", "r", "q", "p"} {
+		if _, ok := out[name]; !ok {
+			t.Errorf("top-5 missing %q", name)
+		}
+	}
+}
+
+// TestTraceRingConcurrent hammers the telemetry trace ring under the race
+// detector: N writers, concurrent snapshot readers, bounded retention and
+// no torn events.
+func TestTraceRingConcurrent(t *testing.T) {
+	SetTraceEnabled(true)
+	defer SetTraceEnabled(false)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := TraceEvents()
+				if len(evs) > traceCap {
+					t.Error("trace snapshot exceeds ring capacity")
+					return
+				}
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq != evs[i-1].Seq+1 {
+						t.Error("torn trace snapshot: non-contiguous seq")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				TraceRecord(PhaseCall, "mips", "ring", time.Duration(i), int64(w))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	for _, ev := range TraceEvents() {
+		if ev.Name == "ring" && (ev.Phase != "call" || ev.Backend != "mips") {
+			t.Fatalf("torn trace event: %+v", ev)
+		}
+	}
+}
+
 func TestHTTPEndpoint(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hits").Inc()

@@ -31,10 +31,21 @@ bench:
 # Machine-readable benchmark record: ns/generated-instruction for every
 # backend, cache hit rate and calls/sec, plus a bounded telemetry summary
 # (histogram summaries + top counters).  Also emits the lifecycle trace
-# and annotated disassembly alongside.
+# and annotated disassembly alongside, and a second record
+# ($(BENCH_OUT:.json=.batch.json)) with the batch-compile pipeline
+# throughput.  Override BENCH_OUT to name the artifacts per PR.
+BENCH_OUT ?= BENCH_pr5.json
 bench-json:
 	go run ./cmd/cgbench -cache -metrics -requests 50000 -iters 2000 \
-		-trace BENCH_pr4.trace.json -annotate BENCH_pr4.annotate.txt \
-		-json BENCH_pr4.json
+		-trace $(BENCH_OUT:.json=.trace.json) -annotate $(BENCH_OUT:.json=.annotate.txt) \
+		-json $(BENCH_OUT)
+	go run ./cmd/cgbench -batch 256 -workers 8 \
+		-json $(BENCH_OUT:.json=.batch.json)
 
-.PHONY: verify fuzz-smoke soak test bench bench-json
+# Benchmark-regression gate: the fresh records against the committed
+# baseline, ±25% tolerance.  Exits nonzero on regression (CI fails red).
+bench-gate: bench-json
+	go run ./cmd/benchdiff -tolerance 0.25 BENCH_baseline.json \
+		$(BENCH_OUT) $(BENCH_OUT:.json=.batch.json)
+
+.PHONY: verify fuzz-smoke soak test bench bench-json bench-gate

@@ -1,0 +1,190 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// cgbench/v2 JSON record against a committed baseline and exits nonzero
+// when any tracked metric regressed beyond the tolerance.
+//
+//	benchdiff [-tolerance 0.25] baseline.json current.json [current2.json ...]
+//
+// Several current files merge into one record (first file with a section
+// wins), because the cache workload and the batch-compile workload write
+// separate records.  Tracked metrics:
+//
+//   - codegen.<backend>.ns_per_insn — lower is better; every backend in
+//     the baseline must be present in the current record;
+//   - cache.hit_rate — higher is better;
+//   - compile.funcs_per_sec — higher is better (batch pipeline
+//     throughput);
+//   - compile.serial_funcs_per_sec — higher is better (the pre-batch
+//     baseline must not rot either).
+//
+// A metric in the baseline but absent from the current record fails the
+// gate: silently dropping a measurement is how regressions hide.
+// Metrics absent from the baseline are reported as new and pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// record is the slice of the cgbench/v2 schema the gate reads.
+type record struct {
+	Schema  string                  `json:"schema"`
+	Codegen map[string]codegenEntry `json:"codegen"`
+	Cache   *cacheEntry             `json:"cache"`
+	Compile *compileEntry           `json:"compile"`
+}
+
+type codegenEntry struct {
+	NsPerInsn float64 `json:"ns_per_insn"`
+}
+
+type cacheEntry struct {
+	HitRate float64 `json:"hit_rate"`
+}
+
+type compileEntry struct {
+	FuncsPerSec       float64 `json:"funcs_per_sec"`
+	SerialFuncsPerSec float64 `json:"serial_funcs_per_sec"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// metric is one gate comparison.  higherIsBetter flips the direction the
+// tolerance band is applied in.
+type metric struct {
+	name           string
+	base, cur      float64
+	curPresent     bool
+	higherIsBetter bool
+}
+
+// verdict classifies m under the relative tolerance tol.
+func (m metric) verdict(tol float64) (ok bool, why string) {
+	if !m.curPresent {
+		return false, "missing from current record"
+	}
+	if m.base == 0 {
+		return true, "new"
+	}
+	delta := (m.cur - m.base) / m.base
+	if m.higherIsBetter {
+		if m.cur < m.base*(1-tol) {
+			return false, fmt.Sprintf("%.1f%% below baseline (tolerance %.0f%%)", -100*delta, 100*tol)
+		}
+	} else if m.cur > m.base*(1+tol) {
+		return false, fmt.Sprintf("%.1f%% above baseline (tolerance %.0f%%)", 100*delta, 100*tol)
+	}
+	return true, fmt.Sprintf("%+.1f%%", 100*delta)
+}
+
+// load reads and merges the given record files: the first file carrying
+// a section provides it.
+func load(paths ...string) (*record, error) {
+	out := &record{Codegen: map[string]codegenEntry{}}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var r record
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if r.Schema != "cgbench/v2" {
+			return nil, fmt.Errorf("%s: schema %q, want cgbench/v2", p, r.Schema)
+		}
+		for bk, cg := range r.Codegen {
+			if _, done := out.Codegen[bk]; !done {
+				out.Codegen[bk] = cg
+			}
+		}
+		if out.Cache == nil {
+			out.Cache = r.Cache
+		}
+		if out.Compile == nil {
+			out.Compile = r.Compile
+		}
+	}
+	return out, nil
+}
+
+// compare builds the gate's metric list from a baseline and a (merged)
+// current record.
+func compare(base, cur *record) []metric {
+	var ms []metric
+	backends := make([]string, 0, len(base.Codegen))
+	for bk := range base.Codegen {
+		backends = append(backends, bk)
+	}
+	sort.Strings(backends)
+	for _, bk := range backends {
+		c, ok := cur.Codegen[bk]
+		ms = append(ms, metric{
+			name: "codegen." + bk + ".ns_per_insn",
+			base: base.Codegen[bk].NsPerInsn, cur: c.NsPerInsn, curPresent: ok,
+		})
+	}
+	if base.Cache != nil {
+		m := metric{name: "cache.hit_rate", base: base.Cache.HitRate, higherIsBetter: true}
+		if cur.Cache != nil {
+			m.cur, m.curPresent = cur.Cache.HitRate, true
+		}
+		ms = append(ms, m)
+	}
+	if base.Compile != nil {
+		pooled := metric{name: "compile.funcs_per_sec", base: base.Compile.FuncsPerSec, higherIsBetter: true}
+		serial := metric{name: "compile.serial_funcs_per_sec", base: base.Compile.SerialFuncsPerSec, higherIsBetter: true}
+		if cur.Compile != nil {
+			pooled.cur, pooled.curPresent = cur.Compile.FuncsPerSec, true
+			serial.cur, serial.curPresent = cur.Compile.SerialFuncsPerSec, true
+		}
+		ms = append(ms, pooled, serial)
+	}
+	return ms
+}
+
+// run is the testable core: compare, render, report regression.
+func run(w *os.File, tol float64, base, cur *record) bool {
+	ms := compare(base, cur)
+	regressed := false
+	fmt.Fprintf(w, "%-34s %14s %14s  %s\n", "metric", "baseline", "current", "verdict")
+	for _, m := range ms {
+		ok, why := m.verdict(tol)
+		status := "ok"
+		if !ok {
+			status, regressed = "REGRESSED", true
+		}
+		curText := "-"
+		if m.curPresent {
+			curText = fmt.Sprintf("%.1f", m.cur)
+		}
+		fmt.Fprintf(w, "%-34s %14.1f %14s  %s (%s)\n", m.name, m.base, curText, status, why)
+	}
+	return regressed
+}
+
+func main() {
+	tol := flag.Float64("tolerance", 0.25, "allowed relative regression (0.25 = 25%)")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance F] baseline.json current.json [current2.json ...]")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Args()[1:]...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if run(os.Stdout, *tol, base, cur) {
+		fmt.Fprintln(os.Stderr, "benchdiff: benchmark regression against", flag.Arg(0))
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regression")
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baseRecord() *record {
+	return &record{
+		Schema: "cgbench/v2",
+		Codegen: map[string]codegenEntry{
+			"mips":  {NsPerInsn: 30},
+			"sparc": {NsPerInsn: 33},
+			"alpha": {NsPerInsn: 37},
+		},
+		Cache:   &cacheEntry{HitRate: 0.99},
+		Compile: &compileEntry{FuncsPerSec: 100000, SerialFuncsPerSec: 25000, Speedup: 4},
+	}
+}
+
+func TestNoRegressionWithinTolerance(t *testing.T) {
+	cur := baseRecord()
+	cur.Codegen["mips"] = codegenEntry{NsPerInsn: 36}                         // +20%: inside ±25%
+	cur.Cache.HitRate = 0.80                                                  // -19%: inside
+	cur.Compile = &compileEntry{FuncsPerSec: 80000, SerialFuncsPerSec: 20000} // -20%: inside
+	if run(os.Stdout, 0.25, baseRecord(), cur) {
+		t.Fatal("within-tolerance drift flagged as regression")
+	}
+}
+
+func TestDoctoredRegressionFails(t *testing.T) {
+	cases := []struct {
+		name   string
+		doctor func(r *record)
+	}{
+		{"ns_per_insn +50%", func(r *record) { r.Codegen["sparc"] = codegenEntry{NsPerInsn: 49.5} }},
+		{"hit rate halved", func(r *record) { r.Cache.HitRate = 0.49 }},
+		{"funcs/sec halved", func(r *record) { r.Compile.FuncsPerSec = 50000 }},
+		{"serial funcs/sec halved", func(r *record) { r.Compile.SerialFuncsPerSec = 12000 }},
+		{"backend dropped", func(r *record) { delete(r.Codegen, "alpha") }},
+		{"compile section dropped", func(r *record) { r.Compile = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := baseRecord()
+			tc.doctor(cur)
+			if !run(os.Stdout, 0.25, baseRecord(), cur) {
+				t.Fatal("doctored regression passed the gate")
+			}
+		})
+	}
+}
+
+func TestImprovementsPass(t *testing.T) {
+	cur := baseRecord()
+	cur.Codegen["mips"] = codegenEntry{NsPerInsn: 10} // 3x faster
+	cur.Compile.FuncsPerSec = 500000
+	if run(os.Stdout, 0.25, baseRecord(), cur) {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+// TestLoadMerges pins the multi-file merge: the cache record supplies
+// codegen+cache, the batch record supplies compile, and the merged view
+// carries all three.
+func TestLoadMerges(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r *record) string {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cacheRec := baseRecord()
+	cacheRec.Compile = nil
+	batchRec := &record{Schema: "cgbench/v2", Compile: &compileEntry{FuncsPerSec: 90000, SerialFuncsPerSec: 24000}}
+	merged, err := load(write("cache.json", cacheRec), write("batch.json", batchRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Compile == nil || merged.Compile.FuncsPerSec != 90000 {
+		t.Fatalf("compile section not merged: %+v", merged.Compile)
+	}
+	if merged.Cache == nil || len(merged.Codegen) != 3 {
+		t.Fatalf("cache/codegen sections lost in merge")
+	}
+	if run(os.Stdout, 0.25, baseRecord(), merged) {
+		t.Fatal("merged record regressed unexpectedly")
+	}
+
+	// Schema drift is a hard error, not a silent pass.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"cgbench/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(bad); err == nil {
+		t.Fatal("v1 schema accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/cgbench"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/mem"
+	"repro/internal/mips"
+)
+
+// batchBlocks sizes each compiled function in the batch workload: small
+// functions (a few dozen instructions) are the adaptive-promotion /
+// service-warmup shape where per-function overheads — assembler
+// construction, the install lock, the address-map publication — dominate
+// raw emit cost, which is exactly what the batch pipeline amortizes.
+const batchBlocks = 3
+
+// compileStats is the -batch section of the JSON record: compile
+// throughput through the pool against the pre-batch serial baseline
+// (fresh assembler + per-function install), measured over the same
+// total work on identically fresh machines.
+type compileStats struct {
+	Workers           int     `json:"workers"`
+	Batch             int     `json:"batch"`
+	Batches           int     `json:"batches"`
+	Funcs             int     `json:"funcs"`
+	InsnsPerFunc      int     `json:"insns_per_func"`
+	FuncsPerSec       float64 `json:"funcs_per_sec"`
+	NsPerInsn         float64 `json:"ns_per_insn"`
+	SerialFuncsPerSec float64 `json:"serial_funcs_per_sec"`
+	SerialNsPerInsn   float64 `json:"serial_ns_per_insn"`
+	Speedup           float64 `json:"speedup"`
+	NumCPU            int     `json:"num_cpu"`
+}
+
+// runBatchBench measures generate→install throughput for funcs =
+// batches×batchSize small functions two ways on the mips port:
+//
+//	serial: one fresh core.Asm per function, one Machine.Install per
+//	        function — the pre-batch pipeline;
+//	pooled: the batch.Pool — per-worker reused assemblers and one
+//	        batched, verification-included install per batchSize funcs.
+//
+// Each leg gets its own fresh machine so arena and address-map state
+// (the span list the serial path republishes per install) start equal.
+func runBatchBench(workers, batchSize, batches int, rep *jsonReport) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if batches <= 0 {
+		batches = 16
+	}
+	funcs := batches * batchSize
+
+	emit := func(name string) func(a *core.Asm) (*core.Func, error) {
+		return func(a *core.Asm) (*core.Func, error) {
+			a.SetName(name)
+			fn, _, err := cgbench.EmitVCODE(a, batchBlocks, false)
+			return fn, err
+		}
+	}
+	// One probe compile for the per-function instruction count.
+	probeAsm := core.NewAsm(mips.New())
+	_, insns, err := cgbench.EmitVCODE(probeAsm, batchBlocks, false)
+	if err != nil {
+		return err
+	}
+
+	// Serial baseline: fresh Asm + per-function install.
+	sm, err := jit.NewMachineTarget("mips", mem.Uncosted)
+	if err != nil {
+		return err
+	}
+	serialStart := time.Now()
+	for i := 0; i < funcs; i++ {
+		a := core.NewAsm(sm.Core().Backend())
+		fn, err := emit(fmt.Sprintf("s%d", i))(a)
+		if err != nil {
+			return err
+		}
+		if err := sm.Core().Install(fn); err != nil {
+			return err
+		}
+	}
+	serialNs := float64(time.Since(serialStart).Nanoseconds())
+
+	// Pooled: reused per-worker assemblers, batched installs.
+	pm, err := jit.NewMachineTarget("mips", mem.Uncosted)
+	if err != nil {
+		return err
+	}
+	pool, err := batch.New(batch.Config{Machine: pm.Core(), Workers: workers, Name: "cgbench"})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	reqs := make([]batch.Request, batchSize)
+	pooledStart := time.Now()
+	for b := 0; b < batches; b++ {
+		for i := range reqs {
+			name := fmt.Sprintf("b%d_%d", b, i)
+			reqs[i] = batch.Request{Name: name, Compile: emit(name)}
+		}
+		for i, r := range pool.CompileBatch(context.Background(), reqs) {
+			if r.Err != nil {
+				return fmt.Errorf("batch %d item %d: %w", b, i, r.Err)
+			}
+		}
+	}
+	pooledNs := float64(time.Since(pooledStart).Nanoseconds())
+
+	// Sanity: both arenas hold the same generated code volume.
+	if sr, pr := sm.Core().CodeBytesResident(), pm.Core().CodeBytesResident(); sr != pr {
+		return fmt.Errorf("arena mismatch: serial %d bytes, pooled %d bytes", sr, pr)
+	}
+
+	totalInsns := float64(funcs * insns)
+	st := &compileStats{
+		Workers:           workers,
+		Batch:             batchSize,
+		Batches:           batches,
+		Funcs:             funcs,
+		InsnsPerFunc:      insns,
+		FuncsPerSec:       float64(funcs) / (pooledNs / 1e9),
+		NsPerInsn:         pooledNs / totalInsns,
+		SerialFuncsPerSec: float64(funcs) / (serialNs / 1e9),
+		SerialNsPerInsn:   serialNs / totalInsns,
+		NumCPU:            runtime.NumCPU(),
+	}
+	st.Speedup = st.FuncsPerSec / st.SerialFuncsPerSec
+
+	fmt.Printf("batch compile: %d funcs x %d insns (batch=%d, workers=%d, %d CPU)\n",
+		funcs, insns, batchSize, workers, st.NumCPU)
+	fmt.Printf("%-28s %14s %12s\n", "pipeline", "funcs/sec", "ns/insn")
+	fmt.Printf("%-28s %14.0f %12.1f\n", "serial (Asm+Install per fn)", st.SerialFuncsPerSec, st.SerialNsPerInsn)
+	fmt.Printf("%-28s %14.0f %12.1f\n", "batched (pool+InstallBatch)", st.FuncsPerSec, st.NsPerInsn)
+	fmt.Printf("speedup = %.2fx\n", st.Speedup)
+
+	if rep != nil {
+		rep.Compile = st
+	}
+	return nil
+}

@@ -8,6 +8,13 @@
 // verifying single-flight compilation, the zero-recompile warm path and
 // eviction-bounded resident code memory.
 //
+// With -batch M it benchmarks the parallel batch compilation pipeline
+// (internal/batch): M-function batches through the worker pool with
+// per-worker reused assemblers and one batched install per batch,
+// against the pre-batch serial baseline (fresh assembler plus
+// per-function install), reporting funcs/sec and ns per generated
+// instruction for both.
+//
 // With -faults it soaks the hardened pipeline under deterministic fault
 // injection (internal/faultinject) across all three simulated targets,
 // verifying that no fault — corrupted code words, failed accesses,
@@ -55,7 +62,9 @@ func main() {
 	iters := flag.Int("iters", 2000, "workload repetitions per system")
 	cacheMode := flag.Bool("cache", false, "drive the concurrent code-cache subsystem instead")
 	faultsMode := flag.Bool("faults", false, "soak the pipeline under fault injection instead")
-	workers := flag.Int("workers", 0, "cache/faults mode: concurrent workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "cache/faults/batch mode: concurrent workers (0 = GOMAXPROCS)")
+	batchSize := flag.Int("batch", 0, "batch mode: functions per batch (> 0 runs the batch-compile benchmark)")
+	batches := flag.Int("batches", 16, "batch mode: number of batches")
 	keys := flag.Int("keys", 64, "cache/faults mode: distinct functions in the key stream")
 	capacity := flag.Int("capacity", 16, "cache/faults mode: cache capacity in entries")
 	requests := flag.Int("requests", 200000, "cache mode: warm-phase lookup requests")
@@ -104,6 +113,15 @@ func main() {
 
 	var rep *jsonReport
 	switch {
+	case *batchSize > 0:
+		if *jsonPath != "" {
+			rep = newReport("batch")
+		}
+		die(runBatchBench(*workers, *batchSize, *batches, rep))
+		if rep != nil {
+			// Keep the headline ns/insn numbers in every record.
+			die(rep.measureCodegen(max(50, *iters/10)))
+		}
 	case *cacheMode:
 		if *jsonPath != "" {
 			rep = newReport("cache")

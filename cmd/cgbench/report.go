@@ -28,6 +28,7 @@ type jsonReport struct {
 	Mode            string                  `json:"mode"`
 	Codegen         map[string]codegenStats `json:"codegen"`
 	Cache           *cacheStats             `json:"cache,omitempty"`
+	Compile         *compileStats           `json:"compile,omitempty"`
 	Telemetry       map[string]any          `json:"telemetry,omitempty"`
 	TelemetryElided int                     `json:"telemetry_elided,omitempty"`
 	Profile         *profileStats           `json:"profile,omitempty"`
@@ -98,20 +99,29 @@ func (r *jsonReport) measureCodegen(iters int) error {
 }
 
 // emitNsPerInsn times the E1 emit workload on one backend: one warm-up
-// pass, then iters timed repetitions.
+// pass, then the best of three timed runs of iters repetitions each —
+// the minimum is the run least disturbed by the scheduler and GC, which
+// is what the CI regression gate should compare.
 func emitNsPerInsn(bk core.Backend, iters int, hard bool) (float64, error) {
 	a := core.NewAsm(bk)
 	_, n, err := cgbench.EmitVCODE(a, cgbench.Blocks, hard)
 	if err != nil {
 		return 0, err
 	}
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if _, n, err = cgbench.EmitVCODE(a, cgbench.Blocks, hard); err != nil {
-			return 0, err
+	best := 0.0
+	for pass := 0; pass < 3; pass++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, n, err = cgbench.EmitVCODE(a, cgbench.Blocks, hard); err != nil {
+				return 0, err
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters*n)
+		if pass == 0 || ns < best {
+			best = ns
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(iters*n), nil
+	return best, nil
 }
 
 // attachTelemetry copies a bounded registry snapshot into the report:

@@ -513,6 +513,26 @@ func truncToI64(v float64) int64 {
 	}
 }
 
+// Decodable reports whether w decodes at pc — exactly when Disasm would
+// not fall back to ".word" — without building the disassembly string.
+// It is the verifier's round-trip fast path (verify.DecodableDecoder);
+// TestDecodableMatchesDisasm sweeps it against Disasm so the two cannot
+// drift.
+func (a *Backend) Decodable(w uint32, pc uint64) bool {
+	if w == encNop {
+		return true
+	}
+	switch w >> 26 {
+	case opLda, opLdah,
+		opLdl, opLdq, opLdqU, opLds, opLdt, opStl, opStq, opStqU, opSts, opStt,
+		opBr, opBsr, opBeq, opBne, opBlt, opBle, opBgt, opBge,
+		opFbeq, opFbne, opFblt, opFble, opFbgt, opFbge,
+		opJump, opInta, opIntl, opInts, opIntm, opFlti, opFltl, opFlts:
+		return true
+	}
+	return false
+}
+
 // Disasm decodes one instruction word (compact form).
 func (a *Backend) Disasm(w uint32, pc uint64) string {
 	if w == encNop {

@@ -1,0 +1,34 @@
+package alpha
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDecodableMatchesDisasm pins the verifier fast path to the
+// disassembler: Decodable must return true exactly when Disasm does not
+// fall back to ".word".  The sweep covers every opcode with varied
+// function/register fields plus a large pseudo-random sample.
+func TestDecodableMatchesDisasm(t *testing.T) {
+	b := New()
+	const pc = 0x4000
+	check := func(w uint32) {
+		want := !strings.HasPrefix(b.Disasm(w, pc), ".word")
+		if got := b.Decodable(w, pc); got != want {
+			t.Fatalf("Decodable(%#08x) = %v, but Disasm(%#08x) = %q", w, got, w, b.Disasm(w, pc))
+		}
+	}
+	for op := uint32(0); op < 64; op++ {
+		for fn := uint32(0); fn < 0x80; fn++ {
+			check(op<<26 | fn<<5)
+			check(op<<26 | 0x1f<<21 | fn<<5 | 1<<12)
+		}
+		check(op<<26 | 0xffff)
+		check(op<<26 | 0x1fffff)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<20; i++ {
+		check(rng.Uint32())
+	}
+}

@@ -92,6 +92,7 @@ type Cache struct {
 	evictions, compiles         atomic.Uint64
 	compileErrors, compileNanos atomic.Uint64
 	compilePanics, negativeHits atomic.Uint64
+	warmed, warmSkipped         atomic.Uint64
 	entries, codeBytes          atomic.Int64
 }
 
@@ -461,6 +462,9 @@ type Metrics struct {
 	CompilePanics, NegativeHits uint64
 	// Evictions counts capacity-driven removals.
 	Evictions uint64
+	// Warmed counts entries inserted by WarmUp batches; WarmSkipped
+	// counts WarmUp items that were already ready or in flight.
+	Warmed, WarmSkipped uint64
 	// Entries and CodeBytes describe current residency as accounted by
 	// the cache (the bound Machine's CodeBytesResident may differ if
 	// other clients install code too).
@@ -480,6 +484,8 @@ func (c *Cache) Snapshot() Metrics {
 		CompilePanics: c.compilePanics.Load(),
 		NegativeHits:  c.negativeHits.Load(),
 		Evictions:     c.evictions.Load(),
+		Warmed:        c.warmed.Load(),
+		WarmSkipped:   c.warmSkipped.Load(),
 		Entries:       c.entries.Load(),
 		CodeBytes:     c.codeBytes.Load(),
 	}

@@ -21,6 +21,8 @@ func (c *Cache) RegisterTelemetry(reg *telemetry.Registry, name string) {
 	u("compile_panics", c.compilePanics.Load)
 	u("compile_ns_total", c.compileNanos.Load)
 	u("evictions", c.evictions.Load)
+	u("warmed", c.warmed.Load)
+	u("warm_skipped", c.warmSkipped.Load)
 	reg.GaugeFunc(prefix+"entries", func() float64 { return float64(c.entries.Load()) })
 	reg.GaugeFunc(prefix+"code_bytes", func() float64 { return float64(c.codeBytes.Load()) })
 	reg.GaugeFunc(prefix+"hit_rate_pct", func() float64 {
@@ -47,6 +49,8 @@ func (m Metrics) register(reg *telemetry.Registry, name string) {
 	set("compile_panics", float64(m.CompilePanics))
 	set("compile_ns_total", float64(m.CompileNanos))
 	set("evictions", float64(m.Evictions))
+	set("warmed", float64(m.Warmed))
+	set("warm_skipped", float64(m.WarmSkipped))
 	set("entries", float64(m.Entries))
 	set("code_bytes", float64(m.CodeBytes))
 	set("hit_rate_pct", hitRatePct(m.Hits, m.Misses))

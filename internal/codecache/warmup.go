@@ -1,0 +1,196 @@
+package codecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+)
+
+// AsmCompileFunc produces the function for a key on a caller-supplied
+// assembler — the batch pipeline hands each compile the worker-owned
+// Asm so buffer allocations amortize across a warmup batch.
+type AsmCompileFunc func(a *core.Asm) (*core.Func, error)
+
+// WarmItem is one WarmUp work unit: a cache key and the compile that
+// produces its function.
+type WarmItem struct {
+	Key     string
+	Compile AsmCompileFunc
+}
+
+// WarmUp precompiles a working set through the batch pool and inserts
+// the results as ready cache entries, deduplicating against concurrent
+// GetOrCompile callers with the same single-flight protocol:
+//
+//   - a key that is already ready is skipped (counted as warm-skipped);
+//   - a key some other caller is compiling right now is not compiled
+//     again — WarmUp waits for that flight and reports its outcome;
+//   - every remaining key is claimed as an in-flight entry first, so
+//     GetOrCompile callers arriving during the batch coalesce onto the
+//     warmup flight instead of compiling themselves.
+//
+// Claimed keys compile on the pool's workers and install into the
+// machine in one batched critical section (Pool.CompileBatch).  The
+// returned slice has one error per item, index-aligned; nil means the
+// key is warm (newly compiled, already present, or compiled by the
+// flight WarmUp waited on).  A panicking compile surfaces as
+// *CompilePanicError for the warmup caller and every coalesced waiter.
+// Cancellation and pool-shutdown errors are not negative-cached — only
+// genuine compile failures poison a key.
+//
+// The pool must install into the cache's bound machine (Config.Machine)
+// when one is set; WarmUp rejects a mismatched pool.
+func (c *Cache) WarmUp(ctx context.Context, pool *batch.Pool, items []WarmItem) []error {
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return errs
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.machine != nil && pool.Machine() != c.machine {
+		err := errors.New("codecache: WarmUp pool targets a different machine")
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+
+	// Claim phase: decide per key — skip, wait, or own the flight.
+	type wait struct {
+		idx int
+		e   *entry
+	}
+	var waits []wait
+	var reqs []batch.Request
+	var claimed []*entry
+	var claimedIdx []int
+	for i := range items {
+		key, compile := items[i].Key, items[i].Compile
+		if compile == nil {
+			errs[i] = fmt.Errorf("codecache: WarmUp item %q has no compile", key)
+			continue
+		}
+		s := c.shard(key)
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			switch {
+			case e.ready:
+				s.mu.Unlock()
+				c.warmSkipped.Add(1)
+				continue
+			case e.failed:
+				if time.Now().Before(e.negUntil) {
+					err := e.err
+					s.mu.Unlock()
+					c.negativeHits.Add(1)
+					errs[i] = err
+					continue
+				}
+				delete(s.entries, key) // backoff expired: reclaim below
+			default:
+				// In flight elsewhere (a GetOrCompile caller, or an
+				// earlier duplicate of this key in the same warmup) —
+				// that is the dedup: wait, don't recompile.
+				s.mu.Unlock()
+				c.warmSkipped.Add(1)
+				waits = append(waits, wait{idx: i, e: e})
+				continue
+			}
+		}
+		e := &entry{key: key, done: make(chan struct{})}
+		s.entries[key] = e
+		s.mu.Unlock()
+		claimed = append(claimed, e)
+		claimedIdx = append(claimedIdx, i)
+		k, cf := key, compile
+		reqs = append(reqs, batch.Request{
+			Name: k,
+			Compile: func(a *core.Asm) (*core.Func, error) {
+				return c.runCompileAsm(k, cf, a)
+			},
+		})
+	}
+
+	// Compile + batched install on the pool.
+	if len(reqs) > 0 {
+		res := pool.CompileBatch(ctx, reqs)
+		inserted := false
+		for k, r := range res {
+			i, e := claimedIdx[k], claimed[k]
+			if r.Err != nil {
+				c.compileErrors.Add(1)
+				errs[i] = r.Err
+				e.err = r.Err
+				s := c.shard(e.key)
+				s.mu.Lock()
+				if c.failureBackoff > 0 && !transientWarmErr(r.Err) {
+					e.failed = true
+					e.negUntil = time.Now().Add(c.failureBackoff)
+				} else {
+					delete(s.entries, e.key)
+				}
+				s.mu.Unlock()
+				close(e.done)
+				continue
+			}
+			c.compiles.Add(1)
+			c.warmed.Add(1)
+			e.fn = r.Func
+			e.size = int64(r.Func.SizeBytes())
+			s := c.shard(e.key)
+			s.mu.Lock()
+			e.stamp = c.clock.Add(1)
+			e.ready = true
+			s.pushFront(e)
+			s.mu.Unlock()
+			c.entries.Add(1)
+			c.codeBytes.Add(e.size)
+			close(e.done)
+			inserted = true
+		}
+		if inserted {
+			c.enforce()
+		}
+	}
+
+	// Settle the flights we deferred to (theirs, not ours).
+	for _, w := range waits {
+		select {
+		case <-w.e.done:
+			errs[w.idx] = w.e.err
+		case <-ctx.Done():
+			errs[w.idx] = ctx.Err()
+		}
+	}
+	return errs
+}
+
+// transientWarmErr reports whether a warmup failure says nothing about
+// the key itself (cancellation, pool shutdown) — such errors must not
+// negative-cache the key.
+func transientWarmErr(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, batch.ErrClosed)
+}
+
+// runCompileAsm runs an assembler-reusing compile callback with the same
+// panic isolation and accounting as runCompile: the flight must settle
+// no matter what the callback does, and a panic becomes a
+// *CompilePanicError for every waiter.
+func (c *Cache) runCompileAsm(key string, compile AsmCompileFunc, a *core.Asm) (fn *core.Func, err error) {
+	start := time.Now()
+	defer func() {
+		c.compileNanos.Add(uint64(time.Since(start)))
+		if r := recover(); r != nil {
+			c.compilePanics.Add(1)
+			fn, err = nil, &CompilePanicError{Key: key, Value: r}
+		}
+	}()
+	return compile(a)
+}

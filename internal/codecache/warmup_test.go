@@ -1,0 +1,236 @@
+package codecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+)
+
+// asmAdder is buildAdder on a caller-supplied assembler (the WarmUp
+// shape): f(x) = x + k.
+func asmAdder(k int64) AsmCompileFunc {
+	return func(a *core.Asm) (*core.Func, error) {
+		a.SetName(fmt.Sprintf("warm%d", k))
+		args, err := a.Begin("%i", core.Leaf)
+		if err != nil {
+			return nil, err
+		}
+		a.Addii(args[0], args[0], k)
+		a.Reti(args[0])
+		return a.End()
+	}
+}
+
+func newWarmPool(t testing.TB, m *core.Machine, workers int) *batch.Pool {
+	t.Helper()
+	p, err := batch.New(batch.Config{Machine: m, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestWarmUpBasic(t *testing.T) {
+	m := newTestMachine(t)
+	c := New(Config{Machine: m})
+	p := newWarmPool(t, m, 4)
+
+	const n = 32
+	items := make([]WarmItem, n)
+	for i := range items {
+		items[i] = WarmItem{Key: fmt.Sprintf("k%d", i), Compile: asmAdder(int64(i))}
+	}
+	for i, err := range c.WarmUp(context.Background(), p, items) {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Warmed != n {
+		t.Fatalf("Warmed = %d, want %d", snap.Warmed, n)
+	}
+	// Every key must now be a hit — the compile callback must not run.
+	for i := 0; i < n; i++ {
+		fn, err := c.GetOrCompile(fmt.Sprintf("k%d", i), func() (*core.Func, error) {
+			return nil, errors.New("recompiled a warmed key")
+		})
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		got, err := m.Call(fn, core.I(100))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got.Int() != int64(100+i) {
+			t.Fatalf("warm%d(100) = %d, want %d", i, got.Int(), 100+i)
+		}
+	}
+}
+
+func TestWarmUpSkipsReadyAndDedupsInBatch(t *testing.T) {
+	m := newTestMachine(t)
+	c := New(Config{Machine: m})
+	p := newWarmPool(t, m, 2)
+
+	if _, err := c.GetOrCompile("pre", func() (*core.Func, error) { return buildAdder(t, 7), nil }); err != nil {
+		t.Fatal(err)
+	}
+	var compiles atomic.Int64
+	compileOnce := func(k int64) AsmCompileFunc {
+		inner := asmAdder(k)
+		return func(a *core.Asm) (*core.Func, error) {
+			compiles.Add(1)
+			return inner(a)
+		}
+	}
+	items := []WarmItem{
+		{Key: "pre", Compile: compileOnce(7)},  // already ready: skipped
+		{Key: "new", Compile: compileOnce(1)},  // compiles
+		{Key: "new", Compile: compileOnce(99)}, // duplicate: coalesces onto the first
+	}
+	errs := c.WarmUp(context.Background(), p, items)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("%d compiles, want 1 (ready key skipped, duplicate coalesced)", got)
+	}
+	snap := c.Snapshot()
+	if snap.WarmSkipped != 2 {
+		t.Fatalf("WarmSkipped = %d, want 2", snap.WarmSkipped)
+	}
+	fn, err := c.GetOrCompile("new", func() (*core.Func, error) { return nil, errors.New("recompile") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := m.Call(fn, core.I(1)); err != nil || got.Int() != 2 {
+		t.Fatalf("new(1) = %v, %v (first duplicate must win)", got, err)
+	}
+}
+
+func TestWarmUpErrorHandling(t *testing.T) {
+	m := newTestMachine(t)
+	c := New(Config{Machine: m, FailureBackoff: time.Minute})
+	p := newWarmPool(t, m, 2)
+
+	boom := errors.New("boom")
+	errs := c.WarmUp(context.Background(), p, []WarmItem{
+		{Key: "ok", Compile: asmAdder(1)},
+		{Key: "bad", Compile: func(a *core.Asm) (*core.Func, error) { return nil, boom }},
+		{Key: "panic", Compile: func(a *core.Asm) (*core.Func, error) { panic("kaboom") }},
+	})
+	if errs[0] != nil {
+		t.Fatalf("ok item: %v", errs[0])
+	}
+	if !errors.Is(errs[1], boom) {
+		t.Fatalf("bad item: %v, want %v", errs[1], boom)
+	}
+	var pe *CompilePanicError
+	if !errors.As(errs[2], &pe) || pe.Key != "panic" {
+		t.Fatalf("panic item: %v, want *CompilePanicError", errs[2])
+	}
+	// Genuine failures are negative-cached under FailureBackoff.
+	if _, err := c.GetOrCompile("bad", func() (*core.Func, error) {
+		t.Error("negative-cached key recompiled")
+		return nil, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("negative lookup: %v", err)
+	}
+
+	// A canceled warmup must not poison keys.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs = c.WarmUp(ctx, p, []WarmItem{{Key: "fresh", Compile: asmAdder(2)}})
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("canceled warmup: %v", errs[0])
+	}
+	fn, err := c.GetOrCompile("fresh", func() (*core.Func, error) { return buildAdder(t, 2), nil })
+	if err != nil || fn == nil {
+		t.Fatalf("key poisoned by canceled warmup: %v", err)
+	}
+}
+
+// TestWarmUpRacesGetOrCompile drives WarmUp batches against concurrent
+// GetOrCompile callers over the same key space: single-flight must hold
+// (exactly one compile per key) and every caller must get a working
+// function.  Run with -race.
+func TestWarmUpRacesGetOrCompile(t *testing.T) {
+	m := newTestMachine(t)
+	c := New(Config{Machine: m})
+	p := newWarmPool(t, m, 4)
+
+	const keys = 24
+	compiles := make([]atomic.Int64, keys)
+	keyName := func(i int) string { return fmt.Sprintf("k%d", i) }
+
+	var wg sync.WaitGroup
+	// Lookup traffic.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 200; r++ {
+				i := (g*31 + r) % keys
+				fn, err := c.GetOrCompile(keyName(i), func() (*core.Func, error) {
+					compiles[i].Add(1)
+					return buildAdder(t, int64(i)), nil
+				})
+				if err != nil {
+					t.Errorf("get %d: %v", i, err)
+					return
+				}
+				if fn == nil {
+					t.Errorf("get %d: nil fn", i)
+					return
+				}
+			}
+		}(g)
+	}
+	// Warmup sweeps over the same keys, concurrently.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items := make([]WarmItem, keys)
+			for i := range items {
+				i := i
+				inner := asmAdder(int64(i))
+				items[i] = WarmItem{Key: keyName(i), Compile: func(a *core.Asm) (*core.Func, error) {
+					compiles[i].Add(1)
+					return inner(a)
+				}}
+			}
+			for i, err := range c.WarmUp(context.Background(), p, items) {
+				if err != nil {
+					t.Errorf("warm %d: %v", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range compiles {
+		if got := compiles[i].Load(); got != 1 {
+			t.Errorf("key %d compiled %d times, want 1", i, got)
+		}
+	}
+	// Everything warm and callable.
+	for i := 0; i < keys; i++ {
+		fn, ok := c.Get(keyName(i))
+		if !ok {
+			t.Fatalf("key %d not ready after the storm", i)
+		}
+		if got, err := m.Call(fn, core.I(5)); err != nil || got.Int() != int64(5+i) {
+			t.Fatalf("key %d: call = %v, %v", i, got, err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// buildAddK generates fn(x) = x + k.
+func buildAddK(t *testing.T, bk core.Backend, k int64) *core.Func {
+	t.Helper()
+	a := core.NewAsm(bk)
+	a.SetName(fmt.Sprintf("add%d", k))
+	args, err := a.Begin("%i", core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Addii(args[0], args[0], k)
+	a.Reti(args[0])
+	fn, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func TestInstallBatchBasic(t *testing.T) {
+	bk, m := newMips()
+	const n = 24
+	fns := make([]*core.Func, n)
+	for i := range fns {
+		fns[i] = buildAddK(t, bk, int64(i))
+	}
+	errs := m.InstallBatch(context.Background(), 4, fns)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if !m.Installed(fns[i]) {
+			t.Fatalf("item %d not installed", i)
+		}
+	}
+	for i, f := range fns {
+		got, err := m.Call(f, core.I(100))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got.Int() != int64(100+i) {
+			t.Fatalf("call %d = %d, want %d", i, got.Int(), 100+i)
+		}
+	}
+	// The address map must be sorted and contain every batch member.
+	spans := m.FuncSpans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].Start >= spans[i].Start {
+			t.Fatalf("spans unsorted at %d: %#x >= %#x", i, spans[i-1].Start, spans[i].Start)
+		}
+	}
+	for i, f := range fns {
+		if name, ok := m.SymbolizePC(f.Addr()); !ok || name != f.Name {
+			t.Fatalf("item %d: SymbolizePC(%#x) = %q,%v", i, f.Addr(), name, ok)
+		}
+	}
+}
+
+func TestInstallBatchCancelLeavesArenaConsistent(t *testing.T) {
+	bk, m := newMips()
+	// A pre-existing function so the arena and span map are non-empty.
+	pre := buildAddK(t, bk, 1000)
+	if err := m.Install(pre); err != nil {
+		t.Fatal(err)
+	}
+	resident := m.CodeBytesResident()
+	spans := len(m.FuncSpans())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fns := make([]*core.Func, 8)
+	for i := range fns {
+		fns[i] = buildAddK(t, bk, int64(i))
+	}
+	errs := m.InstallBatch(ctx, 2, fns)
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("item %d: nil error after cancel", i)
+		}
+		if m.Installed(fns[i]) {
+			t.Fatalf("item %d installed despite cancel", i)
+		}
+	}
+	if got := m.CodeBytesResident(); got != resident {
+		t.Fatalf("resident code %d after aborted batch, want %d", got, resident)
+	}
+	if got := len(m.FuncSpans()); got != spans {
+		t.Fatalf("span count %d after aborted batch, want %d", got, spans)
+	}
+	// The machine is fully usable afterwards: the same functions install
+	// and run (the aborted reservation was returned to the allocator).
+	errs = m.InstallBatch(context.Background(), 2, fns)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reinstall item %d: %v", i, err)
+		}
+	}
+	got, err := m.Call(fns[3], core.I(1))
+	if err != nil || got.Int() != 4 {
+		t.Fatalf("call after reinstall = %v, %v", got, err)
+	}
+}
+
+func TestInstallBatchPoisonedItemFailsAlone(t *testing.T) {
+	bk, m := newMips()
+	fns := []*core.Func{
+		buildAddK(t, bk, 1),
+		// Garbage body: an undecodable word outside any constant pool —
+		// the verifier rejects it.
+		{Name: "poison", BackendName: bk.Name(), Words: []uint32{0xffffffff}, PoolStart: 1},
+		buildAddK(t, bk, 3),
+	}
+	errs := m.InstallBatch(context.Background(), 2, fns)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("siblings failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("poisoned item did not fail")
+	}
+	if m.Installed(fns[1]) {
+		t.Fatal("poisoned item reported installed")
+	}
+	for _, i := range []int{0, 2} {
+		got, err := m.Call(fns[i], core.I(10))
+		if err != nil {
+			t.Fatalf("sibling %d: %v", i, err)
+		}
+		if want := int64(10 + i + 1); got.Int() != want {
+			t.Fatalf("sibling %d = %d, want %d", i, got.Int(), want)
+		}
+	}
+}
+
+func TestInstallBatchDuplicatesAndReinstalls(t *testing.T) {
+	bk, m := newMips()
+	f := buildAddK(t, bk, 7)
+	already := buildAddK(t, bk, 9)
+	if err := m.Install(already); err != nil {
+		t.Fatal(err)
+	}
+	spans := len(m.FuncSpans())
+	errs := m.InstallBatch(context.Background(), 2, []*core.Func{f, already, f, nil})
+	if errs[0] != nil || errs[1] != nil || errs[2] != nil {
+		t.Fatalf("errs = %v", errs[:3])
+	}
+	if errs[3] == nil {
+		t.Fatal("nil function accepted")
+	}
+	if got := len(m.FuncSpans()); got != spans+1 {
+		t.Fatalf("span count %d, want %d (one new function)", got, spans+1)
+	}
+	got, err := m.Call(f, core.I(1))
+	if err != nil || got.Int() != 8 {
+		t.Fatalf("call = %v, %v", got, err)
+	}
+}
+
+// TestInstallBatchIntraBatchCall installs a caller and its callee in the
+// same batch: the caller's relocation must resolve against the callee's
+// pre-reserved address (phase 1's assigned map), not a separate install.
+func TestInstallBatchIntraBatchCall(t *testing.T) {
+	bk, m := newMips()
+	callee := buildAddK(t, bk, 5)
+
+	a := core.NewAsm(bk)
+	a.SetName("caller")
+	args, err := a.Begin("%i", core.NonLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := a.GetReg(core.Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Movi(x, args[0])
+	a.StartCall("%i")
+	a.SetArg(0, x)
+	a.CallFunc(callee)
+	r, err := a.GetReg(core.Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RetVal(core.TypeI, r)
+	a.Addi(r, r, x)
+	a.Reti(r)
+	caller, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := m.InstallBatch(context.Background(), 2, []*core.Func{caller, callee})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	// caller(x) = callee(x) + x = (x + 5) + x.
+	got, err := m.Call(caller, core.I(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 25 {
+		t.Fatalf("caller(10) = %d, want 25", got.Int())
+	}
+}
+
+// TestInstallBatchOutOfBatchCallee covers the phase-1 nested install: a
+// batch member that references a function outside the batch.
+func TestInstallBatchOutOfBatchCallee(t *testing.T) {
+	bk, m := newMips()
+	callee := buildAddK(t, bk, 2)
+
+	a := core.NewAsm(bk)
+	a.SetName("outercaller")
+	args, err := a.Begin("%i", core.NonLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StartCall("%i")
+	a.SetArg(0, args[0])
+	a.CallFunc(callee)
+	r, err := a.GetReg(core.Var)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RetVal(core.TypeI, r)
+	a.Reti(r)
+	caller, err := a.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := m.InstallBatch(context.Background(), 1, []*core.Func{caller})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if !m.Installed(callee) {
+		t.Fatal("out-of-batch callee not installed")
+	}
+	got, err := m.Call(caller, core.I(40))
+	if err != nil || got.Int() != 42 {
+		t.Fatalf("caller(40) = %v, %v", got, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -520,24 +521,50 @@ func (m *Machine) allocCode(size uint64) (uint64, error) {
 	return addr, nil
 }
 
-func (m *Machine) install(f *Func) error {
+// installSize is the 16-aligned code-region reservation f needs.
+func installSize(f *Func) uint64 { return (uint64(4*len(f.Words)) + 15) &^ 15 }
+
+// installPrecheck handles the cases where no code placement should
+// happen: f is already installed here (possibly mutated since), installed
+// elsewhere, or targets the wrong backend.  done means install must
+// return err (nil for the benign already-installed case) without placing
+// code.  Caller holds mu.
+func (m *Machine) installPrecheck(f *Func) (done bool, err error) {
+	if f == nil {
+		return true, fmt.Errorf("machine: install of nil function")
+	}
 	if f.installed {
 		if f.owner != m {
-			return fmt.Errorf("machine: %s is installed on a different machine", f.Name)
+			return true, fmt.Errorf("machine: %s is installed on a different machine", f.Name)
 		}
 		if f.sumValid && sumWords(f.Words) != f.sum {
-			return fmt.Errorf("machine: %s was mutated after install; Uninstall it first", f.Name)
+			return true, fmt.Errorf("machine: %s was mutated after install; Uninstall it first", f.Name)
 		}
-		return nil
+		return true, nil
 	}
 	if f.BackendName != m.backend.Name() {
-		return fmt.Errorf("machine: %s code installed on %s machine", f.BackendName, m.backend.Name())
+		return true, fmt.Errorf("machine: %s code installed on %s machine", f.BackendName, m.backend.Name())
+	}
+	return false, nil
+}
+
+// spanName labels f's code region in the address map.
+func (f *Func) spanName() string {
+	if f.Name == "" {
+		return fmt.Sprintf("func@%#x", f.addr)
+	}
+	return f.Name
+}
+
+func (m *Machine) install(f *Func) error {
+	if done, err := m.installPrecheck(f); done || err != nil {
+		return err
 	}
 	var start time.Time
 	if telemetry.Enabled() || trace.Enabled() {
 		start = time.Now()
 	}
-	size := (uint64(4*len(f.Words)) + 15) &^ 15
+	size := installSize(f)
 	addr, err := m.allocCode(size)
 	if err != nil {
 		return err
@@ -547,7 +574,15 @@ func (m *Machine) install(f *Func) error {
 	f.owner = m
 	f.codeSize = size
 	f.sumValid = false
-	if err := m.linkVerifyWrite(f); err != nil {
+	resolved, err := m.resolveRelocs(f, nil)
+	var image []byte
+	if err == nil {
+		image, err = m.linkAndVerify(f, resolved, m.validCallTarget, m.verifyOff)
+	}
+	if err == nil {
+		err = m.mem.WriteBytes(f.addr, image)
+	}
+	if err != nil {
 		// Roll back so a rejected function neither leaks code space nor
 		// claims to be installed (a later retry — e.g. after the missing
 		// symbol is defined — starts clean).
@@ -560,11 +595,7 @@ func (m *Machine) install(f *Func) error {
 	}
 	f.sum = sumWords(f.Words)
 	f.sumValid = true
-	name := f.Name
-	if name == "" {
-		name = fmt.Sprintf("func@%#x", addr)
-	}
-	m.addSpan(FuncSpan{Start: addr, End: addr + size, Name: name})
+	m.addSpan(FuncSpan{Start: addr, End: addr + size, Name: f.spanName()})
 	if !start.IsZero() {
 		// Nested installs (referenced functions) are timed individually;
 		// the parent's duration includes its children.
@@ -583,69 +614,356 @@ func (m *Machine) install(f *Func) error {
 	return nil
 }
 
-// linkVerifyWrite resolves f's relocations, verifies the finished image,
-// and copies it into simulated memory.  The caller has already reserved
-// f's code region and handles rollback on error.
-func (m *Machine) linkVerifyWrite(f *Func) error {
-	// Resolve relocations against a patchable view of the words.
-	buf := &Buf{w: f.Words}
+// resolvedReloc is one relocation with its target address pinned — the
+// part of linking that needs the machine's symbol table and therefore the
+// lock.
+type resolvedReloc struct {
+	kind   RelocKind
+	sites  []int
+	target uint64
+}
+
+// resolveRelocs pins every relocation of f to an absolute target address,
+// recursively installing referenced functions that are not placed yet.
+// assigned maps batch members to their pre-reserved base addresses so
+// intra-batch references resolve before the members are committed.
+// Caller holds mu.
+func (m *Machine) resolveRelocs(f *Func, assigned map[*Func]uint64) ([]resolvedReloc, error) {
+	if len(f.Relocs) == 0 {
+		return nil, nil
+	}
+	out := make([]resolvedReloc, 0, len(f.Relocs))
 	for _, r := range f.Relocs {
 		var target uint64
 		switch {
 		case r.Target != nil:
-			if err := m.install(r.Target); err != nil {
-				return err
+			base, ok := assigned[r.Target]
+			if !ok {
+				if err := m.install(r.Target); err != nil {
+					return nil, err
+				}
+				base = r.Target.addr
 			}
 			switch {
 			case r.Kind == RelocCall:
-				target = r.Target.EntryAddr()
+				target = base + 4*uint64(r.Target.Entry)
 			case r.Addend == relocEntry:
-				target = r.Target.EntryAddr()
+				target = base + 4*uint64(r.Target.Entry)
 			default:
-				target = r.Target.Addr() + uint64(r.Addend)
+				target = base + uint64(r.Addend)
 			}
 		default:
 			a, ok := m.syms[r.Sym]
 			if !ok {
-				return fmt.Errorf("machine: undefined symbol %q in %s", r.Sym, f.Name)
+				return nil, fmt.Errorf("machine: undefined symbol %q in %s", r.Sym, f.Name)
 			}
 			target = a + uint64(r.Addend)
 		}
+		out = append(out, resolvedReloc{kind: r.Kind, sites: r.Sites, target: target})
+	}
+	return out, nil
+}
+
+// linkAndVerify patches f's words with the resolved relocation targets,
+// runs the pre-install verifier, and encodes the finished image in target
+// byte order.  It reads only f, the stateless backend, and the supplied
+// extern predicate — no machine state — so batched installs run it
+// without the machine lock, in parallel across functions.
+func (m *Machine) linkAndVerify(f *Func, resolved []resolvedReloc, extern func(uint64) bool, verifyOff bool) ([]byte, error) {
+	buf := &Buf{w: f.Words}
+	for _, r := range resolved {
 		var err error
-		switch r.Kind {
+		switch r.kind {
 		case RelocCall:
-			err = m.backend.PatchCall(buf, r.Sites, f.addr, target)
+			err = m.backend.PatchCall(buf, r.sites, f.addr, r.target)
 		case RelocAddr:
-			err = m.backend.PatchAddr(buf, r.Sites, target)
+			err = m.backend.PatchAddr(buf, r.sites, r.target)
 		}
 		if err != nil {
-			return fmt.Errorf("machine: relocating %s: %w", f.Name, err)
+			return nil, fmt.Errorf("machine: relocating %s: %w", f.Name, err)
 		}
 	}
 
-	if !m.verifyOff {
-		if err := m.verifyFunc(f); err != nil {
-			return err
+	if !verifyOff {
+		if err := m.verifyFunc(f, extern); err != nil {
+			return nil, err
 		}
 	}
 
-	// Copy the finished words into simulated memory in target byte
-	// order.
-	bytes := make([]byte, 4*len(f.Words))
+	// Encode the finished words in target byte order.
+	image := make([]byte, 4*len(f.Words))
+	big := m.backend.BigEndian()
 	for i, w := range f.Words {
-		if m.backend.BigEndian() {
-			bytes[4*i] = byte(w >> 24)
-			bytes[4*i+1] = byte(w >> 16)
-			bytes[4*i+2] = byte(w >> 8)
-			bytes[4*i+3] = byte(w)
+		if big {
+			image[4*i] = byte(w >> 24)
+			image[4*i+1] = byte(w >> 16)
+			image[4*i+2] = byte(w >> 8)
+			image[4*i+3] = byte(w)
 		} else {
-			bytes[4*i] = byte(w)
-			bytes[4*i+1] = byte(w >> 8)
-			bytes[4*i+2] = byte(w >> 16)
-			bytes[4*i+3] = byte(w >> 24)
+			image[4*i] = byte(w)
+			image[4*i+1] = byte(w >> 8)
+			image[4*i+2] = byte(w >> 16)
+			image[4*i+3] = byte(w >> 24)
 		}
 	}
-	return m.mem.WriteBytes(f.addr, bytes)
+	return image, nil
+}
+
+// externSnapshot captures validCallTarget's answer set — the halt vector,
+// the trap table, and the current code-region bounds — so batch verifiers
+// can consult it without holding mu.  Caller holds mu; the snapshot is
+// taken after the batch reservation, so intra-batch calls are in range.
+func (m *Machine) externSnapshot() func(uint64) bool {
+	traps := make(map[uint64]struct{}, len(m.traps))
+	for a := range m.traps {
+		traps[a] = struct{}{}
+	}
+	halt, base, next := m.haltAddr, m.codeBase, m.codeNext
+	return func(addr uint64) bool {
+		if addr == halt {
+			return true
+		}
+		if _, ok := traps[addr]; ok {
+			return true
+		}
+		return addr >= base && addr < next && addr%4 == 0
+	}
+}
+
+// reflectDuplicates copies the first instance's outcome onto any
+// duplicate *Func entries in a batch.
+func reflectDuplicates(fns []*Func, firstIdx map[*Func]int, errs []error) {
+	for i, f := range fns {
+		if f == nil {
+			continue
+		}
+		if j, ok := firstIdx[f]; ok && j != i {
+			errs[i] = errs[j]
+		}
+	}
+}
+
+// InstallBatch installs fns in one batched, verification-included install
+// with a single contiguous arena reservation covering the whole batch.
+// The work is split so the expensive middle runs outside the lock:
+//
+//  1. (locked) prechecks, one contiguous code reservation, address
+//     assignment, and relocation-target resolution for every function;
+//  2. (unlocked) linking, verification and image encoding, fanned across
+//     min(parallelism, len(fns)) goroutines — pure per-function work
+//     (parallelism <= 0 means GOMAXPROCS);
+//  3. (locked) the commit: images are copied into simulated memory and
+//     the address map is sorted and published once for the whole batch.
+//
+// The returned slice has one error per input (nil on success).  A
+// rejected function's sub-reservation returns to the free list while its
+// siblings install.  If ctx is canceled before the commit, the whole
+// reservation is released, no function from the batch becomes installed,
+// and every pending item reports the context's error — there are no
+// half-installed bodies.
+//
+// The caller must own fns exclusively for the duration of the call (no
+// concurrent Install or Call on the same *Func values).  Functions
+// already installed on m are tolerated and report success.
+func (m *Machine) InstallBatch(ctx context.Context, parallelism int, fns []*Func) []error {
+	errs := make([]error, len(fns))
+	if len(fns) == 0 {
+		return errs
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var start time.Time
+	if telemetry.Enabled() || trace.Enabled() {
+		start = time.Now()
+	}
+
+	type item struct {
+		f        *Func
+		idx      int // index into fns/errs
+		size     uint64
+		resolved []resolvedReloc
+		image    []byte
+		linkNS   int64
+		skip     bool // phase-1 failure; later phases pass it over
+	}
+
+	// --- phase 1 (locked): reserve, assign, resolve ---
+	m.mu.Lock()
+	items := make([]*item, 0, len(fns))
+	firstIdx := make(map[*Func]int, len(fns))
+	assigned := make(map[*Func]uint64, len(fns))
+	var total uint64
+	for i, f := range fns {
+		if f != nil {
+			if _, dup := firstIdx[f]; dup {
+				continue // reflectDuplicates mirrors the first outcome
+			}
+			firstIdx[f] = i
+		}
+		if done, err := m.installPrecheck(f); done || err != nil {
+			errs[i] = err
+			continue
+		}
+		size := installSize(f)
+		assigned[f] = total // offset within the reservation, for now
+		items = append(items, &item{f: f, idx: i, size: size})
+		total += size
+	}
+	if len(items) == 0 {
+		m.mu.Unlock()
+		reflectDuplicates(fns, firstIdx, errs)
+		return errs
+	}
+	base, err := m.allocCode(total)
+	if err != nil {
+		// The contiguous reservation failed (fragmentation, or a batch
+		// larger than the remaining arena): fall back to per-function
+		// placement under this same lock so individually fitting
+		// functions still install.
+		for _, it := range items {
+			errs[it.idx] = m.install(it.f)
+		}
+		m.mu.Unlock()
+		reflectDuplicates(fns, firstIdx, errs)
+		return errs
+	}
+	for _, it := range items {
+		f := it.f
+		f.addr = base + assigned[f]
+		assigned[f] = f.addr
+		f.owner = m
+		f.codeSize = it.size
+		f.sumValid = false
+	}
+	for _, it := range items {
+		var rerr error
+		if it.resolved, rerr = m.resolveRelocs(it.f, assigned); rerr != nil {
+			errs[it.idx] = rerr
+			it.skip = true
+		}
+	}
+	extern := m.externSnapshot()
+	verifyOff := m.verifyOff
+	m.mu.Unlock()
+
+	// --- phase 2 (unlocked): link + verify + encode, fanned out ---
+	if ctx.Err() == nil {
+		n := parallelism
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > len(items) {
+			n = len(items)
+		}
+		work := make(chan *item)
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for it := range work {
+					if ctx.Err() != nil {
+						continue // the commit below reports the ctx error
+					}
+					t0 := time.Now()
+					image, lerr := m.linkAndVerify(it.f, it.resolved, extern, verifyOff)
+					it.linkNS = time.Since(t0).Nanoseconds()
+					if lerr != nil {
+						errs[it.idx] = lerr // each item owns only its slot
+						it.skip = true
+						continue
+					}
+					it.image = image
+				}
+			}()
+		}
+		for _, it := range items {
+			if !it.skip {
+				work <- it
+			}
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// --- phase 3 (locked): commit or abort ---
+	m.mu.Lock()
+	if cerr := ctx.Err(); cerr != nil {
+		// Abort: the whole reservation is returned and nothing from this
+		// batch becomes installed or visible.
+		for _, it := range items {
+			f := it.f
+			f.addr = 0
+			f.owner = nil
+			f.codeSize = 0
+		}
+		m.freeRegion(codeRegion{addr: base, size: total})
+		m.mu.Unlock()
+		for _, it := range items {
+			if errs[it.idx] == nil {
+				errs[it.idx] = cerr
+			}
+		}
+		reflectDuplicates(fns, firstIdx, errs)
+		return errs
+	}
+	installed := 0
+	var linkTotal int64
+	for _, it := range items {
+		f := it.f
+		if !it.skip && errs[it.idx] == nil {
+			errs[it.idx] = m.mem.WriteBytes(f.addr, it.image)
+		}
+		if errs[it.idx] != nil {
+			m.freeRegion(codeRegion{addr: f.addr, size: it.size})
+			f.addr = 0
+			f.owner = nil
+			f.codeSize = 0
+			continue
+		}
+		f.sum = sumWords(f.Words)
+		f.sumValid = true
+		f.installed = true
+		m.spanList = append(m.spanList, FuncSpan{Start: f.addr, End: f.addr + it.size, Name: f.spanName()})
+		installed++
+		linkTotal += it.linkNS
+	}
+	if installed > 0 {
+		// One sort + one copy-on-write publication for the whole batch —
+		// the amortization a per-function install cannot have.
+		sort.Slice(m.spanList, func(i, j int) bool { return m.spanList[i].Start < m.spanList[j].Start })
+		m.publishSpans()
+	}
+	m.mu.Unlock()
+
+	if !start.IsZero() && installed > 0 {
+		// Per-item install spans: the item's own (parallel) link + verify
+		// + encode time plus an equal share of the locked phases.
+		share := (time.Since(start).Nanoseconds() - linkTotal) / int64(installed)
+		if share < 0 {
+			share = 0
+		}
+		for _, it := range items {
+			f := it.f
+			if errs[it.idx] != nil {
+				continue
+			}
+			d := time.Duration(it.linkNS + share)
+			if telemetry.Enabled() {
+				st := telemetry.ForBackend(f.BackendName)
+				st.InstallNS.Observe(uint64(d))
+				st.Installs.Inc()
+				telemetry.TraceRecord(telemetry.PhaseInstall, f.BackendName, f.Name, d, int64(it.size))
+			}
+			if trace.Enabled() {
+				trace.Record(trace.KindInstall, f.BackendName, f.Name, f.lifecycleFlow(),
+					start, d, trace.Attrs{Bytes: int64(it.size)})
+			}
+		}
+	}
+	reflectDuplicates(fns, firstIdx, errs)
+	return errs
 }
 
 // SetVerify enables or disables the pre-install code verifier.  It is on
@@ -656,8 +974,13 @@ func (m *Machine) SetVerify(on bool) {
 	m.verifyOff = !on
 }
 
-// verifyFunc runs the static verifier over f's relocated image.
-func (m *Machine) verifyFunc(f *Func) error {
+// verifyFunc runs the static verifier over f's relocated image.  extern
+// answers out-of-function call-target queries: m.validCallTarget under
+// the lock, or an externSnapshot closure from a lock-free batch phase.
+// The function reads no mutable machine state (telemetry goes through
+// the concurrency-safe ForBackend lookup), so batch installs call it
+// from their parallel phase.
+func (m *Machine) verifyFunc(f *Func, extern func(uint64) bool) error {
 	var start time.Time
 	if telemetry.Enabled() || trace.Enabled() {
 		start = time.Now()
@@ -679,11 +1002,11 @@ func (m *Machine) verifyFunc(f *Func) error {
 		Entry:     f.Entry,
 		PoolStart: ps,
 		PoolRefs:  prs,
-	}, verify.Options{ExternTarget: m.validCallTarget})
+	}, verify.Options{ExternTarget: extern})
 	if !start.IsZero() {
 		d := time.Since(start)
 		if telemetry.Enabled() {
-			m.stats().VerifyNS.Observe(uint64(d))
+			telemetry.ForBackend(f.BackendName).VerifyNS.Observe(uint64(d))
 			telemetry.TraceRecord(telemetry.PhaseVerify, f.BackendName, f.Name, d, int64(len(f.Words)))
 		}
 		if trace.Enabled() {

@@ -1,0 +1,122 @@
+package jit
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/mem"
+)
+
+// TestAdaptivePoolPromotion drives the pool-backed promotion path: the
+// call that crosses the threshold hands the compile to the batch pool
+// and keeps interpreting; once the background promotion lands, calls
+// run machine code.
+func TestAdaptivePoolPromotion(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	p, err := batch.New(batch.Config{Machine: m.Core(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ad := NewAdaptive(m, 3)
+	ad.SetPool(p)
+	f := FibIter()
+	want := refFib(20)
+
+	// Cold and threshold-crossing calls all interpret; none may block on
+	// a compile, and every one must return the right answer.
+	var interpCycles uint64
+	for i := 0; i < 6; i++ {
+		got, cycles, err := ad.Call(f, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("call %d: got %d, want %d", i, got, want)
+		}
+		if i == 0 {
+			interpCycles = cycles
+		}
+	}
+
+	ad.WaitPromotions()
+	if !ad.Compiled(f) {
+		t.Fatal("background promotion did not land")
+	}
+	got, hotCycles, err := ad.Call(f, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("compiled call: got %d, want %d", got, want)
+	}
+	if hotCycles*2 >= interpCycles {
+		t.Errorf("compiled call should be much cheaper: interp %d, hot %d", interpCycles, hotCycles)
+	}
+
+	// However many hot calls raced the in-flight promotion, the function
+	// compiled exactly once.
+	if mets := ad.Metrics(); mets.Compiles != 1 || mets.Warmed != 1 {
+		t.Fatalf("compiles=%d warmed=%d, want 1/1", mets.Compiles, mets.Warmed)
+	}
+}
+
+// TestAdaptivePoolConcurrent hammers pool-backed promotion from many
+// goroutines under -race: every call returns the right answer whether
+// it interpreted, raced the promotion, or ran compiled code.
+func TestAdaptivePoolConcurrent(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	p, err := batch.New(batch.Config{Machine: m.Core(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ad := NewAdaptive(m, 2)
+	ad.SetPool(p)
+	progs := []*Func{FibIter(), SumSquares()}
+	wantFib := refFib(15)
+	wantSum := int32(0)
+	for i := int32(1); i <= 15; i++ {
+		wantSum += i * i
+	}
+
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 25; i++ {
+				f := progs[(w+i)%len(progs)]
+				want := wantFib
+				if f == progs[1] {
+					want = wantSum
+				}
+				got, _, err := ad.Call(f, 15)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got != want {
+					done <- fmt.Errorf("got %d, want %d", got, want)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ad.WaitPromotions()
+	for _, f := range progs {
+		if !ad.Compiled(f) {
+			t.Fatalf("%s never promoted", f.Name)
+		}
+	}
+	if mets := ad.Metrics(); mets.Compiles != 2 {
+		t.Fatalf("compiles=%d, want 2 (one per program)", mets.Compiles)
+	}
+}

@@ -67,12 +67,21 @@ func NewMachineTarget(target string, conf mem.MachineConfig) (*Machine, error) {
 // stack slot and local variable is assigned a VCODE register at compile
 // time; stack traffic disappears entirely.
 func (m *Machine) Compile(f *Func) (*core.Func, error) {
-	comp := trace.Begin(trace.KindCompile, m.backend.Name(), f.Name)
+	return CompileInto(core.NewAsm(m.backend), f)
+}
+
+// CompileInto is Compile emitting into a caller-supplied assembler, so
+// callers that compile many functions (the batch pipeline's per-worker
+// buffers) amortize the assembler's buffer and bookkeeping allocations
+// across functions.  The assembler must be idle (not mid-build); the
+// returned Func does not alias it.
+func CompileInto(a *core.Asm, f *Func) (*core.Func, error) {
+	backend := a.Backend()
+	comp := trace.Begin(trace.KindCompile, backend.Name(), f.Name)
 	maxDepth, err := f.Validate()
 	if err != nil {
 		return nil, err
 	}
-	a := core.NewAsm(m.backend)
 	a.SetName(f.Name)
 	params := make([]core.Type, f.NArgs)
 	for i := range params {
@@ -86,7 +95,7 @@ func (m *Machine) Compile(f *Func) (*core.Func, error) {
 	// Register assignment: locals first (persistent), then one register
 	// per operand-stack slot (temporaries — the stack is empty across
 	// no call, and this machine has no calls).
-	ra := trace.Begin(trace.KindRegalloc, m.backend.Name(), f.Name)
+	ra := trace.Begin(trace.KindRegalloc, backend.Name(), f.Name)
 	vars := make([]core.Reg, f.NVars)
 	for i := range vars {
 		if vars[i], err = a.GetReg(core.Var); err != nil {

@@ -1,0 +1,40 @@
+package mips
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDecodableMatchesDisasm pins the verifier fast path to the
+// disassembler: Decodable must return true exactly when Disasm does not
+// fall back to ".word".  The sweep covers every opcode/function
+// combination with varied register fields plus a large pseudo-random
+// sample.
+func TestDecodableMatchesDisasm(t *testing.T) {
+	b := New()
+	const pc = 0x4000
+	check := func(w uint32) {
+		want := !strings.HasPrefix(b.Disasm(w, pc), ".word")
+		if got := b.Decodable(w, pc); got != want {
+			t.Fatalf("Decodable(%#08x) = %v, but Disasm(%#08x) = %q", w, got, w, b.Disasm(w, pc))
+		}
+	}
+	for op := uint32(0); op < 64; op++ {
+		for fn := uint32(0); fn < 64; fn++ {
+			for _, mid := range []uint32{0, 0x03ff0000, 0x0000ffc0, 0x03fffc0} {
+				check(op<<26 | mid | fn)
+			}
+		}
+		// COP1 formats: sweep the rs (format) and funct fields.
+		for rs := uint32(0); rs < 32; rs++ {
+			for fn := uint32(0); fn < 64; fn++ {
+				check(op<<26 | rs<<21 | fn)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<20; i++ {
+		check(rng.Uint32())
+	}
+}

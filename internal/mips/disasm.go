@@ -155,6 +155,52 @@ func (m *Backend) Disasm(w uint32, pc uint64) string {
 	return fmt.Sprintf(".word %#08x", w)
 }
 
+// Decodable reports whether w decodes at pc — exactly when Disasm would
+// not fall back to ".word" — without building the disassembly string.
+// It is the verifier's round-trip fast path (verify.DecodableDecoder);
+// TestDecodableMatchesDisasm sweeps it against Disasm so the two cannot
+// drift.
+func (m *Backend) Decodable(w uint32, pc uint64) bool {
+	if w == encNop {
+		return true
+	}
+	op := w >> 26
+	rs := w >> 21 & 31
+	rt := w >> 16 & 31
+	fn := w & 63
+	switch op {
+	case opSpecial:
+		switch fn {
+		case fnSll, fnSrl, fnSra, fnSllv, fnSrlv, fnSrav, fnJr, fnJalr,
+			fnMfhi, fnMflo, fnMult, fnMultu, fnDiv, fnDivu,
+			fnAddu, fnSubu, fnAnd, fnOr, fnXor, fnNor, fnSlt, fnSltu:
+			return true
+		}
+	case opRegimm:
+		switch rt {
+		case rtBltz, rtBgez, rtBal:
+			return true
+		}
+	case opJ, opJal, opBeq, opBne, opBlez, opBgtz,
+		opAddiu, opSlti, opSltiu, opAndi, opOri, opXori, opLui,
+		opLb, opLbu, opLh, opLhu, opLw, opSb, opSh, opSw,
+		opLwc1, opLdc1, opSwc1, opSdc1:
+		return true
+	case opCop1:
+		switch rs {
+		case fmtMFC1, fmtMTC1, fmtBC:
+			return true
+		case fmtS, fmtD, fmtW:
+			switch fn {
+			case fpAdd, fpSub, fpMul, fpDiv, fpSqrt, fpAbs, fpMov, fpNeg,
+				fpCvtS, fpCvtD, fpCvtW, fpCEq, fpCLt, fpCLe:
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // DisasmFunc renders a generated function, one instruction per line,
 // marking the entry point.  The unused head of the reserved prologue
 // region (before the entry point) is summarized rather than listed.

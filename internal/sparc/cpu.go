@@ -576,6 +576,24 @@ func (s *Backend) Disasm(w uint32, pc uint64) string {
 	return fmt.Sprintf(".word %#08x", w)
 }
 
+// Decodable reports whether w decodes at pc — exactly when Disasm would
+// not fall back to ".word" — without building the disassembly string.
+// It is the verifier's round-trip fast path (verify.DecodableDecoder);
+// TestDecodableMatchesDisasm sweeps it against Disasm so the two cannot
+// drift.  Formats 1-3 always render (unknown op3 values print as
+// "op3:..."/"mem:..." mnemonics, which Disasm treats as decoded);
+// format 0 decodes only for sethi and the two branch op2 forms.
+func (s *Backend) Decodable(w uint32, pc uint64) bool {
+	if w == encNop {
+		return true
+	}
+	if w>>30 != 0 {
+		return true
+	}
+	op2 := w >> 22 & 7
+	return op2 == 4 || op2 == 2 || op2 == 6
+}
+
 func condName(c uint32, fp bool) string {
 	if fp {
 		return map[uint32]string{fcondE: "e", fcondNE: "ne", fcondL: "l", fcondLE: "le", fcondG: "g", fcondGE: "ge"}[c]

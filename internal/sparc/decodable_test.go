@@ -1,0 +1,36 @@
+package sparc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDecodableMatchesDisasm pins the verifier fast path to the
+// disassembler: Decodable must return true exactly when Disasm does not
+// fall back to ".word".  The sweep covers every format/op2/op3
+// combination with varied fields plus a large pseudo-random sample.
+func TestDecodableMatchesDisasm(t *testing.T) {
+	b := New()
+	const pc = 0x4000
+	check := func(w uint32) {
+		want := !strings.HasPrefix(b.Disasm(w, pc), ".word")
+		if got := b.Decodable(w, pc); got != want {
+			t.Fatalf("Decodable(%#08x) = %v, but Disasm(%#08x) = %q", w, got, w, b.Disasm(w, pc))
+		}
+	}
+	for op := uint32(0); op < 4; op++ {
+		for op2 := uint32(0); op2 < 8; op2++ {
+			check(op<<30 | op2<<22)
+			check(op<<30 | 0x1f<<25 | op2<<22 | 0x1234)
+		}
+		for op3 := uint32(0); op3 < 64; op3++ {
+			check(op<<30 | op3<<19)
+			check(op<<30 | 0x1f<<25 | op3<<19 | 1<<13 | 0x7ff)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<20; i++ {
+		check(rng.Uint32())
+	}
+}

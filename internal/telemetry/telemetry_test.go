@@ -243,7 +243,7 @@ func TestSummaryConcurrentMinMax(t *testing.T) {
 func TestSummarySnapshotBounded(t *testing.T) {
 	r := NewRegistry()
 	for i := 0; i < 20; i++ {
-		r.Counter(string(rune('a'+i))).Add(uint64(i + 1))
+		r.Counter(string(rune('a' + i))).Add(uint64(i + 1))
 	}
 	r.Histogram("phase_ns", nil).Observe(500)
 	out, elided := r.SummarySnapshot(5)

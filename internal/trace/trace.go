@@ -47,12 +47,17 @@ const (
 	// KindLookup is a code-cache probe; its Verdict attribute records
 	// hit, miss, coalesced or negative.
 	KindLookup
+	// KindBatch covers one whole batch through the parallel compilation
+	// pipeline (internal/batch): fan-out compile plus the batched
+	// install.  Its N attribute is the item count, Bytes the installed
+	// code bytes.
+	KindBatch
 
-	numKinds = int(KindLookup) + 1
+	numKinds = int(KindBatch) + 1
 )
 
 var kindNames = [numKinds]string{
-	"compile", "regalloc", "emit", "verify", "install", "call", "evict", "lookup",
+	"compile", "regalloc", "emit", "verify", "install", "call", "evict", "lookup", "batch",
 }
 
 func (k Kind) String() string {

@@ -86,6 +86,17 @@ type Decoder interface {
 	BranchDelaySlots() int
 }
 
+// DecodableDecoder is an optional Decoder fast path: Decodable reports
+// whether w decodes at pc — exactly when Disasm would not fall back to a
+// ".word" rendering — without building the disassembly string.  The
+// round-trip check is the hot inner loop of every install (one string
+// format per verified word without it), so backends that can answer
+// decodability from the bit pattern alone should implement this; the
+// equivalence is regression-tested per backend against Disasm itself.
+type DecodableDecoder interface {
+	Decodable(w uint32, pc uint64) bool
+}
+
 // PoolRef is a relocated reference from code into the function's own
 // constant pool, expressed as a byte offset from the function base.
 type PoolRef struct {
@@ -157,6 +168,7 @@ func Verify(d Decoder, c *Code, opt Options) error {
 	fail := func(i int, pc uint64, w uint32, err error) error {
 		return &Error{Func: c.Name, Word: i, PC: pc, Text: d.Disasm(w, pc), Err: err}
 	}
+	dec, fastDecode := d.(DecodableDecoder)
 
 	prevControl := false
 	for i := c.Entry; i < c.PoolStart; i++ {
@@ -169,8 +181,13 @@ func Verify(d Decoder, c *Code, opt Options) error {
 		// Round-trip: anything Classify accepts must disassemble.  The
 		// generated disassembler covers exactly the encoder's
 		// vocabulary, so a ".word" fallback means the word cannot have
-		// come from the encoders.
-		if strings.HasPrefix(d.Disasm(w, pc), ".word") {
+		// come from the encoders.  Decodable answers the same question
+		// without rendering the string.
+		if fastDecode {
+			if !dec.Decodable(w, pc) {
+				return fail(i, pc, w, ErrRoundTrip)
+			}
+		} else if strings.HasPrefix(d.Disasm(w, pc), ".word") {
 			return fail(i, pc, w, ErrRoundTrip)
 		}
 		if delay > 0 && prevControl && ins.Kind.IsControl() {

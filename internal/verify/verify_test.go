@@ -136,3 +136,31 @@ func TestErrorFormat(t *testing.T) {
 		t.Errorf("Error() = %q, want %q", ve.Error(), want)
 	}
 }
+
+// fastDecoder layers Decodable over the fake ISA.  Its Disasm and
+// Decodable deliberately disagree so tests can prove which one Verify
+// consulted for the round-trip check.
+type fastDecoder struct {
+	fakeDecoder
+	decodable func(w uint32, pc uint64) bool
+}
+
+func (f fastDecoder) Decodable(w uint32, pc uint64) bool { return f.decodable(w, pc) }
+
+// TestDecodableFastPath pins the optional-interface dispatch: when the
+// decoder implements DecodableDecoder, the round-trip check must ask
+// Decodable instead of string-matching Disasm.
+func TestDecodableFastPath(t *testing.T) {
+	// Disasm says opGarble is undecodable, Decodable vouches for
+	// everything: Verify must pass, proving Disasm was not consulted.
+	d := fastDecoder{decodable: func(w uint32, pc uint64) bool { return true }}
+	if err := Verify(d, code(opGarble), Options{}); err != nil {
+		t.Fatalf("Decodable=true was ignored: %v", err)
+	}
+	// And the converse: Decodable rejects a word Disasm renders fine.
+	d.decodable = func(w uint32, pc uint64) bool { return false }
+	err := Verify(d, code(opNop), Options{})
+	if !errors.Is(err, ErrRoundTrip) {
+		t.Fatalf("Decodable=false was ignored: %v", err)
+	}
+}

@@ -22,30 +22,50 @@ fuzz-smoke:
 soak:
 	go run -race ./cmd/cgbench -faults
 
+# The vcoded codegen server, warm-cache snapshot on, lifecycle tracing
+# served at /trace.  curl examples in README.md.
+run-server:
+	go run ./cmd/vcoded -addr :8753 -snapshot vcoded.snap -trace
+
+# Mixed-tenant server soak under the race detector: an in-process vcoded
+# with deterministic fault injection, every failure must come back typed,
+# zero panics tolerated.
+soak-server:
+	go run -race ./cmd/cgbench -serve-soak -serve-calls 30000 -workers 8 -seed 7
+
 test:
 	go test ./...
 
 bench:
 	go test -bench . -benchtime 1s .
 
-# Machine-readable benchmark record: ns/generated-instruction for every
+# Machine-readable benchmark records: ns/generated-instruction for every
 # backend, cache hit rate and calls/sec, plus a bounded telemetry summary
 # (histogram summaries + top counters).  Also emits the lifecycle trace
-# and annotated disassembly alongside, and a second record
+# and annotated disassembly alongside, a second record
 # ($(BENCH_OUT:.json=.batch.json)) with the batch-compile pipeline
-# throughput.  Override BENCH_OUT to name the artifacts per PR.
-BENCH_OUT ?= BENCH_pr5.json
+# throughput, and a third ($(BENCH_OUT:.json=.serve.json)) with the
+# vcoded server's end-to-end throughput and tail latency under the
+# mixed-tenant fault-injected load.
+#
+# Artifact policy: only BENCH_baseline.json (the committed gate anchor)
+# and the BENCH_latest.* records of the most recent run live in the repo
+# root; per-PR copies are CI artifacts, not commits.
+BENCH_OUT ?= BENCH_latest.json
 bench-json:
 	go run ./cmd/cgbench -cache -metrics -requests 50000 -iters 2000 \
 		-trace $(BENCH_OUT:.json=.trace.json) -annotate $(BENCH_OUT:.json=.annotate.txt) \
 		-json $(BENCH_OUT)
 	go run ./cmd/cgbench -batch 256 -workers 8 \
 		-json $(BENCH_OUT:.json=.batch.json)
+	go run ./cmd/cgbench -serve-soak -serve-calls 8000 -workers 8 -seed 7 \
+		-json $(BENCH_OUT:.json=.serve.json)
 
 # Benchmark-regression gate: the fresh records against the committed
-# baseline, ±25% tolerance.  Exits nonzero on regression (CI fails red).
+# baseline, ±25% tolerance (serve latency gets a widened band inside
+# benchdiff).  Exits nonzero on regression (CI fails red).
 bench-gate: bench-json
 	go run ./cmd/benchdiff -tolerance 0.25 BENCH_baseline.json \
-		$(BENCH_OUT) $(BENCH_OUT:.json=.batch.json)
+		$(BENCH_OUT) $(BENCH_OUT:.json=.batch.json) $(BENCH_OUT:.json=.serve.json)
 
-.PHONY: verify fuzz-smoke soak test bench bench-json bench-gate
+.PHONY: verify fuzz-smoke soak run-server soak-server test bench bench-json bench-gate

@@ -14,7 +14,10 @@
 //   - compile.funcs_per_sec — higher is better (batch pipeline
 //     throughput);
 //   - compile.serial_funcs_per_sec — higher is better (the pre-batch
-//     baseline must not rot either).
+//     baseline must not rot either);
+//   - serve.calls_per_sec — higher is better (vcoded end-to-end
+//     throughput under the mixed-tenant load);
+//   - serve.p99_ns — lower is better (vcoded tail latency).
 //
 // A metric in the baseline but absent from the current record fails the
 // gate: silently dropping a measurement is how regressions hide.
@@ -35,6 +38,7 @@ type record struct {
 	Codegen map[string]codegenEntry `json:"codegen"`
 	Cache   *cacheEntry             `json:"cache"`
 	Compile *compileEntry           `json:"compile"`
+	Serve   *serveEntry             `json:"serve"`
 }
 
 type codegenEntry struct {
@@ -51,13 +55,22 @@ type compileEntry struct {
 	Speedup           float64 `json:"speedup"`
 }
 
+type serveEntry struct {
+	CallsPerSec float64 `json:"calls_per_sec"`
+	P99NS       float64 `json:"p99_ns"`
+}
+
 // metric is one gate comparison.  higherIsBetter flips the direction the
-// tolerance band is applied in.
+// tolerance band is applied in.  tolScale (default 1) widens the band
+// per metric: wall-clock tail latency needs more headroom on shared CI
+// machines than throughput ratios do, while still catching
+// order-of-magnitude regressions.
 type metric struct {
 	name           string
 	base, cur      float64
 	curPresent     bool
 	higherIsBetter bool
+	tolScale       float64
 }
 
 // verdict classifies m under the relative tolerance tol.
@@ -67,6 +80,9 @@ func (m metric) verdict(tol float64) (ok bool, why string) {
 	}
 	if m.base == 0 {
 		return true, "new"
+	}
+	if m.tolScale > 0 {
+		tol *= m.tolScale
 	}
 	delta := (m.cur - m.base) / m.base
 	if m.higherIsBetter {
@@ -106,6 +122,9 @@ func load(paths ...string) (*record, error) {
 		if out.Compile == nil {
 			out.Compile = r.Compile
 		}
+		if out.Serve == nil {
+			out.Serve = r.Serve
+		}
 	}
 	return out, nil
 }
@@ -141,6 +160,15 @@ func compare(base, cur *record) []metric {
 			serial.cur, serial.curPresent = cur.Compile.SerialFuncsPerSec, true
 		}
 		ms = append(ms, pooled, serial)
+	}
+	if base.Serve != nil {
+		cps := metric{name: "serve.calls_per_sec", base: base.Serve.CallsPerSec, higherIsBetter: true, tolScale: 2}
+		p99 := metric{name: "serve.p99_ns", base: base.Serve.P99NS, tolScale: 8}
+		if cur.Serve != nil {
+			cps.cur, cps.curPresent = cur.Serve.CallsPerSec, true
+			p99.cur, p99.curPresent = cur.Serve.P99NS, true
+		}
+		ms = append(ms, cps, p99)
 	}
 	return ms
 }

@@ -17,6 +17,7 @@ func baseRecord() *record {
 		},
 		Cache:   &cacheEntry{HitRate: 0.99},
 		Compile: &compileEntry{FuncsPerSec: 100000, SerialFuncsPerSec: 25000, Speedup: 4},
+		Serve:   &serveEntry{CallsPerSec: 8000, P99NS: 2e6},
 	}
 }
 
@@ -25,6 +26,7 @@ func TestNoRegressionWithinTolerance(t *testing.T) {
 	cur.Codegen["mips"] = codegenEntry{NsPerInsn: 36}                         // +20%: inside ±25%
 	cur.Cache.HitRate = 0.80                                                  // -19%: inside
 	cur.Compile = &compileEntry{FuncsPerSec: 80000, SerialFuncsPerSec: 20000} // -20%: inside
+	cur.Serve = &serveEntry{CallsPerSec: 4800, P99NS: 5.5e6}                  // inside the widened serve bands
 	if run(os.Stdout, 0.25, baseRecord(), cur) {
 		t.Fatal("within-tolerance drift flagged as regression")
 	}
@@ -41,6 +43,9 @@ func TestDoctoredRegressionFails(t *testing.T) {
 		{"serial funcs/sec halved", func(r *record) { r.Compile.SerialFuncsPerSec = 12000 }},
 		{"backend dropped", func(r *record) { delete(r.Codegen, "alpha") }},
 		{"compile section dropped", func(r *record) { r.Compile = nil }},
+		{"serve throughput collapsed", func(r *record) { r.Serve.CallsPerSec = 2000 }},
+		{"serve p99 blown up 4x", func(r *record) { r.Serve.P99NS = 8.1e6 }},
+		{"serve section dropped", func(r *record) { r.Serve = nil }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

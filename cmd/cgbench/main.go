@@ -78,6 +78,10 @@ func main() {
 	annotatePath := flag.String("annotate", "", "write profile-annotated disassembly for all three backends to this path (\"-\" = stdout)")
 	edgeStride := flag.Uint64("edgestride", profile.DefaultEdgeStride, "edge profiling: record every N conditional-branch resolutions")
 	httpAddr := flag.String("http", "", "serve telemetry over HTTP on this address (e.g. :8317)")
+	serveURL := flag.String("serve-url", "", "client mode: drive a running vcoded server at this base URL")
+	serveSoak := flag.Bool("serve-soak", false, "spin up an in-process vcoded server under fault injection and soak it")
+	serveCalls := flag.Int("serve-calls", 4000, "serve modes: total requests across workers")
+	serveTenants := flag.Int("serve-tenants", 4, "serve modes: synthetic tenants in the load mix")
 	flag.Parse()
 
 	die := func(err error) {
@@ -113,6 +117,18 @@ func main() {
 
 	var rep *jsonReport
 	switch {
+	case *serveURL != "" || *serveSoak:
+		if *jsonPath != "" {
+			rep = newReport("serve")
+		}
+		if *serveSoak {
+			die(runServeSoak(*serveCalls, *workers, *serveTenants, *seed, rep))
+		} else {
+			die(runServeLoad(*serveURL, *serveCalls, *workers, *serveTenants, *seed, rep))
+		}
+		if rep != nil {
+			die(rep.measureCodegen(max(50, *iters/10)))
+		}
 	case *batchSize > 0:
 		if *jsonPath != "" {
 			rep = newReport("batch")

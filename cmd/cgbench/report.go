@@ -10,6 +10,7 @@ import (
 	"repro/internal/cgbench"
 	"repro/internal/core"
 	"repro/internal/mips"
+	"repro/internal/server"
 	"repro/internal/sparc"
 	"repro/internal/telemetry"
 )
@@ -33,6 +34,21 @@ type jsonReport struct {
 	TelemetryElided int                     `json:"telemetry_elided,omitempty"`
 	Profile         *profileStats           `json:"profile,omitempty"`
 	Edges           *edgeStats              `json:"edges,omitempty"`
+	Serve           *serveStats             `json:"serve,omitempty"`
+}
+
+// serveStats summarizes a -serve-url / -serve-soak run against the
+// vcoded server: the load's throughput and tail latency, the typed-error
+// mix, and the server's own per-shard / per-tenant accounting.
+type serveStats struct {
+	Calls        uint64               `json:"calls"`
+	Errors       uint64               `json:"errors"`
+	CallsPerSec  float64              `json:"calls_per_sec"`
+	P50NS        uint64               `json:"p50_ns"`
+	P99NS        uint64               `json:"p99_ns"`
+	ErrorsByCode map[string]uint64    `json:"errors_by_code,omitempty"`
+	Shards       []server.ShardStats  `json:"shards,omitempty"`
+	Tenants      []server.TenantStats `json:"tenants,omitempty"`
 }
 
 // codegenStats is the headline paper number per backend: host nanoseconds

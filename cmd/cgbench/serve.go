@@ -1,0 +1,290 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// Serve modes: -serve-url drives a running vcoded server as a load
+// client (mixed-tenant, mixed-language, compile-heavy and cache-hot
+// requests); -serve-soak spins the same server up in-process under
+// deterministic fault injection and runs the identical load against it.
+// Either way the invariants are the server's contract: no request ever
+// crashes the server, and every failure comes back as a typed JSON
+// error from the published taxonomy.  The -json record gains a "serve"
+// section (calls/sec, p50/p99, errors by code, shard and tenant
+// breakdowns) that cmd/benchdiff gates.
+
+const serveFactVasm = `
+.func fact (%i) leaf
+.reg acc temp i
+    seti    acc, 1
+loop:
+    bleii   arg0, 1, done
+    muli    acc, acc, arg0
+    subii   arg0, arg0, 1
+    jmp     loop
+done:
+    reti    acc
+.end
+`
+
+// knownServeCodes is the published error taxonomy: a response outside it
+// fails the soak.
+var knownServeCodes = map[string]bool{}
+
+func init() {
+	for _, c := range []server.Code{
+		server.CodeBadRequest, server.CodeUnknownTenant, server.CodeNotFound,
+		server.CodeQueueFull, server.CodeQuotaConcurrency, server.CodeQuotaCodeBytes,
+		server.CodeQuotaFuel, server.CodeVerifyReject, server.CodeCompileError,
+		server.CodeCompilePanic, server.CodeFuelExhausted, server.CodeDeadline,
+		server.CodeTrapPanic, server.CodeSimPanic, server.CodeInjectedFault,
+		server.CodeExecError, server.CodeShuttingDown,
+	} {
+		knownServeCodes[string(c)] = true
+	}
+}
+
+// serveRequest builds the i-th request for a worker: mostly cache-hot
+// programs from a small corpus, a slice of fresh never-seen sources to
+// keep the compile path and eviction exercised, and periodic fuel
+// burners so quota rejections stay in the mix.
+func serveRequest(rng *rand.Rand, tenants, worker, i int) (path string, body map[string]any) {
+	tenant := fmt.Sprintf("t%d", rng.Intn(tenants))
+	switch rng.Intn(8) {
+	case 0: // fresh source: always a compile
+		return "/v1/exec", map[string]any{
+			"tenant": tenant, "lang": "tinyc",
+			"source": fmt.Sprintf("int main(int n) { return n * %d + %d; }", worker+2, i),
+			"args":   []int{3},
+		}
+	case 1: // compile-and-cache only
+		return "/v1/compile", map[string]any{
+			"tenant": tenant, "lang": "vasm",
+			"source": serveFactVasm + fmt.Sprintf("; variant %d", i%32),
+		}
+	case 2: // fuel burner: hits the per-call quota
+		return "/v1/exec", map[string]any{
+			"tenant": tenant, "lang": "vasm",
+			"source": serveFactVasm, "args": []int{1 << 20},
+		}
+	default: // cache-hot corpus
+		v := rng.Intn(8)
+		return "/v1/exec", map[string]any{
+			"tenant": tenant, "lang": "tinyc",
+			"source": fmt.Sprintf("int main(int n) { int a = 0; int i = 0; while (i < n) { a = a + i * %d; i = i + 1; } return a; }", v+1),
+			"args":   []int{20},
+		}
+	}
+}
+
+// runServeLoad fires calls requests at a vcoded server and checks the
+// contract.  With rep set it fills the report's serve section, including
+// the shard/tenant breakdown from /v1/stats.
+func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, rep *jsonReport) error {
+	if workers <= 0 {
+		workers = 8
+	}
+	if tenants <= 0 {
+		tenants = 4
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	type result struct {
+		lat     []time.Duration
+		byCode  map[string]uint64
+		errs    uint64
+		untyped []string
+	}
+	results := make([]result, workers)
+	per := calls / workers
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			res := &results[w]
+			res.byCode = make(map[string]uint64)
+			for i := 0; i < per; i++ {
+				path, body := serveRequest(rng, tenants, w, i)
+				raw, _ := json.Marshal(body)
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(raw))
+				res.lat = append(res.lat, time.Since(t0))
+				if err != nil {
+					res.untyped = append(res.untyped, fmt.Sprintf("transport: %v", err))
+					continue
+				}
+				var out struct {
+					Error *struct {
+						Code string `json:"code"`
+					} `json:"error"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					continue
+				}
+				res.errs++
+				switch {
+				case decErr != nil:
+					res.untyped = append(res.untyped, fmt.Sprintf("%s -> %d: undecodable body: %v", path, resp.StatusCode, decErr))
+				case out.Error == nil || out.Error.Code == "":
+					res.untyped = append(res.untyped, fmt.Sprintf("%s -> %d: no error code", path, resp.StatusCode))
+				case !knownServeCodes[out.Error.Code]:
+					res.untyped = append(res.untyped, fmt.Sprintf("%s -> %d: unknown code %q", path, resp.StatusCode, out.Error.Code))
+				default:
+					res.byCode[out.Error.Code]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat []time.Duration
+	byCode := make(map[string]uint64)
+	var errs uint64
+	var untyped []string
+	for i := range results {
+		lat = append(lat, results[i].lat...)
+		errs += results[i].errs
+		untyped = append(untyped, results[i].untyped...)
+		for c, n := range results[i].byCode {
+			byCode[c] += n
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	p99 := lat[len(lat)*99/100]
+	cps := float64(len(lat)) / elapsed.Seconds()
+
+	fmt.Printf("serve: %d calls in %v (%.0f calls/sec), p50 %v, p99 %v\n",
+		len(lat), elapsed.Round(time.Millisecond), cps, p50.Round(time.Microsecond), p99.Round(time.Microsecond))
+	codes := make([]string, 0, len(byCode))
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Printf("serve:   %-20s %6d\n", c, byCode[c])
+	}
+
+	// Shard/tenant breakdown from the server's own accounting.
+	var stats server.Stats
+	statErr := getJSON(client, baseURL+"/v1/stats", &stats)
+	if statErr == nil {
+		for _, sh := range stats.Shards {
+			fmt.Printf("serve: shard %d: units=%d resident=%dB hiwater=%dB calls=%d compiles=%d hits=%d evictions=%d\n",
+				sh.ID, sh.Units, sh.CodeBytesResident, sh.CodeBytesHighWater,
+				sh.Calls, sh.Compiles, sh.Cache.Hits, sh.Cache.Evictions)
+		}
+		for _, tn := range stats.Tenants {
+			fmt.Printf("serve: tenant %s: requests=%d errors=%d rejected=%d resident=%dB p99=%v\n",
+				tn.Name, tn.Requests, tn.Errors, tn.Rejected, tn.ResidentBytes,
+				time.Duration(tn.CallP99NS).Round(time.Microsecond))
+		}
+	} else {
+		fmt.Printf("serve: /v1/stats unavailable: %v\n", statErr)
+	}
+
+	if rep != nil {
+		rep.Serve = &serveStats{
+			Calls:        uint64(len(lat)),
+			Errors:       errs,
+			CallsPerSec:  cps,
+			P50NS:        uint64(p50),
+			P99NS:        uint64(p99),
+			ErrorsByCode: byCode,
+		}
+		if statErr == nil {
+			rep.Serve.Shards = stats.Shards
+			rep.Serve.Tenants = stats.Tenants
+		}
+	}
+
+	if len(untyped) > 0 {
+		show := untyped
+		if len(show) > 5 {
+			show = show[:5]
+		}
+		return fmt.Errorf("serve: %d failures outside the typed taxonomy, e.g. %v", len(untyped), show)
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// runServeSoak is the CI soak: an in-process vcoded server with
+// deterministic fault injection on every shard (memory faults inside
+// running code, compile errors and panics around the front ends), the
+// mixed-tenant load on top, and the contract checks of runServeLoad.
+// Surviving means zero panics and an all-typed failure stream.
+func runServeSoak(calls, workers, tenants int, seed int64, rep *jsonReport) error {
+	telemetry.SetEnabled(true)
+	inj := faultinject.New(faultinject.Config{
+		Seed:             seed,
+		FetchErrorRate:   0.0002,
+		FetchFlipRate:    0.0005,
+		LoadErrorRate:    0.001,
+		StoreErrorRate:   0.001,
+		CompileErrorRate: 0.05,
+		CompilePanicRate: 0.02,
+	})
+	srv, err := server.New(server.Config{
+		Shards:             4,
+		WorkersPerShard:    2,
+		MaxEntriesPerShard: 64,
+		QueueBound:         64,
+		DefaultQuota: server.Quota{
+			FuelPerCall:           1 << 18,
+			MaxResidentBytes:      128 << 10,
+			MaxCompileConcurrency: 4,
+		},
+		AllowUnknownTenants: true,
+		Injector:            inj,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := srv.Restore(""); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	fmt.Printf("serve-soak: in-process vcoded, seed %d, faults on\n", seed)
+	if err := runServeLoad(ts.URL, calls, workers, tenants, seed, rep); err != nil {
+		return err
+	}
+	st := inj.Stats()
+	fmt.Printf("serve-soak: injected fetchErr=%d bitflip=%d loadErr=%d storeErr=%d compileErr=%d compilePanic=%d — zero panics escaped\n",
+		st.FetchErrors, st.BitFlips, st.LoadErrors, st.StoreErrors, st.CompileErrors, st.CompilePanics)
+	return nil
+}

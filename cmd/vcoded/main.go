@@ -1,0 +1,131 @@
+// Command vcoded is codegen-as-a-service: the multi-tenant HTTP server
+// over the VCODE pipeline (internal/server).  Clients POST vasm or tinyc
+// source — keyed by content hash — to /v1/exec (compile-if-needed plus
+// one sandboxed call) or /v1/compile (compile-and-cache); every failure
+// comes back as a typed JSON error.  Resident code shards across N
+// machine arenas, tenants get fuel / resident-bytes / compile-concurrency
+// quotas, and -snapshot gives warm-cache restarts: the resident programs
+// are serialized on shutdown and re-verified back in on boot, with
+// /readyz turning ready only once the restore warmup drains.
+//
+// Observability rides on the same listener: /metrics, /metrics.json,
+// /debug/vars, /trace, /trace.txt, /healthz, /readyz, /v1/stats.
+//
+// Quotas file (-quotas): JSON object mapping tenant name to
+// {"fuel_per_call": N, "max_resident_bytes": N,
+// "max_compile_concurrency": N}; zero fields inherit the -default-*
+// flags, negative means unlimited.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8753", "listen address")
+		backend    = flag.String("backend", "mips", "simulated target (mips, sparc, alpha)")
+		shards     = flag.Int("shards", 4, "machine arenas (code-cache shards)")
+		workers    = flag.Int("workers", 2, "compile-pool workers per shard")
+		maxEntries = flag.Int("max-entries", 512, "cached programs per shard")
+		maxBytes   = flag.Int64("max-code-bytes", 1<<20, "resident code bytes per shard")
+		queueBound = flag.Int64("queue-bound", 64, "compile-queue depth before 429 queue_full")
+		callTO     = flag.Duration("call-timeout", 2*time.Second, "wall deadline per sandboxed call")
+
+		defFuel  = flag.Uint64("default-fuel", 1<<20, "default per-call fuel quota")
+		defBytes = flag.Int64("default-resident-bytes", 256<<10, "default resident-code quota per tenant")
+		defConc  = flag.Int("default-compile-concurrency", 4, "default concurrent-compile quota per tenant")
+
+		quotaPath    = flag.String("quotas", "", "JSON file of per-tenant quotas")
+		allowUnknown = flag.Bool("allow-unknown", true, "admit tenants without a quota row under the defaults")
+		snapshot     = flag.String("snapshot", "", "warm-cache snapshot path (restored on boot, saved on shutdown)")
+		traceOn      = flag.Bool("trace", false, "record lifecycle spans (serve at /trace)")
+	)
+	flag.Parse()
+
+	telemetry.SetEnabled(true)
+	if *traceOn {
+		trace.SetEnabled(true)
+	}
+
+	cfg := server.Config{
+		Backend:              *backend,
+		Shards:               *shards,
+		WorkersPerShard:      *workers,
+		MaxEntriesPerShard:   *maxEntries,
+		MaxCodeBytesPerShard: *maxBytes,
+		QueueBound:           *queueBound,
+		CallTimeout:          *callTO,
+		DefaultQuota: server.Quota{
+			FuelPerCall:           *defFuel,
+			MaxResidentBytes:      *defBytes,
+			MaxCompileConcurrency: *defConc,
+		},
+		AllowUnknownTenants: *allowUnknown,
+	}
+	if *quotaPath != "" {
+		raw, err := os.ReadFile(*quotaPath)
+		if err != nil {
+			log.Fatalf("vcoded: reading quotas: %v", err)
+		}
+		if err := json.Unmarshal(raw, &cfg.Tenants); err != nil {
+			log.Fatalf("vcoded: parsing quotas %s: %v", *quotaPath, err)
+		}
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("vcoded: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("vcoded: serving on %s (backend=%s shards=%d workers/shard=%d)",
+		*addr, *backend, *shards, *workers)
+
+	// Restore after the listener is up: /healthz answers immediately,
+	// /readyz flips only once the warmup flights drain.
+	if n, err := srv.Restore(*snapshot); err != nil {
+		log.Printf("vcoded: snapshot restore failed (serving cold): %v", err)
+	} else if n > 0 {
+		log.Printf("vcoded: restored %d warm programs from %s", n, *snapshot)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("vcoded: %v — shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("vcoded: listener: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("vcoded: shutdown: %v", err)
+	}
+	if *snapshot != "" {
+		if n, err := srv.SaveSnapshot(*snapshot); err != nil {
+			log.Printf("vcoded: snapshot save failed: %v", err)
+		} else {
+			log.Printf("vcoded: saved %d warm programs to %s", n, *snapshot)
+		}
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "vcoded: bye")
+}

@@ -58,6 +58,13 @@ type Config struct {
 	// (tests); an unnamed cache can still be exported later with
 	// RegisterTelemetry.
 	Name string
+	// OnEvict, when set, runs after an entry leaves the cache (capacity
+	// eviction or Invalidate) and after the bound Machine uninstall.  A
+	// caller that attaches resources to a key beyond the cached function
+	// itself — sibling functions of a multi-function program, per-tenant
+	// residency accounting — reclaims them here.  It runs without any
+	// cache lock held and may call back into the cache.
+	OnEvict func(key string, fn *core.Func)
 }
 
 // CompilePanicError reports that a compile callback panicked.  The cache
@@ -80,6 +87,7 @@ type Cache struct {
 	maxEntries     int
 	maxBytes       int64
 	failureBackoff time.Duration
+	onEvict        func(key string, fn *core.Func)
 	shards         []*shard
 	mask           uint32
 
@@ -140,6 +148,7 @@ func New(cfg Config) *Cache {
 		maxEntries:     cfg.MaxEntries,
 		maxBytes:       cfg.MaxCodeBytes,
 		failureBackoff: cfg.FailureBackoff,
+		onEvict:        cfg.OnEvict,
 		shards:         make([]*shard, pow),
 		mask:           uint32(pow - 1),
 	}
@@ -408,6 +417,34 @@ func (c *Cache) drop(e *entry, evicted bool) {
 		// A racing caller may already be re-running the function (Call
 		// re-installs on demand), so a failed uninstall is not fatal.
 		_ = c.machine.Uninstall(e.fn)
+	}
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.fn)
+	}
+}
+
+// Each calls fn for every ready entry — the enumeration a warm-cache
+// snapshot walks at shutdown.  The key set is captured per shard under
+// its lock, but fn runs with no lock held, so it may call back into the
+// cache; entries inserted or evicted while Each runs may or may not be
+// seen.
+func (c *Cache) Each(fn func(key string, f *core.Func)) {
+	for _, s := range c.shards {
+		type pair struct {
+			key string
+			fn  *core.Func
+		}
+		s.mu.Lock()
+		pairs := make([]pair, 0, len(s.entries))
+		for k, e := range s.entries {
+			if e.ready {
+				pairs = append(pairs, pair{k, e.fn})
+			}
+		}
+		s.mu.Unlock()
+		for _, p := range pairs {
+			fn(p.key, p.fn)
+		}
 	}
 }
 

@@ -457,6 +457,46 @@ func (m *Machine) Uninstall(f *Func) error {
 	return nil
 }
 
+// ArenaStats is a point-in-time view of one machine's memory arenas —
+// the per-shard residency snapshot a multi-arena server reports and
+// sizes admission against.
+type ArenaStats struct {
+	// CodeBytesResident is installed code occupying the code region
+	// (allocated span minus freed holes); CodeBytesHighWater is the
+	// bump-pointer high-water mark including holes.
+	CodeBytesResident, CodeBytesHighWater uint64
+	// FreeRegions is the current free-list length (fragmentation signal).
+	FreeRegions int
+	// HeapBytesUsed is bump-allocated heap (dispatch tables, data
+	// sections); heap is reclaimed only by Mark/Release.
+	HeapBytesUsed uint64
+	// Funcs is the number of installed code spans (trap vectors excluded).
+	Funcs int
+}
+
+// ArenaStats captures the machine's current arena occupancy.
+func (m *Machine) ArenaStats() ArenaStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var free uint64
+	for _, r := range m.freeCode {
+		free += r.size
+	}
+	funcs := 0
+	for _, s := range m.spanList {
+		if s.Start >= m.codeBase {
+			funcs++
+		}
+	}
+	return ArenaStats{
+		CodeBytesResident:  m.codeNext - m.codeBase - free,
+		CodeBytesHighWater: m.codeNext - m.codeBase,
+		FreeRegions:        len(m.freeCode),
+		HeapBytesUsed:      m.heapNext - m.mem.Size()/2,
+		Funcs:              funcs,
+	}
+}
+
 // CodeBytesResident returns the installed code bytes currently occupying
 // the code region (allocated span minus freed holes).
 func (m *Machine) CodeBytesResident() uint64 {

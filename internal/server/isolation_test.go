@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Cross-tenant isolation: a tenant that grinds into every quota wall it
+// has — fuel exhaustion on each call, resident-code quota, compile
+// concurrency — must not break another tenant's correctness, and must
+// not blow up the victim's tail latency.  Run under -race in CI.
+//
+// The latency assertion is deliberately generous and absolute (shared
+// CI boxes): the point is "victim p99 stays in the same universe", not
+// a benchmark — the bench-gate tracks regressions statistically.
+const victimP99Bound = 500 * time.Millisecond
+
+// quietPost is the raw client used by the isolation hammer: no testing
+// assertions, just status + decoded body.
+func quietPost(ts *httptest.Server, path string, body map[string]any) (int, map[string]any, error) {
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&out); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+func TestCrossTenantIsolation(t *testing.T) {
+	cases := []struct {
+		name   string
+		lang   string
+		source string
+		arg    int
+		want   int64
+	}{
+		{"vasm", LangVasm, factVasm, 7, 5040},
+		{"tinyc", LangTinyC, fibTinyC, 10, 55},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, func(c *Config) {
+				c.Shards = 2
+				c.Tenants = map[string]Quota{
+					"hostile": {
+						FuelPerCall:           1 << 14,
+						MaxResidentBytes:      8 << 10,
+						MaxCompileConcurrency: 2,
+					},
+					"victim": {},
+				}
+				c.AllowUnknownTenants = false
+			})
+
+			// Warm the victim's program once so the steady state is the
+			// cache-hit path a real tenant lives on.
+			status, out := post(t, ts, "/v1/exec", map[string]any{
+				"tenant": "victim", "lang": tc.lang, "source": tc.source, "args": []int{tc.arg},
+			})
+			if status != http.StatusOK {
+				t.Fatalf("victim warmup: %d %v", status, out)
+			}
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+
+			// Hostile tenant: 4 goroutines hammering every quota.
+			hostileCodes := make(map[string]int)
+			var hostileMu sync.Mutex
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						var body map[string]any
+						switch i % 3 {
+						case 0: // burn the whole fuel budget
+							body = map[string]any{
+								"tenant": "hostile", "lang": LangVasm,
+								"source": factVasm, "args": []int{1 << 20},
+							}
+						case 1: // unique programs into the resident-bytes wall
+							body = map[string]any{
+								"tenant": "hostile", "lang": LangVasm,
+								"source": factVasm + fmt.Sprintf("; v%d-%d", g, i),
+							}
+						default: // concurrency pressure on one fresh key
+							body = map[string]any{
+								"tenant": "hostile", "lang": LangTinyC,
+								"source": fmt.Sprintf("int main(int n) { return n + %d; }", i%7),
+								"args":   []int{1},
+							}
+						}
+						path := "/v1/exec"
+						if i%3 == 1 {
+							path = "/v1/compile"
+						}
+						st, out, err := quietPost(ts, path, body)
+						if err != nil {
+							continue // listener closing at test end
+						}
+						if st != http.StatusOK {
+							e, _ := out["error"].(map[string]any)
+							if e == nil || e["code"] == "" {
+								t.Errorf("hostile failure without typed code: %d %v", st, out)
+								return
+							}
+							hostileMu.Lock()
+							hostileCodes[e["code"].(string)]++
+							hostileMu.Unlock()
+						}
+					}
+				}(g)
+			}
+
+			// Victim: steady requests; every one must be correct.
+			const victimN = 200
+			lat := make([]time.Duration, 0, victimN)
+			for i := 0; i < victimN; i++ {
+				begin := time.Now()
+				st, out, err := quietPost(ts, "/v1/exec", map[string]any{
+					"tenant": "victim", "lang": tc.lang, "source": tc.source, "args": []int{tc.arg},
+				})
+				lat = append(lat, time.Since(begin))
+				if err != nil {
+					t.Fatalf("victim request %d: %v", i, err)
+				}
+				if st != http.StatusOK {
+					t.Fatalf("victim request %d failed: %d %v", i, st, out)
+				}
+				n, _ := out["result"].(json.Number).Int64()
+				if n != tc.want {
+					t.Fatalf("victim result %d = %d, want %d", i, n, tc.want)
+				}
+			}
+			close(stop)
+			wg.Wait()
+
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p99 := lat[len(lat)*99/100]
+			if p99 > victimP99Bound {
+				t.Fatalf("victim p99 = %v under hostile load (bound %v)", p99, victimP99Bound)
+			}
+			t.Logf("victim p99 = %v; hostile rejections by code: %v", p99, hostileCodes)
+
+			// The hostile tenant actually hit its walls — otherwise this
+			// test is not testing isolation.
+			hostileMu.Lock()
+			defer hostileMu.Unlock()
+			if hostileCodes[string(CodeFuelExhausted)] == 0 {
+				t.Errorf("hostile never exhausted fuel: %v", hostileCodes)
+			}
+			if hostileCodes[string(CodeQuotaCodeBytes)] == 0 {
+				t.Errorf("hostile never hit resident-bytes quota: %v", hostileCodes)
+			}
+		})
+	}
+}
+
+// TestIsolationResidencyLedger checks the accounting ends consistent
+// after the storm: summed tenant residency equals summed live unit
+// bytes.
+func TestIsolationResidencyLedger(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Shards = 2
+		c.MaxEntriesPerShard = 4 // force evictions
+	})
+	for i := 0; i < 40; i++ {
+		tenantName := fmt.Sprintf("t%d", i%3)
+		post(t, ts, "/v1/compile", map[string]any{
+			"tenant": tenantName, "lang": LangTinyC,
+			"source": fmt.Sprintf("int main(int n) { return n * %d; }", i),
+		})
+	}
+	var unitBytes, tenantBytes int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, u := range sh.units {
+			unitBytes += u.bytes
+		}
+		sh.mu.Unlock()
+	}
+	for _, name := range s.tenants.names() {
+		tn, _ := s.tenants.get(name)
+		tenantBytes += tn.resident.Load()
+	}
+	if unitBytes != tenantBytes {
+		t.Fatalf("ledger mismatch: units hold %d bytes, tenants charged %d", unitBytes, tenantBytes)
+	}
+	if unitBytes == 0 {
+		t.Fatalf("nothing resident after 40 compiles")
+	}
+}

@@ -1,0 +1,436 @@
+// Package server is the codegen-as-a-service layer: an HTTP front end
+// over the whole library stack — vasm/tinyc front ends, the VCODE
+// assembler and verifier, the sharded code cache, the batch compile
+// pool, sandboxed calls, telemetry and lifecycle tracing — serving
+// compile-and-execute (and compile-and-cache) to many tenants at once.
+//
+// Requests are keyed by content hash.  Each key maps onto one of N
+// shards, each a full core.Machine arena with its own codecache and
+// batch pool, so resident code scales horizontally past one arena, and
+// calls (one simulated CPU per shard) run N-wide.  Multi-tenancy is
+// quota-based: per-tenant fuel per call, resident code bytes, and
+// compile concurrency, with admission control pushing back (429 +
+// Retry-After) when a shard's compile queue is past its bound.  Every
+// failure is a typed JSON error mapped one-to-one from the library error
+// model (see errors.go).
+//
+// A warm-cache snapshot serializes the verified, resident programs to
+// disk at shutdown; on boot the snapshot restores through the batch
+// pool's warmup path and the /readyz endpoint turns ready only once the
+// restore flights drain — zero-cold-start restarts.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Backend is the target port every shard simulates ("mips",
+	// "sparc", "alpha"; default "mips").
+	Backend string
+	// Shards is the number of machine arenas (default 4).
+	Shards int
+	// WorkersPerShard bounds each shard's compile pool (default 2).
+	WorkersPerShard int
+	// MaxEntriesPerShard / MaxCodeBytesPerShard bound each shard's
+	// cache (defaults 512 entries, 1 MiB).
+	MaxEntriesPerShard   int
+	MaxCodeBytesPerShard int64
+	// QueueBound is the admission bound on a shard's compile queue
+	// depth; past it, compile-requiring requests get queue_full
+	// (default 64).
+	QueueBound int64
+	// CallTimeout is the wall deadline around one sandboxed call,
+	// including its wait for the shard CPU (default 2s).
+	CallTimeout time.Duration
+	// Tenants declares the known tenants' quotas.  DefaultQuota fills
+	// zero fields and governs unknown tenants when AllowUnknownTenants
+	// is set; otherwise unknown tenants are rejected.
+	Tenants             map[string]Quota
+	DefaultQuota        Quota
+	AllowUnknownTenants bool
+	// FailureBackoff negative-caches failed compiles per key (0 = every
+	// request retries).
+	FailureBackoff time.Duration
+	// Registry receives the server's instruments (default
+	// telemetry.Default).
+	Registry *telemetry.Registry
+	// Injector, when set, seeds deterministic faults into every shard:
+	// memory faults on the simulated machines and compile
+	// errors/panics around the front ends — the soak configuration.
+	Injector *faultinject.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = "mips"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 2
+	}
+	if c.MaxEntriesPerShard <= 0 {
+		c.MaxEntriesPerShard = 512
+	}
+	if c.MaxCodeBytesPerShard <= 0 {
+		c.MaxCodeBytesPerShard = 1 << 20
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = 64
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.DefaultQuota.FuelPerCall == 0 {
+		c.DefaultQuota.FuelPerCall = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	return c
+}
+
+// Server is the multi-tenant compile-and-execute service.
+type Server struct {
+	cfg     Config
+	shards  []*shard
+	tenants *tenantSet
+	health  *telemetry.Health
+	started time.Time
+
+	reqSeq  atomic.Uint64
+	closing atomic.Bool
+
+	requests  *telemetry.Counter
+	errorsAll *telemetry.Counter
+	callNS    *telemetry.Histogram
+	requestNS *telemetry.Histogram
+
+	snapSaved, snapRestored   *telemetry.Counter
+	snapExact, snapRecompiled *telemetry.Counter
+	snapErrors, snapIncompat  *telemetry.Counter
+}
+
+// New builds the server: N shard arenas on the configured backend, the
+// tenant set, and the health state with the two startup conditions
+// (snapshot_restored, warmup_drained) registered unmet — call Restore
+// (with "" when there is nothing to load) to flip them.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	s := &Server{
+		cfg:            cfg,
+		tenants:        newTenantSet(reg, cfg.Tenants, cfg.DefaultQuota, cfg.AllowUnknownTenants),
+		health:         &telemetry.Health{},
+		started:        time.Now(),
+		requests:       reg.Counter("server.requests"),
+		errorsAll:      reg.Counter("server.errors"),
+		callNS:         reg.Histogram("server.call_ns", nil),
+		requestNS:      reg.Histogram("server.request_ns", nil),
+		snapSaved:      reg.Counter("server.snapshot.saved"),
+		snapRestored:   reg.Counter("server.snapshot.restored"),
+		snapExact:      reg.Counter("server.snapshot.exact"),
+		snapRecompiled: reg.Counter("server.snapshot.recompiled"),
+		snapErrors:     reg.Counter("server.snapshot.errors"),
+		snapIncompat:   reg.Counter("server.snapshot.incompatible"),
+	}
+	s.health.Expect("snapshot_restored")
+	s.health.Expect("warmup_drained")
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(i, cfg.Backend, cfg.WorkersPerShard, cfg.MaxEntriesPerShard, cfg.MaxCodeBytesPerShard, cfg.FailureBackoff, reg)
+		if err != nil {
+			return nil, err
+		}
+		sh.evicted = s.unitEvicted
+		if cfg.Injector != nil {
+			sh.machine.Mem().SetFaultHook(cfg.Injector)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Health exposes the readiness state (the HTTP mux mounts it at
+// /healthz and /readyz).
+func (s *Server) Health() *telemetry.Health { return s.health }
+
+// Shards reports the shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// unitEvicted is the shard eviction callback: return the program's
+// bytes to its tenant's residency budget.
+func (s *Server) unitEvicted(u *unit) {
+	if t, apiE := s.tenants.get(u.tenantName); apiE == nil {
+		t.resident.Add(-u.bytes)
+	}
+}
+
+// Close releases every shard's pool workers.  In-flight batches finish.
+func (s *Server) Close() {
+	s.closing.Store(true)
+	for _, sh := range s.shards {
+		sh.close()
+	}
+}
+
+// --- the two core operations ---
+
+// compileResult is what the compile path hands the HTTP layer.
+type compileResult struct {
+	key    string
+	shard  *shard
+	fn     *core.Func
+	cached bool // served from cache without compiling here
+}
+
+// compile resolves (lang, source, entry) — or a bare key — to a
+// resident entry function, compiling through the shard's batch pool
+// under admission control and quotas on a miss.  Concurrent requests
+// for one key coalesce into a single flight regardless of tenant.
+func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, key string) (compileResult, *APIError) {
+	if s.closing.Load() {
+		return compileResult{}, apiErr(CodeShuttingDown, "server is shutting down")
+	}
+	if key == "" {
+		if source == "" {
+			return compileResult{}, apiErr(CodeBadRequest, "need source (or a resident key)")
+		}
+		key = contentKey(lang, entry, source)
+	}
+	sh := s.shards[shardOf(key, len(s.shards))]
+	if fn, ok := sh.cache.Get(key); ok {
+		return compileResult{key: key, shard: sh, fn: fn, cached: true}, nil
+	}
+	if source == "" {
+		return compileResult{}, apiErr(CodeNotFound, "key %s is not resident and no source was given", key)
+	}
+
+	// Admission: shard compile-queue backpressure, then tenant quotas.
+	if depth := sh.pool.QueueDepth(); depth >= s.cfg.QueueBound {
+		t.rejected.Inc()
+		return compileResult{}, apiErr(CodeQueueFull,
+			"shard %d compile queue at %d (bound %d)", sh.id, depth, s.cfg.QueueBound).
+			withRetryAfter(retryAfterQueueMS)
+	}
+	if apiE := t.admitCompile(); apiE != nil {
+		t.rejected.Inc()
+		return compileResult{}, apiE
+	}
+	defer t.releaseCompile()
+
+	compiledHere := false
+	doCompile := func() (*core.Func, error) {
+		u, err := compileUnit(sh.machine, key, t.name, lang, source, entry)
+		if err != nil {
+			return nil, err
+		}
+		sh.register(u)
+		t.resident.Add(u.bytes)
+		t.compiles.Inc()
+		compiledHere = true
+		return u.entryFn, nil
+	}
+	if inj := s.cfg.Injector; inj != nil {
+		doCompile = inj.WrapCompile(doCompile)
+	}
+	fn, err := sh.cache.GetOrCompile(key, func() (*core.Func, error) {
+		// One-item batch: the pool bounds per-shard compile concurrency
+		// and is the queue the admission bound watches.
+		res := sh.pool.CompileBatch(ctx, []batch.Request{{
+			Name:    key,
+			Compile: func(*core.Asm) (*core.Func, error) { return doCompile() },
+		}})
+		return res[0].Func, res[0].Err
+	})
+	if err != nil {
+		return compileResult{}, classifyCompile(err)
+	}
+	return compileResult{key: key, shard: sh, fn: fn, cached: !compiledHere}, nil
+}
+
+// execResult is one completed call.
+type execResult struct {
+	value core.Value
+	stats core.CallStats
+}
+
+// exec runs one sandboxed call under the tenant's fuel quota and the
+// server call timeout.
+func (s *Server) exec(ctx context.Context, t *tenant, sh *shard, fn *core.Func, args []core.Value, fuel uint64) (execResult, *APIError) {
+	budget := t.quota.FuelPerCall
+	if fuel > 0 {
+		if budget > 0 && fuel > budget {
+			t.rejected.Inc()
+			return execResult{}, apiErr(CodeQuotaFuel,
+				"requested fuel %d exceeds tenant cap %d", fuel, budget)
+		}
+		budget = fuel
+	}
+	cctx, cancel := context.WithTimeout(ctx, s.cfg.CallTimeout)
+	defer cancel()
+	v, st, err := sh.machine.CallWithStats(cctx, core.CallOpts{Fuel: budget}, fn, args...)
+	sh.calls.Add(1)
+	if telemetry.Enabled() {
+		s.callNS.Observe(uint64(st.Wall))
+		t.callNS.Observe(uint64(st.Wall))
+	}
+	if err != nil {
+		return execResult{}, classify(err)
+	}
+	return execResult{value: v, stats: st}, nil
+}
+
+// requestID returns the caller-supplied ID or mints one.
+func (s *Server) requestID(supplied string) string {
+	if supplied != "" {
+		return supplied
+	}
+	return fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+}
+
+// finishRequest records the request's telemetry and its lifecycle span.
+// The span's name carries tenant/request-id; its flow joins the entry
+// function's lifecycle lane when the function is known, so a Perfetto
+// lane ties verify/install/call spans back to the network request.
+func (s *Server) finishRequest(t *tenant, reqID string, start time.Time, fn *core.Func, sp trace.Active, apiE *APIError) {
+	s.requests.Inc()
+	t.requests.Inc()
+	if telemetry.Enabled() {
+		d := uint64(time.Since(start))
+		s.requestNS.Observe(d)
+		t.requestNS.Observe(d)
+	}
+	verdict, errText := "ok", ""
+	if apiE != nil {
+		s.errorsAll.Inc()
+		t.errors.Inc()
+		verdict, errText = string(apiE.Code), apiE.Message
+		if len(errText) > 120 {
+			errText = errText[:120]
+		}
+	}
+	var flow uint64
+	if fn != nil {
+		flow = fn.TraceFlow()
+	}
+	sp.End(flow, trace.Attrs{Verdict: verdict, Err: errText})
+}
+
+// lookupStats aggregates one shard's cache metrics for /v1/stats.
+func (sh *shard) statsView() ShardStats {
+	ar := sh.machine.ArenaStats()
+	sh.mu.Lock()
+	units := len(sh.units)
+	sh.mu.Unlock()
+	return ShardStats{
+		ID:                 sh.id,
+		Units:              units,
+		Calls:              sh.calls.Load(),
+		Compiles:           sh.compiles.Load(),
+		QueueDepth:         sh.pool.QueueDepth(),
+		CodeBytesResident:  ar.CodeBytesResident,
+		CodeBytesHighWater: ar.CodeBytesHighWater,
+		HeapBytesUsed:      ar.HeapBytesUsed,
+		FreeRegions:        ar.FreeRegions,
+		InstalledFuncs:     ar.Funcs,
+		Cache:              sh.cache.Snapshot(),
+	}
+}
+
+// ShardStats is one arena's /v1/stats row.
+type ShardStats struct {
+	ID                 int               `json:"id"`
+	Units              int               `json:"units"`
+	Calls              uint64            `json:"calls"`
+	Compiles           uint64            `json:"compiles"`
+	QueueDepth         int64             `json:"queue_depth"`
+	CodeBytesResident  uint64            `json:"code_bytes_resident"`
+	CodeBytesHighWater uint64            `json:"code_bytes_high_water"`
+	HeapBytesUsed      uint64            `json:"heap_bytes_used"`
+	FreeRegions        int               `json:"free_regions"`
+	InstalledFuncs     int               `json:"installed_funcs"`
+	Cache              codecache.Metrics `json:"cache"`
+}
+
+// TenantStats is one tenant's /v1/stats row.
+type TenantStats struct {
+	Name          string `json:"name"`
+	Requests      uint64 `json:"requests"`
+	Errors        uint64 `json:"errors"`
+	Rejected      uint64 `json:"rejected"`
+	Compiles      uint64 `json:"compiles"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	Calls         uint64 `json:"calls"`
+	CallP50NS     uint64 `json:"call_p50_ns"`
+	CallP99NS     uint64 `json:"call_p99_ns"`
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	Backend   string        `json:"backend"`
+	UptimeSec float64       `json:"uptime_sec"`
+	Ready     bool          `json:"ready"`
+	Requests  uint64        `json:"requests"`
+	Errors    uint64        `json:"errors"`
+	CallP50NS uint64        `json:"call_p50_ns"`
+	CallP99NS uint64        `json:"call_p99_ns"`
+	Shards    []ShardStats  `json:"shards"`
+	Tenants   []TenantStats `json:"tenants"`
+}
+
+// StatsView assembles the current service-wide statistics.
+func (s *Server) StatsView() Stats {
+	ready, _ := s.health.Ready()
+	sum := s.callNS.Summary()
+	st := Stats{
+		Backend:   s.cfg.Backend,
+		UptimeSec: time.Since(s.started).Seconds(),
+		Ready:     ready,
+		Requests:  s.requests.Load(),
+		Errors:    s.errorsAll.Load(),
+		CallP50NS: sum.P50,
+		CallP99NS: sum.P99,
+	}
+	for _, sh := range s.shards {
+		st.Shards = append(st.Shards, sh.statsView())
+	}
+	for _, name := range s.tenants.names() {
+		t, apiE := s.tenants.get(name)
+		if apiE != nil {
+			continue
+		}
+		ts := TenantStats{
+			Name:          t.name,
+			Requests:      t.requests.Load(),
+			Errors:        t.errors.Load(),
+			Rejected:      t.rejected.Load(),
+			Compiles:      t.compiles.Load(),
+			ResidentBytes: t.resident.Load(),
+		}
+		csum := t.callNS.Summary()
+		ts.Calls, ts.CallP50NS, ts.CallP99NS = csum.Count, csum.P50, csum.P99
+		st.Tenants = append(st.Tenants, ts)
+	}
+	return st
+}
+
+// errorsIs is a tiny helper for tests and drivers: whether err (an
+// *APIError or anything else) carries the given code.
+func errorsIs(err error, code Code) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/mem"
+	"repro/internal/telemetry"
+)
+
+// shard is one compile-and-execute arena: a core.Machine (its own
+// simulated memory, trap table and code region), the codecache bound to
+// it, and a batch pool bounding compile concurrency.  Content hashes map
+// onto shards by hash, so resident code scales horizontally across N
+// arenas and eviction pressure in one tenant-heavy shard never touches
+// another shard's cache.  Calls serialize per shard (one simulated CPU
+// each); N shards give N-way call parallelism.
+type shard struct {
+	id      int
+	machine *core.Machine
+	cache   *codecache.Cache
+	pool    *batch.Pool
+
+	mu    sync.Mutex
+	units map[string]*unit
+
+	// evicted is the server's hook: sibling-function reclamation and
+	// tenant residency accounting on cache eviction/invalidation.
+	evicted func(u *unit)
+
+	calls    atomic.Uint64
+	compiles atomic.Uint64
+}
+
+// unit is one resident program: the cache holds its entry function; the
+// unit remembers the siblings a multi-function program installed
+// alongside, so eviction reclaims the whole program, and the compile
+// metadata the warm-cache snapshot serializes.
+type unit struct {
+	key        string
+	tenantName string
+	lang       string
+	entry      string
+	source     string
+	entryFn    *core.Func
+	fns        []*core.Func
+	bytes      int64 // summed SizeBytes over fns
+}
+
+// newShard builds one arena on the given backend.
+func newShard(id int, backend string, workers, maxEntries int, maxBytes int64, backoff time.Duration, reg *telemetry.Registry) (*shard, error) {
+	jm, err := jit.NewMachineTarget(backend, mem.Uncosted)
+	if err != nil {
+		return nil, err
+	}
+	s := &shard{
+		id:      id,
+		machine: jm.Core(),
+		units:   make(map[string]*unit),
+	}
+	name := fmt.Sprintf("srv%d", id)
+	s.cache = codecache.New(codecache.Config{
+		Machine:        s.machine,
+		MaxEntries:     maxEntries,
+		MaxCodeBytes:   maxBytes,
+		Name:           name,
+		OnEvict:        s.onEvict,
+		FailureBackoff: backoff,
+	})
+	s.pool, err = batch.New(batch.Config{Machine: s.machine, Workers: workers, Name: name})
+	if err != nil {
+		return nil, err
+	}
+	reg.GaugeFunc(fmt.Sprintf("server.shard.%d.code_bytes_resident", id), func() float64 {
+		return float64(s.machine.CodeBytesResident())
+	})
+	reg.GaugeFunc(fmt.Sprintf("server.shard.%d.units", id), func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.units))
+	})
+	return s, nil
+}
+
+// register records a freshly compiled unit.  Called from inside the
+// compile flight, before the cache entry becomes ready, so an eviction
+// of the key always finds its unit.
+func (s *shard) register(u *unit) {
+	s.mu.Lock()
+	s.units[u.key] = u
+	s.mu.Unlock()
+	s.compiles.Add(1)
+}
+
+// unit returns the resident unit for key, if any.
+func (s *shard) unit(key string) *unit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.units[key]
+}
+
+// onEvict is the codecache hook: the cache has already uninstalled the
+// entry function; reclaim the program's sibling functions and tell the
+// server so tenant residency accounting stays truthful.  Heap-side
+// allocations (dispatch tables, data sections) are bump-allocated and
+// not reclaimed per program — they are small (a pointer per function
+// plus declared data) and bounded by the admission quotas.
+func (s *shard) onEvict(key string, fn *core.Func) {
+	s.mu.Lock()
+	u := s.units[key]
+	delete(s.units, key)
+	s.mu.Unlock()
+	if u == nil {
+		return
+	}
+	for _, f := range u.fns {
+		if f != u.entryFn {
+			_ = s.machine.Uninstall(f)
+		}
+	}
+	if s.evicted != nil {
+		s.evicted(u)
+	}
+}
+
+// close releases the shard's pool workers.
+func (s *shard) close() { s.pool.Close() }
+
+// shardOf maps a content-hash key onto one of n shards (FNV-1a over the
+// key, independent of the codecache's internal shard hash).
+func shardOf(key string, n int) int {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return int(h % uint64(n))
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+)
+
+// Warm-cache snapshots: on shutdown the server serializes every resident
+// program — key, owning tenant, language, entry point, source, and the
+// verified entry function's final code words — and on boot it restores
+// them through the batch pool's warmup path.  Restore recompiles from
+// source, which re-runs the verifier and the normal install pipeline, so
+// a snapshot can never smuggle unverified code into an arena: the stored
+// words are a cross-check, not the load path.  Code words are compared
+// against the recompiled function and counted as exact or recompiled
+// (words can legitimately differ across restarts when allocation order
+// shifts the absolute addresses linked into the code).
+//
+// The format is a magic string, one version byte, then a gob stream.
+// Loading rejects bad magic and unknown versions; entries whose backend
+// differs from the server's are skipped, not errors, so a snapshot
+// survives a backend change without blocking boot.
+
+const snapshotMagic = "VCSNAP"
+const snapshotVersion = byte(1)
+
+// snapEntry is one resident program in the snapshot.
+type snapEntry struct {
+	Key    string
+	Tenant string
+	Lang   string
+	Entry  string
+	Source string
+	Words  []uint32
+}
+
+// snapFile is the gob payload following the magic + version header.
+type snapFile struct {
+	Backend string
+	Entries []snapEntry
+}
+
+// SaveSnapshot writes the warm-cache snapshot for every shard to path
+// (atomically, via rename).  It returns the number of programs saved.
+func (s *Server) SaveSnapshot(path string) (int, error) {
+	file := snapFile{Backend: s.cfg.Backend}
+	for _, sh := range s.shards {
+		sh.cache.Each(func(key string, fn *core.Func) {
+			u := sh.unit(key)
+			if u == nil {
+				return
+			}
+			words := make([]uint32, len(u.entryFn.Words))
+			copy(words, u.entryFn.Words)
+			file.Entries = append(file.Entries, snapEntry{
+				Key:    u.key,
+				Tenant: u.tenantName,
+				Lang:   u.lang,
+				Entry:  u.entry,
+				Source: u.source,
+				Words:  words,
+			})
+		})
+	}
+	sort.Slice(file.Entries, func(i, j int) bool { return file.Entries[i].Key < file.Entries[j].Key })
+
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	buf.WriteByte(snapshotVersion)
+	if err := gob.NewEncoder(&buf).Encode(&file); err != nil {
+		return 0, fmt.Errorf("server: encoding snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	s.snapSaved.Add(uint64(len(file.Entries)))
+	return len(file.Entries), nil
+}
+
+// loadSnapshot parses and validates a snapshot file.
+func loadSnapshot(path string) (*snapFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(snapshotMagic)+1 || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("server: %s is not a snapshot (bad magic)", path)
+	}
+	if v := raw[len(snapshotMagic)]; v != snapshotVersion {
+		return nil, fmt.Errorf("server: snapshot %s has version %d, want %d", path, v, snapshotVersion)
+	}
+	var file snapFile
+	if err := gob.NewDecoder(bytes.NewReader(raw[len(snapshotMagic)+1:])).Decode(&file); err != nil {
+		return nil, fmt.Errorf("server: decoding snapshot %s: %w", path, err)
+	}
+	return &file, nil
+}
+
+// Restore loads the warm-cache snapshot at path (if any) and marks the
+// server ready.  Call it exactly once after New, with "" or a missing
+// path when there is nothing to restore — readiness (/readyz) stays
+// false until both restore conditions flip.  Restored programs recompile
+// through each shard's batch pool with the same single-flight protocol
+// live requests use, so requests arriving mid-restore coalesce instead
+// of duplicating work.  It returns the number of programs made warm.
+func (s *Server) Restore(path string) (int, error) {
+	if path == "" {
+		s.health.Set("snapshot_restored", true)
+		s.health.Set("warmup_drained", true)
+		return 0, nil
+	}
+	file, err := loadSnapshot(path)
+	if os.IsNotExist(err) {
+		s.health.Set("snapshot_restored", true)
+		s.health.Set("warmup_drained", true)
+		return 0, nil
+	}
+	if err != nil {
+		// A corrupt or unreadable snapshot must not wedge boot: count
+		// it, report it, and serve cold (ready).
+		s.snapErrors.Inc()
+		s.health.Set("snapshot_restored", true)
+		s.health.Set("warmup_drained", true)
+		return 0, err
+	}
+
+	// Group entries by destination shard, skipping other backends.
+	perShard := make([][]snapEntry, len(s.shards))
+	for _, e := range file.Entries {
+		if file.Backend != s.cfg.Backend {
+			s.snapIncompat.Inc()
+			continue
+		}
+		i := shardOf(e.Key, len(s.shards))
+		perShard[i] = append(perShard[i], e)
+	}
+	s.health.Set("snapshot_restored", true)
+
+	warm := 0
+	for i, entries := range perShard {
+		sh := s.shards[i]
+		items := make([]codecache.WarmItem, 0, len(entries))
+		for _, e := range entries {
+			e := e
+			items = append(items, codecache.WarmItem{
+				Key: e.Key,
+				Compile: func(*core.Asm) (*core.Func, error) {
+					t, apiE := s.tenants.get(e.Tenant)
+					if apiE != nil {
+						return nil, apiE
+					}
+					u, err := compileUnit(sh.machine, e.Key, e.Tenant, e.Lang, e.Source, e.Entry)
+					if err != nil {
+						return nil, err
+					}
+					sh.register(u)
+					t.resident.Add(u.bytes)
+					if wordsEqual(u.entryFn.Words, e.Words) {
+						s.snapExact.Inc()
+					} else {
+						s.snapRecompiled.Inc()
+					}
+					return u.entryFn, nil
+				},
+			})
+		}
+		for _, err := range sh.cache.WarmUp(nil, sh.pool, items) {
+			if err != nil {
+				s.snapErrors.Inc()
+			} else {
+				warm++
+			}
+		}
+	}
+	s.snapRestored.Add(uint64(warm))
+	s.health.Set("warmup_drained", true)
+	return warm, nil
+}
+
+func wordsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Quota is one tenant's resource envelope.  Zero values fall back to the
+// server-wide defaults (Config.DefaultQuota fields); a negative
+// MaxResidentBytes or MaxCompileConcurrency means explicitly unlimited.
+type Quota struct {
+	// FuelPerCall caps the simulated-step budget of one call.  Requests
+	// may ask for less; asking for more is rejected with quota_fuel.
+	FuelPerCall uint64 `json:"fuel_per_call"`
+	// MaxResidentBytes caps the code bytes the tenant's compiles keep
+	// resident across the shard arenas.  A tenant at its cap has new
+	// compiles rejected with quota_code_bytes until eviction or
+	// invalidation frees space; cache hits are unaffected.
+	MaxResidentBytes int64 `json:"max_resident_bytes"`
+	// MaxCompileConcurrency caps the tenant's simultaneously running
+	// compile flights across all shards (cache hits don't count).
+	MaxCompileConcurrency int `json:"max_compile_concurrency"`
+}
+
+// withDefaults fills zero fields from d.
+func (q Quota) withDefaults(d Quota) Quota {
+	if q.FuelPerCall == 0 {
+		q.FuelPerCall = d.FuelPerCall
+	}
+	if q.MaxResidentBytes == 0 {
+		q.MaxResidentBytes = d.MaxResidentBytes
+	}
+	if q.MaxCompileConcurrency == 0 {
+		q.MaxCompileConcurrency = d.MaxCompileConcurrency
+	}
+	return q
+}
+
+// tenant is the runtime state behind one quota row.
+type tenant struct {
+	name  string
+	quota Quota
+
+	// resident is the code bytes this tenant's compiles currently keep
+	// installed (decremented by the eviction hook).
+	resident atomic.Int64
+	// compiling counts in-flight compile flights this tenant owns.
+	compiling atomic.Int64
+
+	requests  *telemetry.Counter
+	errors    *telemetry.Counter
+	rejected  *telemetry.Counter // admission/quota rejections (subset of errors)
+	compiles  *telemetry.Counter
+	callNS    *telemetry.Histogram
+	requestNS *telemetry.Histogram
+}
+
+// newTenant builds the runtime state and registers the tenant's
+// instruments under "server.tenant.<name>.*".
+func newTenant(reg *telemetry.Registry, name string, q Quota) *tenant {
+	prefix := "server.tenant." + name + "."
+	t := &tenant{
+		name:      name,
+		quota:     q,
+		requests:  reg.Counter(prefix + "requests"),
+		errors:    reg.Counter(prefix + "errors"),
+		rejected:  reg.Counter(prefix + "rejected"),
+		compiles:  reg.Counter(prefix + "compiles"),
+		callNS:    reg.Histogram(prefix+"call_ns", nil),
+		requestNS: reg.Histogram(prefix+"request_ns", nil),
+	}
+	reg.GaugeFunc(prefix+"resident_bytes", func() float64 {
+		return float64(t.resident.Load())
+	})
+	return t
+}
+
+// admitCompile checks the tenant's compile-side quotas and, when
+// admitted, holds one concurrency slot (the caller must releaseCompile).
+// It returns a typed rejection otherwise.  The resident-bytes check is
+// admission-time: a tenant below its cap may overshoot by the one
+// program it is admitting, which keeps the check cheap and the bound
+// within one program size of exact.
+func (t *tenant) admitCompile() *APIError {
+	if max := t.quota.MaxResidentBytes; max > 0 && t.resident.Load() >= max {
+		return apiErr(CodeQuotaCodeBytes,
+			"tenant %s at resident code quota (%d of %d bytes)", t.name, t.resident.Load(), max).
+			withRetryAfter(retryAfterEvictMS)
+	}
+	if max := t.quota.MaxCompileConcurrency; max > 0 {
+		if n := t.compiling.Add(1); n > int64(max) {
+			t.compiling.Add(-1)
+			return apiErr(CodeQuotaConcurrency,
+				"tenant %s at compile concurrency quota (%d)", t.name, max).
+				withRetryAfter(retryAfterCompileMS)
+		}
+		return nil
+	}
+	t.compiling.Add(1)
+	return nil
+}
+
+func (t *tenant) releaseCompile() { t.compiling.Add(-1) }
+
+// Retry-After hints, in milliseconds: quota_code_bytes clears on
+// eviction (slow), concurrency and queue depth clear when running
+// compiles finish (fast).
+const (
+	retryAfterEvictMS   = 1000
+	retryAfterCompileMS = 50
+	retryAfterQueueMS   = 100
+)
+
+func (e *APIError) withRetryAfter(ms int64) *APIError {
+	e.RetryAfterMS = ms
+	return e
+}
+
+// tenantSet resolves tenant names to runtime state, creating rows for
+// unknown tenants from the default quota when that is enabled.
+type tenantSet struct {
+	mu           sync.Mutex
+	tenants      map[string]*tenant
+	reg          *telemetry.Registry
+	defaultQuota Quota
+	allowUnknown bool
+}
+
+func newTenantSet(reg *telemetry.Registry, quotas map[string]Quota, defaultQuota Quota, allowUnknown bool) *tenantSet {
+	ts := &tenantSet{
+		tenants:      make(map[string]*tenant, len(quotas)),
+		reg:          reg,
+		defaultQuota: defaultQuota,
+		allowUnknown: allowUnknown,
+	}
+	for name, q := range quotas {
+		ts.tenants[name] = newTenant(reg, name, q.withDefaults(defaultQuota))
+	}
+	return ts
+}
+
+// get resolves name, lazily admitting unknown tenants when allowed.
+func (ts *tenantSet) get(name string) (*tenant, *APIError) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t, ok := ts.tenants[name]; ok {
+		return t, nil
+	}
+	if !ts.allowUnknown {
+		return nil, apiErr(CodeUnknownTenant, "tenant %q has no quota configured", name)
+	}
+	t := newTenant(ts.reg, name, ts.defaultQuota)
+	ts.tenants[name] = t
+	return t, nil
+}
+
+// names returns the known tenant names, sorted.
+func (ts *tenantSet) names() []string {
+	ts.mu.Lock()
+	out := make([]string, 0, len(ts.tenants))
+	for name := range ts.tenants {
+		out = append(out, name)
+	}
+	ts.mu.Unlock()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Health is the process liveness/readiness state behind the /healthz and
+// /readyz endpoints.  Liveness is implicit (the handler answering at all
+// is the signal); readiness is an explicit, named set of conditions the
+// owner flips as startup milestones complete — a server marks
+// "snapshot_restored" after reloading its warm cache and
+// "warmup_drained" once the restore flights settle, and /readyz turns
+// 200 only when every registered condition is true.
+//
+// The zero value is ready (no conditions registered).  Safe for
+// concurrent use.
+type Health struct {
+	mu    sync.Mutex
+	conds map[string]bool
+}
+
+// Expect registers a readiness condition in the false state.  Until
+// Set(name, true) is called, Ready reports false and /readyz serves 503
+// naming the unmet condition.  Re-registering an existing condition
+// resets it to false.
+func (h *Health) Expect(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.conds == nil {
+		h.conds = make(map[string]bool)
+	}
+	h.conds[name] = false
+}
+
+// Set marks one readiness condition met (or, with false, unmet again —
+// a server draining for shutdown can flip itself unready so load
+// balancers stop routing to it before the listener closes).
+func (h *Health) Set(name string, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.conds == nil {
+		h.conds = make(map[string]bool)
+	}
+	h.conds[name] = ok
+}
+
+// Ready reports whether every registered condition is met, and the names
+// of those still unmet.
+func (h *Health) Ready() (bool, []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var unmet []string
+	for name, ok := range h.conds {
+		if !ok {
+			unmet = append(unmet, name)
+		}
+	}
+	return len(unmet) == 0, unmet
+}
+
+// RegisterHealth mounts /healthz (liveness: always 200 while the process
+// serves) and /readyz (readiness: 200 once every Health condition is
+// met, 503 naming the unmet conditions otherwise) on mux.
+func RegisterHealth(mux *http.ServeMux, h *Health) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ready, unmet := h.Ready()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, name := range unmet {
+				fmt.Fprintf(w, "unready: %s\n", name)
+			}
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+}

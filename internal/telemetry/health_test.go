@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	var h Health
+	h.Expect("never_met")
+	mux := http.NewServeMux()
+	RegisterHealth(mux, &h)
+	code, body := get(t, mux, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok (liveness must not depend on readiness)", code, body)
+	}
+}
+
+func TestReadyzConditionLifecycle(t *testing.T) {
+	var h Health
+	mux := http.NewServeMux()
+	RegisterHealth(mux, &h)
+
+	// Zero conditions: ready by default.
+	if code, _ := get(t, mux, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with no conditions = %d, want 200", code)
+	}
+
+	// The server's startup milestones, registered unmet.
+	h.Expect("snapshot_restored")
+	h.Expect("warmup_drained")
+	code, body := get(t, mux, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with unmet conditions = %d, want 503", code)
+	}
+	if !strings.Contains(body, "snapshot_restored") || !strings.Contains(body, "warmup_drained") {
+		t.Fatalf("/readyz body %q should name both unmet conditions", body)
+	}
+
+	// Partially met is still unready.
+	h.Set("snapshot_restored", true)
+	code, body = get(t, mux, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with one unmet condition = %d, want 503", code)
+	}
+	if strings.Contains(body, "snapshot_restored") {
+		t.Fatalf("/readyz body %q should not name a met condition", body)
+	}
+
+	h.Set("warmup_drained", true)
+	if code, body = get(t, mux, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz with all conditions met = %d %q, want 200 ready", code, body)
+	}
+
+	// Flipping unready again (shutdown drain) turns 503 back on.
+	h.Set("warmup_drained", false)
+	if code, _ = get(t, mux, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after un-setting a condition = %d, want 503", code)
+	}
+}
+
+func TestHealthReadyReportsUnmet(t *testing.T) {
+	var h Health
+	h.Expect("a")
+	h.Expect("b")
+	h.Set("a", true)
+	ready, unmet := h.Ready()
+	if ready || len(unmet) != 1 || unmet[0] != "b" {
+		t.Fatalf("Ready() = %v %v, want false [b]", ready, unmet)
+	}
+}

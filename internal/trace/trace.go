@@ -52,12 +52,17 @@ const (
 	// install.  Its N attribute is the item count, Bytes the installed
 	// code bytes.
 	KindBatch
+	// KindRequest covers one whole server request (internal/server):
+	// admission, cache lookup/compile, and the sandboxed call.  Its
+	// Name carries "tenant/request-id" so a lifecycle lane ties back to
+	// the network request that drove it.
+	KindRequest
 
-	numKinds = int(KindBatch) + 1
+	numKinds = int(KindRequest) + 1
 )
 
 var kindNames = [numKinds]string{
-	"compile", "regalloc", "emit", "verify", "install", "call", "evict", "lookup", "batch",
+	"compile", "regalloc", "emit", "verify", "install", "call", "evict", "lookup", "batch", "request",
 }
 
 func (k Kind) String() string {

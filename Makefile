@@ -33,6 +33,14 @@ run-server:
 soak-server:
 	go run -race ./cmd/cgbench -serve-soak -serve-calls 30000 -workers 8 -seed 7
 
+# Crash/recovery soak: SIGKILL a real journaled vcoded child
+# mid-checkpoint, over and over, under injected fsync/write faults and
+# bit-flipped journal tails.  Every durably-acknowledged key must come
+# back correct after each restart; cycles alternate shard counts so the
+# resharding restore path runs too.
+crash-soak:
+	go run -race ./cmd/cgbench -crash-soak -crash-cycles 20 -seed 11
+
 test:
 	go test ./...
 
@@ -68,4 +76,4 @@ bench-gate: bench-json
 	go run ./cmd/benchdiff -tolerance 0.25 BENCH_baseline.json \
 		$(BENCH_OUT) $(BENCH_OUT:.json=.batch.json) $(BENCH_OUT:.json=.serve.json)
 
-.PHONY: verify fuzz-smoke soak run-server soak-server test bench bench-json bench-gate
+.PHONY: verify fuzz-smoke soak run-server soak-server crash-soak test bench bench-json bench-gate

@@ -17,7 +17,12 @@
 //     baseline must not rot either);
 //   - serve.calls_per_sec — higher is better (vcoded end-to-end
 //     throughput under the mixed-tenant load);
-//   - serve.p99_ns — lower is better (vcoded tail latency).
+//   - serve.p99_ns — lower is better (vcoded tail latency);
+//   - serve.recovery_ms — lower is better (warm recovery of the soak's
+//     snapshot into a resharded cold server);
+//   - serve.rate_limited / serve.shed — presence-only: the record must
+//     keep carrying the overload counters (their values are
+//     load-dependent, but losing the measurement is a regression).
 //
 // A metric in the baseline but absent from the current record fails the
 // gate: silently dropping a measurement is how regressions hide.
@@ -58,6 +63,11 @@ type compileEntry struct {
 type serveEntry struct {
 	CallsPerSec float64 `json:"calls_per_sec"`
 	P99NS       float64 `json:"p99_ns"`
+	// Pointers so the gate can tell "key absent" from "measured zero":
+	// recovery_ms gates on value, rate_limited/shed on presence alone.
+	RecoveryMS  *float64 `json:"recovery_ms"`
+	RateLimited *float64 `json:"rate_limited"`
+	Shed        *float64 `json:"shed"`
 }
 
 // metric is one gate comparison.  higherIsBetter flips the direction the
@@ -71,12 +81,18 @@ type metric struct {
 	curPresent     bool
 	higherIsBetter bool
 	tolScale       float64
+	// presenceOnly gates only that the measurement still exists — used
+	// for counters whose values are load-dependent.
+	presenceOnly bool
 }
 
 // verdict classifies m under the relative tolerance tol.
 func (m metric) verdict(tol float64) (ok bool, why string) {
 	if !m.curPresent {
 		return false, "missing from current record"
+	}
+	if m.presenceOnly {
+		return true, "present"
 	}
 	if m.base == 0 {
 		return true, "new"
@@ -169,6 +185,27 @@ func compare(base, cur *record) []metric {
 			p99.cur, p99.curPresent = cur.Serve.P99NS, true
 		}
 		ms = append(ms, cps, p99)
+		if base.Serve.RecoveryMS != nil {
+			rec := metric{name: "serve.recovery_ms", base: *base.Serve.RecoveryMS, tolScale: 8}
+			if cur.Serve != nil && cur.Serve.RecoveryMS != nil {
+				rec.cur, rec.curPresent = *cur.Serve.RecoveryMS, true
+			}
+			ms = append(ms, rec)
+		}
+		if base.Serve.RateLimited != nil {
+			rl := metric{name: "serve.rate_limited", presenceOnly: true}
+			if cur.Serve != nil && cur.Serve.RateLimited != nil {
+				rl.cur, rl.curPresent = *cur.Serve.RateLimited, true
+			}
+			ms = append(ms, rl)
+		}
+		if base.Serve.Shed != nil {
+			sh := metric{name: "serve.shed", presenceOnly: true}
+			if cur.Serve != nil && cur.Serve.Shed != nil {
+				sh.cur, sh.curPresent = *cur.Serve.Shed, true
+			}
+			ms = append(ms, sh)
+		}
 	}
 	return ms
 }

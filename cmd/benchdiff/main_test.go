@@ -7,6 +7,8 @@ import (
 	"testing"
 )
 
+func fptr(v float64) *float64 { return &v }
+
 func baseRecord() *record {
 	return &record{
 		Schema: "cgbench/v2",
@@ -17,7 +19,8 @@ func baseRecord() *record {
 		},
 		Cache:   &cacheEntry{HitRate: 0.99},
 		Compile: &compileEntry{FuncsPerSec: 100000, SerialFuncsPerSec: 25000, Speedup: 4},
-		Serve:   &serveEntry{CallsPerSec: 8000, P99NS: 2e6},
+		Serve: &serveEntry{CallsPerSec: 8000, P99NS: 2e6,
+			RecoveryMS: fptr(50), RateLimited: fptr(100), Shed: fptr(0)},
 	}
 }
 
@@ -26,7 +29,8 @@ func TestNoRegressionWithinTolerance(t *testing.T) {
 	cur.Codegen["mips"] = codegenEntry{NsPerInsn: 36}                         // +20%: inside ±25%
 	cur.Cache.HitRate = 0.80                                                  // -19%: inside
 	cur.Compile = &compileEntry{FuncsPerSec: 80000, SerialFuncsPerSec: 20000} // -20%: inside
-	cur.Serve = &serveEntry{CallsPerSec: 4800, P99NS: 5.5e6}                  // inside the widened serve bands
+	cur.Serve = &serveEntry{CallsPerSec: 4800, P99NS: 5.5e6,                  // inside the widened serve bands
+		RecoveryMS: fptr(90), RateLimited: fptr(0), Shed: fptr(12345)} // overload counters gate on presence, not value
 	if run(os.Stdout, 0.25, baseRecord(), cur) {
 		t.Fatal("within-tolerance drift flagged as regression")
 	}
@@ -46,6 +50,10 @@ func TestDoctoredRegressionFails(t *testing.T) {
 		{"serve throughput collapsed", func(r *record) { r.Serve.CallsPerSec = 2000 }},
 		{"serve p99 blown up 4x", func(r *record) { r.Serve.P99NS = 8.1e6 }},
 		{"serve section dropped", func(r *record) { r.Serve = nil }},
+		{"recovery 10x slower", func(r *record) { r.Serve.RecoveryMS = fptr(500) }},
+		{"recovery_ms dropped", func(r *record) { r.Serve.RecoveryMS = nil }},
+		{"rate_limited counter dropped", func(r *record) { r.Serve.RateLimited = nil }},
+		{"shed counter dropped", func(r *record) { r.Serve.Shed = nil }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,428 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// The crash soak (-crash-soak) is the recovery harness for the journaled
+// vcoded server: it builds the real binary, then repeatedly SIGKILLs it
+// mid-checkpoint under load — some cycles with injected journal
+// write/fsync faults, some with a bit flipped in the journal tail after
+// the kill — and asserts the durability contract on every restart:
+//
+//   - every key acknowledged durable=true serves its exact expected
+//     result after recovery (a bit-flip cycle relaxes this to
+//     correct-or-404: simulated disk corruption may truncate the replay,
+//     but a recovered key must never compute a different answer);
+//   - the restarted process never panics and every failure is typed;
+//   - restarts alternate the shard count, and a final restart with yet
+//     another count verifies resharded restore conserves the residency
+//     ledger (Σ tenant resident bytes == Σ shard unit bytes).
+type crashLedger struct {
+	mu   sync.Mutex
+	want map[string]int64
+}
+
+func (l *crashLedger) add(key string, want int64) {
+	l.mu.Lock()
+	l.want[key] = want
+	l.mu.Unlock()
+}
+
+func (l *crashLedger) drop(key string) {
+	l.mu.Lock()
+	delete(l.want, key)
+	l.mu.Unlock()
+}
+
+func (l *crashLedger) snapshot() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.want))
+	for k, v := range l.want {
+		out[k] = v
+	}
+	return out
+}
+
+func (l *crashLedger) keys() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.want))
+	for k := range l.want {
+		out = append(out, k)
+	}
+	return out
+}
+
+// child is one vcoded process under test.
+type child struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+}
+
+func startChild(bin, dir string, shards int, chaos bool, seed int64) (*child, error) {
+	port, err := pickPort()
+	if err != nil {
+		return nil, err
+	}
+	args := []string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-snapshot", filepath.Join(dir, "snap.vcsnap"),
+		"-journal", filepath.Join(dir, "journal.vcjrnl"),
+		"-checkpoint-interval", "150ms",
+		"-fsync-interval", "1ms",
+		"-drain-timeout", "2s",
+		"-shards", fmt.Sprintf("%d", shards),
+		"-default-resident-bytes", "16777216",
+		"-default-compile-concurrency", "16",
+	}
+	if chaos {
+		args = append(args,
+			"-chaos-seed", fmt.Sprintf("%d", seed),
+			"-chaos-journal-write-rate", "0.03",
+			"-chaos-journal-sync-rate", "0.03",
+		)
+	}
+	c := &child{
+		cmd:    exec.Command(bin, args...),
+		base:   fmt.Sprintf("http://127.0.0.1:%d", port),
+		stderr: &bytes.Buffer{},
+	}
+	c.cmd.Stderr = c.stderr
+	if err := c.cmd.Start(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// kill SIGKILLs the child and reaps it.  cmd.Wait (not Process.Wait)
+// also joins the stderr-copier goroutine, so reading c.stderr afterwards
+// is safe.
+func (c *child) kill() {
+	_ = c.cmd.Process.Kill()
+	_ = c.cmd.Wait()
+}
+
+// stop drains the child gracefully (SIGTERM) and waits for exit.
+func (c *child) stop() error {
+	_ = c.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- c.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(15 * time.Second):
+		c.kill()
+		return fmt.Errorf("crash-soak: child did not drain within 15s of SIGTERM")
+	}
+}
+
+func (c *child) panicked() bool { return strings.Contains(c.stderr.String(), "panic:") }
+
+func pickPort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port, nil
+}
+
+func waitReady(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("crash-soak: %s not ready within %v", base, timeout)
+}
+
+// crashResp is the slice of the exec/compile response the harness needs.
+type crashResp struct {
+	status  int
+	key     string
+	durable bool
+	result  int64
+	code    string
+}
+
+func crashExec(client *http.Client, base string, body map[string]any) (crashResp, error) {
+	raw, _ := json.Marshal(body)
+	resp, err := client.Post(base+"/v1/exec", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return crashResp{}, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Key     string      `json:"key"`
+		Durable bool        `json:"durable"`
+		Result  json.Number `json:"result"`
+		Error   *struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return crashResp{}, fmt.Errorf("undecodable body (status %d): %v", resp.StatusCode, err)
+	}
+	r := crashResp{status: resp.StatusCode, key: out.Key, durable: out.Durable}
+	if out.Error != nil {
+		r.code = out.Error.Code
+	}
+	if out.Result != "" {
+		r.result, _ = out.Result.Int64()
+	}
+	return r, nil
+}
+
+// runLoad fires compile-and-exec traffic at the child until stop closes,
+// recording durable acks in the ledger.  New-key compiles are capped per
+// cycle; past the cap the workers re-exec ledger keys so the checkpoint
+// the kill lands in always has traffic behind it.
+func runLoad(client *http.Client, base string, ledger *crashLedger, keyCtr *atomic.Int64, newKeyCap int, stop <-chan struct{}) (ackedWrong []string) {
+	const workers = 4
+	var mu sync.Mutex
+	var added atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + keyCtr.Load()))
+			hot := ledger.keys()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if added.Load() < int64(newKeyCap) {
+					n := keyCtr.Add(1)
+					a, b := n*31+7, n%997
+					want := 3*a + b
+					r, err := crashExec(client, base, map[string]any{
+						"lang":   "tinyc",
+						"source": fmt.Sprintf("int main(int n) { return n * %d + %d; }", a, b),
+						"args":   []int{3},
+					})
+					if err != nil || r.status != http.StatusOK {
+						continue // the kill may race the request; only acks matter
+					}
+					if r.result != want {
+						mu.Lock()
+						ackedWrong = append(ackedWrong, fmt.Sprintf("%s: acked %d want %d", r.key, r.result, want))
+						mu.Unlock()
+						continue
+					}
+					if r.durable {
+						ledger.add(r.key, want)
+						added.Add(1)
+					}
+				} else if len(hot) > 0 {
+					key := hot[rng.Intn(len(hot))]
+					_, _ = crashExec(client, base, map[string]any{"key": key, "args": []int{3}})
+				} else {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ackedWrong
+}
+
+// verifyLedger checks every acknowledged key against the restarted
+// server.  relaxed (after deliberate journal corruption) accepts
+// not_found — and prunes it — but never a wrong answer.
+func verifyLedger(client *http.Client, base string, ledger *crashLedger, relaxed bool) (ok, dropped int, violations []string) {
+	for key, want := range ledger.snapshot() {
+		r, err := crashExec(client, base, map[string]any{"key": key, "args": []int{3}})
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s: transport: %v", key, err))
+			continue
+		}
+		switch {
+		case r.status == http.StatusOK && r.result == want:
+			ok++
+		case r.status == http.StatusNotFound && relaxed:
+			ledger.drop(key)
+			dropped++
+		default:
+			violations = append(violations, fmt.Sprintf("%s: status=%d code=%q result=%d want=%d", key, r.status, r.code, r.result, want))
+		}
+	}
+	return ok, dropped, violations
+}
+
+// flipJournalTail flips one bit in the last quarter of the journal file —
+// simulated disk corruption the next recovery must survive (truncated
+// replay, typed log line, no panic, no wrong answers).
+func flipJournalTail(path string, rng *rand.Rand) error {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) < 16 {
+		return err
+	}
+	i := len(data) - 1 - rng.Intn(len(data)/4+1)
+	if i < 8 {
+		i = len(data) - 1 // never the header; that is a separate test's job
+	}
+	data[i] ^= 1 << uint(rng.Intn(8))
+	return os.WriteFile(path, data, 0o644)
+}
+
+func runCrashSoak(cycles int, seed int64) error {
+	if cycles <= 0 {
+		cycles = 20
+	}
+	dir, err := os.MkdirTemp("", "cgbench-crash")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "vcoded")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/vcoded")
+	if out, err := build.CombinedOutput(); err != nil {
+		return fmt.Errorf("crash-soak: building vcoded: %v\n%s", err, out)
+	}
+	fmt.Printf("crash-soak: %d SIGKILL cycles, seed %d, state in %s\n", cycles, seed, dir)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	rng := rand.New(rand.NewSource(seed))
+	ledger := &crashLedger{want: make(map[string]int64)}
+	var keyCtr atomic.Int64
+	keyCtr.Store(seed * 1000)
+	var totalVerified, totalDropped, chaosCycles, flipCycles int
+	relaxed := false
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		shards := 2
+		if cycle%7 == 3 {
+			shards = 3 // restart into a different shard count mid-soak
+		}
+		chaos := cycle%3 == 1
+		if chaos {
+			chaosCycles++
+		}
+		c, err := startChild(bin, dir, shards, chaos, seed+int64(cycle))
+		if err != nil {
+			return fmt.Errorf("crash-soak: cycle %d: start: %v", cycle, err)
+		}
+		if err := waitReady(client, c.base, 20*time.Second); err != nil {
+			c.kill()
+			return fmt.Errorf("crash-soak: cycle %d: %v\n--- child stderr ---\n%s", cycle, err, c.stderr.String())
+		}
+
+		// Recovery assertion: everything durably acked before the last
+		// kill must serve its exact result now.
+		ok, dropped, violations := verifyLedger(client, c.base, ledger, relaxed)
+		totalVerified += ok
+		totalDropped += dropped
+		if len(violations) > 0 {
+			c.kill()
+			show := violations
+			if len(show) > 5 {
+				show = show[:5]
+			}
+			return fmt.Errorf("crash-soak: cycle %d: %d acknowledged keys wrong after recovery, e.g. %v", cycle, len(violations), show)
+		}
+		relaxed = false
+
+		// Load until the kill timer fires — 100–400ms, against a 150ms
+		// checkpoint interval, so kills land in every rotation window.
+		stop := make(chan struct{})
+		killAfter := time.Duration(100+rng.Intn(300)) * time.Millisecond
+		go func() {
+			time.Sleep(killAfter)
+			close(stop)
+		}()
+		ackedWrong := runLoad(client, c.base, ledger, &keyCtr, 12, stop)
+		c.kill()
+		if len(ackedWrong) > 0 {
+			return fmt.Errorf("crash-soak: cycle %d: wrong results at ack time: %v", cycle, ackedWrong[:1])
+		}
+		if c.panicked() {
+			return fmt.Errorf("crash-soak: cycle %d: child panicked\n--- child stderr ---\n%s", cycle, c.stderr.String())
+		}
+
+		if cycle%5 == 4 {
+			if err := flipJournalTail(filepath.Join(dir, "journal.vcjrnl"), rng); err == nil {
+				relaxed = true
+				flipCycles++
+			}
+		}
+		fmt.Printf("crash-soak: cycle %2d: shards=%d chaos=%-5v killed after %3dms, ledger=%d verified=%d dropped=%d\n",
+			cycle, shards, chaos, killAfter.Milliseconds(), len(ledger.snapshot()), ok, dropped)
+	}
+
+	// Finale: restore the whole soak's state into yet another shard
+	// count, verify every key, and check the residency ledger and the
+	// resharding counter server-side.
+	c, err := startChild(bin, dir, 5, false, seed)
+	if err != nil {
+		return fmt.Errorf("crash-soak: finale start: %v", err)
+	}
+	if err := waitReady(client, c.base, 30*time.Second); err != nil {
+		c.kill()
+		return fmt.Errorf("crash-soak: finale: %v\n--- child stderr ---\n%s", err, c.stderr.String())
+	}
+	ok, dropped, violations := verifyLedger(client, c.base, ledger, relaxed)
+	totalVerified += ok
+	totalDropped += dropped
+	if len(violations) > 0 {
+		c.kill()
+		return fmt.Errorf("crash-soak: finale: %d keys wrong after 5-shard restore, e.g. %v", len(violations), violations[0])
+	}
+	var stats server.Stats
+	if err := getJSON(client, c.base+"/v1/stats", &stats); err != nil {
+		c.kill()
+		return fmt.Errorf("crash-soak: finale stats: %v", err)
+	}
+	var tenantBytes, shardBytes int64
+	for _, tn := range stats.Tenants {
+		tenantBytes += tn.ResidentBytes
+	}
+	for _, sh := range stats.Shards {
+		shardBytes += sh.UnitBytes
+	}
+	if tenantBytes != shardBytes {
+		c.kill()
+		return fmt.Errorf("crash-soak: finale: residency ledger broken after resharding: tenants=%dB shards=%dB", tenantBytes, shardBytes)
+	}
+	if stats.Resharded == 0 {
+		c.kill()
+		return fmt.Errorf("crash-soak: finale: resharded counter is zero after a 2/3-shard soak restored into 5 shards")
+	}
+	if err := c.stop(); err != nil {
+		return fmt.Errorf("crash-soak: finale: %v\n--- child stderr ---\n%s", err, c.stderr.String())
+	}
+	if c.panicked() {
+		return fmt.Errorf("crash-soak: finale: child panicked\n--- child stderr ---\n%s", c.stderr.String())
+	}
+	fmt.Printf("crash-soak: PASS — %d cycles (%d chaos, %d bit-flip), %d acked keys, %d verifications, %d corruption drops, recovery_ms=%d, resharded=%d, ledger %dB conserved\n",
+		cycles, chaosCycles, flipCycles, len(ledger.snapshot()), totalVerified, totalDropped, stats.RecoveryMS, stats.Resharded, tenantBytes)
+	return nil
+}

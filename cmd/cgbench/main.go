@@ -21,6 +21,12 @@
 // panicking compiles, runaway loops — ever panics, hangs, or escapes as
 // anything but a typed error.
 //
+// With -crash-soak it repeatedly SIGKILLs a real journaled vcoded child
+// mid-checkpoint — under injected fsync/write faults and bit-flipped
+// journal tails — and asserts every durably-acknowledged key is served
+// correctly after each restart (cycles alternate shard counts to cover
+// resharded restore; -crash-cycles sets the kill count).
+//
 // Observability flags (any mode):
 //
 //	-metrics       enable the telemetry registry + trace ring and print
@@ -82,6 +88,8 @@ func main() {
 	serveSoak := flag.Bool("serve-soak", false, "spin up an in-process vcoded server under fault injection and soak it")
 	serveCalls := flag.Int("serve-calls", 4000, "serve modes: total requests across workers")
 	serveTenants := flag.Int("serve-tenants", 4, "serve modes: synthetic tenants in the load mix")
+	crashSoak := flag.Bool("crash-soak", false, "SIGKILL a child vcoded mid-checkpoint repeatedly and verify recovery")
+	crashCycles := flag.Int("crash-cycles", 20, "crash-soak: kill/recover cycles")
 	flag.Parse()
 
 	die := func(err error) {
@@ -117,6 +125,8 @@ func main() {
 
 	var rep *jsonReport
 	switch {
+	case *crashSoak:
+		die(runCrashSoak(*crashCycles, *seed))
 	case *serveURL != "" || *serveSoak:
 		if *jsonPath != "" {
 			rep = newReport("serve")
@@ -124,7 +134,7 @@ func main() {
 		if *serveSoak {
 			die(runServeSoak(*serveCalls, *workers, *serveTenants, *seed, rep))
 		} else {
-			die(runServeLoad(*serveURL, *serveCalls, *workers, *serveTenants, *seed, rep))
+			die(runServeLoad(*serveURL, *serveCalls, *workers, *serveTenants, *seed, true, rep))
 		}
 		if rep != nil {
 			die(rep.measureCodegen(max(50, *iters/10)))

@@ -43,9 +43,14 @@ type jsonReport struct {
 type serveStats struct {
 	Calls        uint64               `json:"calls"`
 	Errors       uint64               `json:"errors"`
+	Retries      uint64               `json:"retries"`
 	CallsPerSec  float64              `json:"calls_per_sec"`
 	P50NS        uint64               `json:"p50_ns"`
 	P99NS        uint64               `json:"p99_ns"`
+	RecoveryMS   float64              `json:"recovery_ms"`
+	RateLimited  uint64               `json:"rate_limited"`
+	Shed         uint64               `json:"shed"`
+	BreakerOpen  uint64               `json:"breaker_open"`
 	ErrorsByCode map[string]uint64    `json:"errors_by_code,omitempty"`
 	Shards       []server.ShardStats  `json:"shards,omitempty"`
 	Tenants      []server.TenantStats `json:"tenants,omitempty"`

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -52,6 +54,7 @@ func init() {
 		server.CodeCompilePanic, server.CodeFuelExhausted, server.CodeDeadline,
 		server.CodeTrapPanic, server.CodeSimPanic, server.CodeInjectedFault,
 		server.CodeExecError, server.CodeShuttingDown,
+		server.CodeRateLimited, server.CodeCircuitOpen, server.CodeOverloaded,
 	} {
 		knownServeCodes[string(c)] = true
 	}
@@ -90,10 +93,50 @@ func serveRequest(rng *rand.Rand, tenants, worker, i int) (path string, body map
 	}
 }
 
+// postMaybeRetry posts one request.  With retry set (the -serve-url
+// client mode) it behaves like a well-behaved production client: a 429
+// or 503 is retried up to 3 times with capped exponential backoff,
+// honoring the server's (jittered) retry_after_ms hint.  The soak keeps
+// retry off so its throughput numbers stay comparable across runs.
+func postMaybeRetry(client *http.Client, url string, raw []byte, retry bool, retried *uint64) (*http.Response, error) {
+	backoff := 25 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		if !retry || attempt >= 3 ||
+			(resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable) {
+			return resp, nil
+		}
+		// The JSON body carries the hint at millisecond resolution (the
+		// Retry-After header only has seconds).
+		var out struct {
+			Error *struct {
+				RetryAfterMS int64 `json:"retry_after_ms"`
+			} `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		wait := backoff
+		if out.Error != nil && out.Error.RetryAfterMS > 0 {
+			wait = time.Duration(out.Error.RetryAfterMS) * time.Millisecond
+		}
+		if wait > maxBackoff {
+			wait = maxBackoff
+		}
+		time.Sleep(wait)
+		backoff *= 2
+		*retried++
+	}
+}
+
 // runServeLoad fires calls requests at a vcoded server and checks the
 // contract.  With rep set it fills the report's serve section, including
-// the shard/tenant breakdown from /v1/stats.
-func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, rep *jsonReport) error {
+// the shard/tenant breakdown from /v1/stats.  retry turns on the
+// Retry-After-honoring client (the -serve-url mode).
+func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, retry bool, rep *jsonReport) error {
 	if workers <= 0 {
 		workers = 8
 	}
@@ -106,6 +149,7 @@ func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, rep *
 		lat     []time.Duration
 		byCode  map[string]uint64
 		errs    uint64
+		retries uint64
 		untyped []string
 	}
 	results := make([]result, workers)
@@ -123,7 +167,7 @@ func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, rep *
 				path, body := serveRequest(rng, tenants, w, i)
 				raw, _ := json.Marshal(body)
 				t0 := time.Now()
-				resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(raw))
+				resp, err := postMaybeRetry(client, baseURL+path, raw, retry, &res.retries)
 				res.lat = append(res.lat, time.Since(t0))
 				if err != nil {
 					res.untyped = append(res.untyped, fmt.Sprintf("transport: %v", err))
@@ -158,11 +202,12 @@ func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, rep *
 
 	var lat []time.Duration
 	byCode := make(map[string]uint64)
-	var errs uint64
+	var errs, retries uint64
 	var untyped []string
 	for i := range results {
 		lat = append(lat, results[i].lat...)
 		errs += results[i].errs
+		retries += results[i].retries
 		untyped = append(untyped, results[i].untyped...)
 		for c, n := range results[i].byCode {
 			byCode[c] += n
@@ -202,16 +247,24 @@ func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, rep *
 		fmt.Printf("serve: /v1/stats unavailable: %v\n", statErr)
 	}
 
+	if retries > 0 {
+		fmt.Printf("serve: %d retries after Retry-After hints\n", retries)
+	}
+
 	if rep != nil {
 		rep.Serve = &serveStats{
 			Calls:        uint64(len(lat)),
 			Errors:       errs,
+			Retries:      retries,
 			CallsPerSec:  cps,
 			P50NS:        uint64(p50),
 			P99NS:        uint64(p99),
 			ErrorsByCode: byCode,
 		}
 		if statErr == nil {
+			rep.Serve.RateLimited = stats.RateLimited
+			rep.Serve.Shed = stats.Shed
+			rep.Serve.BreakerOpen = stats.BreakerOpen
 			rep.Serve.Shards = stats.Shards
 			rep.Serve.Tenants = stats.Tenants
 		}
@@ -264,6 +317,10 @@ func runServeSoak(calls, workers, tenants int, seed int64, rep *jsonReport) erro
 			FuelPerCall:           1 << 18,
 			MaxResidentBytes:      128 << 10,
 			MaxCompileConcurrency: 4,
+			// A per-tenant rate keeps the limiter in the soak's error
+			// mix; 429s are cheap, so throughput is barely touched.
+			RatePerSec: 400,
+			Burst:      100,
 		},
 		AllowUnknownTenants: true,
 		Injector:            inj,
@@ -280,11 +337,68 @@ func runServeSoak(calls, workers, tenants int, seed int64, rep *jsonReport) erro
 		srv.Close()
 	}()
 	fmt.Printf("serve-soak: in-process vcoded, seed %d, faults on\n", seed)
-	if err := runServeLoad(ts.URL, calls, workers, tenants, seed, rep); err != nil {
+	if err := runServeLoad(ts.URL, calls, workers, tenants, seed, false, rep); err != nil {
 		return err
 	}
 	st := inj.Stats()
 	fmt.Printf("serve-soak: injected fetchErr=%d bitflip=%d loadErr=%d storeErr=%d compileErr=%d compilePanic=%d — zero panics escaped\n",
 		st.FetchErrors, st.BitFlips, st.LoadErrors, st.StoreErrors, st.CompileErrors, st.CompilePanics)
+	return measureSoakRecovery(srv, tenants, rep)
+}
+
+// measureSoakRecovery folds the soak's resident set into a snapshot and
+// times a cold 3-shard server recovering from it — recovery wall time
+// for the benchmark record, and (because the soak ran 4 shards) a live
+// check that resharded restore conserves the residency ledger.
+func measureSoakRecovery(srv *server.Server, tenants int, rep *jsonReport) error {
+	dir, err := os.MkdirTemp("", "cgbench-serve")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "soak.vcsnap")
+	saved, err := srv.SaveSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	cold, err := server.New(server.Config{
+		Shards:             3, // deliberately != the soak's 4: exercises resharding
+		WorkersPerShard:    2,
+		MaxEntriesPerShard: 64,
+		QueueBound:         64,
+		DefaultQuota: server.Quota{
+			FuelPerCall:           1 << 18,
+			MaxResidentBytes:      128 << 10,
+			MaxCompileConcurrency: 4,
+		},
+		AllowUnknownTenants: true,
+		Registry:            telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	defer cold.Close()
+	t0 := time.Now()
+	rst, err := cold.Recover(snap, "")
+	recMS := float64(time.Since(t0).Microseconds()) / 1000
+	if err != nil {
+		return fmt.Errorf("serve-soak: recovery: %v", err)
+	}
+	stats := cold.StatsView()
+	var tenantBytes, shardBytes int64
+	for _, tn := range stats.Tenants {
+		tenantBytes += tn.ResidentBytes
+	}
+	for _, sh := range stats.Shards {
+		shardBytes += sh.UnitBytes
+	}
+	if tenantBytes != shardBytes {
+		return fmt.Errorf("serve-soak: residency ledger broken after resharded restore: tenants=%dB shards=%dB", tenantBytes, shardBytes)
+	}
+	fmt.Printf("serve-soak: recovery of %d-entry snapshot into 3 shards: warm=%d resharded=%d in %.1fms (ledger %dB conserved)\n",
+		saved, rst.Warm, rst.Resharded, recMS, tenantBytes)
+	if rep != nil && rep.Serve != nil {
+		rep.Serve.RecoveryMS = recMS
+	}
 	return nil
 }

@@ -4,17 +4,34 @@
 // one sandboxed call) or /v1/compile (compile-and-cache); every failure
 // comes back as a typed JSON error.  Resident code shards across N
 // machine arenas, tenants get fuel / resident-bytes / compile-concurrency
-// quotas, and -snapshot gives warm-cache restarts: the resident programs
-// are serialized on shutdown and re-verified back in on boot, with
-// /readyz turning ready only once the restore warmup drains.
+// / request-rate quotas, and -snapshot gives warm-cache restarts: the
+// resident programs are serialized on shutdown and re-verified back in on
+// boot, with /readyz turning ready only once the restore warmup drains.
+//
+// Crash safety: -journal adds an incremental write-ahead journal beside
+// the snapshot.  Every compile is group-committed (fsynced) before its
+// response reports durable=true, a periodic checkpoint folds journal +
+// snapshot into a fresh snapshot generation, and recovery replays the
+// last snapshot plus the journal tail — stopping at the first torn
+// record — so a SIGKILL at any instant loses nothing acknowledged
+// durable.  Recovery routes units through the *current* -shards value,
+// so a snapshot taken with N shards restores into an M-shard server.
+//
+// Overload protection: per-tenant token-bucket rate limiting (-default-rate
+// / -default-burst or per-tenant quota rows), a per-key compile circuit
+// breaker (-breaker-threshold / -breaker-cooldown), and global load
+// shedding on compile-queue depth (-shed-low / -shed-high) with request
+// priorities 0–9.  All three reject with typed 429/503 bodies carrying
+// jittered Retry-After hints.
 //
 // Observability rides on the same listener: /metrics, /metrics.json,
 // /debug/vars, /trace, /trace.txt, /healthz, /readyz, /v1/stats.
 //
 // Quotas file (-quotas): JSON object mapping tenant name to
 // {"fuel_per_call": N, "max_resident_bytes": N,
-// "max_compile_concurrency": N}; zero fields inherit the -default-*
-// flags, negative means unlimited.
+// "max_compile_concurrency": N, "rate_per_sec": F, "burst": N,
+// "priority": N}; zero fields inherit the -default-* flags, negative
+// means unlimited.
 package main
 
 import (
@@ -29,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -48,17 +66,38 @@ func main() {
 		defFuel  = flag.Uint64("default-fuel", 1<<20, "default per-call fuel quota")
 		defBytes = flag.Int64("default-resident-bytes", 256<<10, "default resident-code quota per tenant")
 		defConc  = flag.Int("default-compile-concurrency", 4, "default concurrent-compile quota per tenant")
+		defRate  = flag.Float64("default-rate", 0, "default tenant request rate (req/s; 0 = unlimited)")
+		defBurst = flag.Int("default-burst", 0, "default rate-limit burst (0 = one second of rate)")
+		defPrio  = flag.Int("default-priority", 0, "default shed priority 1-9 (0 = 5)")
 
 		quotaPath    = flag.String("quotas", "", "JSON file of per-tenant quotas")
 		allowUnknown = flag.Bool("allow-unknown", true, "admit tenants without a quota row under the defaults")
 		snapshot     = flag.String("snapshot", "", "warm-cache snapshot path (restored on boot, saved on shutdown)")
-		traceOn      = flag.Bool("trace", false, "record lifecycle spans (serve at /trace)")
+		journalPath  = flag.String("journal", "", "write-ahead journal path (requires -snapshot; makes acks durable)")
+		fsyncEvery   = flag.Duration("fsync-interval", 2*time.Millisecond, "journal group-commit window")
+		ckptEvery    = flag.Duration("checkpoint-interval", 30*time.Second, "journal+snapshot compaction period (0 = only at shutdown)")
+		drainTO      = flag.Duration("drain-timeout", 5*time.Second, "in-flight drain deadline on SIGTERM")
+
+		breakerN  = flag.Int("breaker-threshold", 3, "consecutive compile failures to open a key's circuit (negative disables)")
+		breakerCD = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit hold before the half-open probe")
+		shedLow   = flag.Int64("shed-low", 0, "queue depth shedding priority<4 (0 = half of shards*queue-bound)")
+		shedHigh  = flag.Int64("shed-high", 0, "queue depth shedding priority<8 (0 = 90% of shards*queue-bound)")
+
+		chaosSeed      = flag.Int64("chaos-seed", 0, "fault-injection seed (enables chaos when any -chaos-* rate is set)")
+		chaosJrnlWrite = flag.Float64("chaos-journal-write-rate", 0, "injected journal write-failure probability")
+		chaosJrnlSync  = flag.Float64("chaos-journal-sync-rate", 0, "injected journal fsync-failure probability")
+		chaosCompile   = flag.Float64("chaos-compile-rate", 0, "injected compile-failure probability")
+
+		traceOn = flag.Bool("trace", false, "record lifecycle spans (serve at /trace)")
 	)
 	flag.Parse()
 
 	telemetry.SetEnabled(true)
 	if *traceOn {
 		trace.SetEnabled(true)
+	}
+	if *journalPath != "" && *snapshot == "" {
+		log.Fatal("vcoded: -journal requires -snapshot (the file checkpoints compact into)")
 	}
 
 	cfg := server.Config{
@@ -73,8 +112,27 @@ func main() {
 			FuelPerCall:           *defFuel,
 			MaxResidentBytes:      *defBytes,
 			MaxCompileConcurrency: *defConc,
+			RatePerSec:            *defRate,
+			Burst:                 *defBurst,
+			Priority:              *defPrio,
 		},
 		AllowUnknownTenants: *allowUnknown,
+		FsyncInterval:       *fsyncEvery,
+		CheckpointInterval:  *ckptEvery,
+		BreakerThreshold:    *breakerN,
+		BreakerCooldown:     *breakerCD,
+		ShedLowWatermark:    *shedLow,
+		ShedHighWatermark:   *shedHigh,
+	}
+	if *chaosJrnlWrite > 0 || *chaosJrnlSync > 0 || *chaosCompile > 0 {
+		cfg.Injector = faultinject.New(faultinject.Config{
+			Seed:                  *chaosSeed,
+			JournalWriteErrorRate: *chaosJrnlWrite,
+			JournalSyncErrorRate:  *chaosJrnlSync,
+			CompileErrorRate:      *chaosCompile,
+		})
+		log.Printf("vcoded: chaos enabled (seed=%d journal-write=%g journal-sync=%g compile=%g)",
+			*chaosSeed, *chaosJrnlWrite, *chaosJrnlSync, *chaosCompile)
 	}
 	if *quotaPath != "" {
 		raw, err := os.ReadFile(*quotaPath)
@@ -97,29 +155,42 @@ func main() {
 	log.Printf("vcoded: serving on %s (backend=%s shards=%d workers/shard=%d)",
 		*addr, *backend, *shards, *workers)
 
-	// Restore after the listener is up: /healthz answers immediately,
-	// /readyz flips only once the warmup flights drain.
-	if n, err := srv.Restore(*snapshot); err != nil {
-		log.Printf("vcoded: snapshot restore failed (serving cold): %v", err)
-	} else if n > 0 {
-		log.Printf("vcoded: restored %d warm programs from %s", n, *snapshot)
+	// Recover after the listener is up: /healthz answers immediately,
+	// /readyz flips only once the warmup flights drain.  Recovery is
+	// tolerant — a corrupt snapshot or torn journal boots cold or
+	// partially warm with a typed line, never fatally.
+	st, err := srv.Recover(*snapshot, *journalPath)
+	if err != nil {
+		log.Printf("vcoded: recovery degraded (%s): %v", st, err)
+	} else if st.Warm > 0 || *snapshot != "" {
+		log.Printf("vcoded: recovered (%s)", st)
 	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("vcoded: %v — shutting down", sig)
+		log.Printf("vcoded: %v — draining (timeout %s)", sig, *drainTO)
 	case err := <-errc:
 		log.Fatalf("vcoded: listener: %v", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful shutdown: stop admitting (readyz flips not-ready at
+	// once), give in-flight requests the drain window, then write the
+	// final snapshot generation and release everything.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("vcoded: shutdown: %v", err)
 	}
-	if *snapshot != "" {
+	if *journalPath != "" {
+		if err := srv.Checkpoint(); err != nil {
+			log.Printf("vcoded: final checkpoint failed: %v", err)
+		} else {
+			log.Printf("vcoded: final checkpoint written to %s", *snapshot)
+		}
+	} else if *snapshot != "" {
 		if n, err := srv.SaveSnapshot(*snapshot); err != nil {
 			log.Printf("vcoded: snapshot save failed: %v", err)
 		} else {

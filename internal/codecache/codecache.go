@@ -65,6 +65,13 @@ type Config struct {
 	// residency accounting — reclaims them here.  It runs without any
 	// cache lock held and may call back into the cache.
 	OnEvict func(key string, fn *core.Func)
+	// OnCompileResult, when set, fires exactly once per actual compile
+	// flight as it settles — err is nil on success, the compile/install
+	// failure otherwise.  Coalesced waiters and negative-cache hits do
+	// not fire it, which makes it the right signal for consecutive-
+	// failure accounting (circuit breakers) layered above the cache.  It
+	// runs without any cache lock held.
+	OnCompileResult func(key string, err error)
 }
 
 // CompilePanicError reports that a compile callback panicked.  The cache
@@ -83,13 +90,14 @@ func (e *CompilePanicError) Error() string {
 // Cache is a sharded, single-flight, LRU-evicting map from content hash to
 // compiled function.  The zero value is not usable; call New.
 type Cache struct {
-	machine        *core.Machine
-	maxEntries     int
-	maxBytes       int64
-	failureBackoff time.Duration
-	onEvict        func(key string, fn *core.Func)
-	shards         []*shard
-	mask           uint32
+	machine         *core.Machine
+	maxEntries      int
+	maxBytes        int64
+	failureBackoff  time.Duration
+	onEvict         func(key string, fn *core.Func)
+	onCompileResult func(key string, err error)
+	shards          []*shard
+	mask            uint32
 
 	// clock is a global touch counter: every hit or insert stamps the
 	// entry, and eviction picks the smallest stamp among the shard LRU
@@ -144,13 +152,14 @@ func New(cfg Config) *Cache {
 		pow <<= 1
 	}
 	c := &Cache{
-		machine:        cfg.Machine,
-		maxEntries:     cfg.MaxEntries,
-		maxBytes:       cfg.MaxCodeBytes,
-		failureBackoff: cfg.FailureBackoff,
-		onEvict:        cfg.OnEvict,
-		shards:         make([]*shard, pow),
-		mask:           uint32(pow - 1),
+		machine:         cfg.Machine,
+		maxEntries:      cfg.MaxEntries,
+		maxBytes:        cfg.MaxCodeBytes,
+		failureBackoff:  cfg.FailureBackoff,
+		onEvict:         cfg.OnEvict,
+		onCompileResult: cfg.OnCompileResult,
+		shards:          make([]*shard, pow),
+		mask:            uint32(pow - 1),
 	}
 	for i := range c.shards {
 		c.shards[i] = &shard{entries: make(map[string]*entry)}
@@ -255,6 +264,9 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 		}
 		s.mu.Unlock()
 		close(e.done)
+		if c.onCompileResult != nil {
+			c.onCompileResult(key, err)
+		}
 		lookupSpan(lkStart, "miss", nil, key, err)
 		return nil, err
 	}
@@ -268,6 +280,9 @@ func (c *Cache) GetOrCompile(key string, compile CompileFunc) (*core.Func, error
 	c.entries.Add(1)
 	c.codeBytes.Add(e.size)
 	close(e.done)
+	if c.onCompileResult != nil {
+		c.onCompileResult(key, nil)
+	}
 	c.enforce()
 	lookupSpan(lkStart, "miss", fn, key, nil)
 	return fn, nil

@@ -136,6 +136,9 @@ func (c *Cache) WarmUp(ctx context.Context, pool *batch.Pool, items []WarmItem) 
 				}
 				s.mu.Unlock()
 				close(e.done)
+				if c.onCompileResult != nil {
+					c.onCompileResult(e.key, r.Err)
+				}
 				continue
 			}
 			c.compiles.Add(1)
@@ -151,6 +154,9 @@ func (c *Cache) WarmUp(ctx context.Context, pool *batch.Pool, items []WarmItem) 
 			c.entries.Add(1)
 			c.codeBytes.Add(e.size)
 			close(e.done)
+			if c.onCompileResult != nil {
+				c.onCompileResult(e.key, nil)
+			}
 			inserted = true
 		}
 		if inserted {

@@ -36,8 +36,9 @@ type Fault struct {
 }
 
 func (f *Fault) Error() string {
-	if f.Op == "compile" {
-		return "faultinject: injected compile failure"
+	switch f.Op {
+	case "compile", "journal-write", "journal-sync":
+		return "faultinject: injected " + f.Op + " failure"
 	}
 	return fmt.Sprintf("faultinject: injected %s fault at %#x", f.Op, f.Addr)
 }
@@ -68,27 +69,38 @@ type Config struct {
 	// single-flight).  Panic is rolled first.
 	CompileErrorRate float64
 	CompilePanicRate float64
+
+	// JournalWriteErrorRate / JournalSyncErrorRate fail the server's
+	// crash journal: a write fault simulates a lost append (nothing
+	// reaches the OS), a sync fault a disk that accepted the bytes but
+	// refused the fsync.  The journal must degrade to non-durable typed
+	// acks, never corrupt acknowledged state.
+	JournalWriteErrorRate float64
+	JournalSyncErrorRate  float64
 }
 
 // Stats counts injected faults by class.
 type Stats struct {
-	FetchErrors   uint64
-	BitFlips      uint64
-	LoadErrors    uint64
-	StoreErrors   uint64
-	CompileErrors uint64
-	CompilePanics uint64
+	FetchErrors        uint64
+	BitFlips           uint64
+	LoadErrors         uint64
+	StoreErrors        uint64
+	CompileErrors      uint64
+	CompilePanics      uint64
+	JournalWriteErrors uint64
+	JournalSyncErrors  uint64
 }
 
 // Total is the number of faults injected across all classes.
 func (s Stats) Total() uint64 {
 	return s.FetchErrors + s.BitFlips + s.LoadErrors + s.StoreErrors +
-		s.CompileErrors + s.CompilePanics
+		s.CompileErrors + s.CompilePanics + s.JournalWriteErrors + s.JournalSyncErrors
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("injected %d faults: %d fetch errors, %d bit flips, %d load errors, %d store errors, %d compile errors, %d compile panics",
-		s.Total(), s.FetchErrors, s.BitFlips, s.LoadErrors, s.StoreErrors, s.CompileErrors, s.CompilePanics)
+	return fmt.Sprintf("injected %d faults: %d fetch errors, %d bit flips, %d load errors, %d store errors, %d compile errors, %d compile panics, %d journal write errors, %d journal sync errors",
+		s.Total(), s.FetchErrors, s.BitFlips, s.LoadErrors, s.StoreErrors, s.CompileErrors, s.CompilePanics,
+		s.JournalWriteErrors, s.JournalSyncErrors)
 }
 
 // Injector implements mem.FaultHook and wraps compile callbacks.  Safe
@@ -99,12 +111,14 @@ type Injector struct {
 	rng *rand.Rand
 	cfg Config
 
-	fetchErrors   atomic.Uint64
-	bitFlips      atomic.Uint64
-	loadErrors    atomic.Uint64
-	storeErrors   atomic.Uint64
-	compileErrors atomic.Uint64
-	compilePanics atomic.Uint64
+	fetchErrors        atomic.Uint64
+	bitFlips           atomic.Uint64
+	loadErrors         atomic.Uint64
+	storeErrors        atomic.Uint64
+	compileErrors      atomic.Uint64
+	compilePanics      atomic.Uint64
+	journalWriteErrors atomic.Uint64
+	journalSyncErrors  atomic.Uint64
 }
 
 // New builds an injector with the given rates and seed.
@@ -180,14 +194,34 @@ func (in *Injector) WrapCompile(compile func() (*core.Func, error)) func() (*cor
 	}
 }
 
+// JournalWriteFault rolls for an injected journal append failure.
+func (in *Injector) JournalWriteFault() error {
+	if in.roll(in.cfg.JournalWriteErrorRate) {
+		in.journalWriteErrors.Add(1)
+		return &Fault{Op: "journal-write"}
+	}
+	return nil
+}
+
+// JournalSyncFault rolls for an injected journal fsync failure.
+func (in *Injector) JournalSyncFault() error {
+	if in.roll(in.cfg.JournalSyncErrorRate) {
+		in.journalSyncErrors.Add(1)
+		return &Fault{Op: "journal-sync"}
+	}
+	return nil
+}
+
 // Stats snapshots the injected-fault counters.
 func (in *Injector) Stats() Stats {
 	return Stats{
-		FetchErrors:   in.fetchErrors.Load(),
-		BitFlips:      in.bitFlips.Load(),
-		LoadErrors:    in.loadErrors.Load(),
-		StoreErrors:   in.storeErrors.Load(),
-		CompileErrors: in.compileErrors.Load(),
-		CompilePanics: in.compilePanics.Load(),
+		FetchErrors:        in.fetchErrors.Load(),
+		BitFlips:           in.bitFlips.Load(),
+		LoadErrors:         in.loadErrors.Load(),
+		StoreErrors:        in.storeErrors.Load(),
+		CompileErrors:      in.compileErrors.Load(),
+		CompilePanics:      in.compilePanics.Load(),
+		JournalWriteErrors: in.journalWriteErrors.Load(),
+		JournalSyncErrors:  in.journalSyncErrors.Load(),
 	}
 }

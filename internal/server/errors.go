@@ -73,6 +73,17 @@ const (
 	CodeExecError Code = "exec_error"
 	// CodeShuttingDown rejects work arriving after shutdown began.
 	CodeShuttingDown Code = "shutting_down"
+	// CodeRateLimited rejects a request over the tenant's token-bucket
+	// rate (requests/sec with burst).  429 with a jittered Retry-After.
+	CodeRateLimited Code = "rate_limited"
+	// CodeCircuitOpen fast-fails a compile for a key that has failed
+	// repeatedly: the per-key circuit breaker is open and the request
+	// never reaches the batch pool.  503 with Retry-After.
+	CodeCircuitOpen Code = "circuit_open"
+	// CodeOverloaded is the global load-shedding watermark rejecting
+	// low-priority compile traffic while the batch queues are deep.  503
+	// with Retry-After.
+	CodeOverloaded Code = "overloaded"
 )
 
 // APIError is the typed JSON error body: {"error": {...}}.  RetryAfterMS
@@ -109,13 +120,13 @@ func statusFor(code Code) int {
 		return http.StatusForbidden
 	case CodeNotFound:
 		return http.StatusNotFound
-	case CodeQueueFull, CodeQuotaConcurrency, CodeQuotaCodeBytes:
+	case CodeQueueFull, CodeQuotaConcurrency, CodeQuotaCodeBytes, CodeRateLimited:
 		return http.StatusTooManyRequests
 	case CodeVerifyReject, CodeCompileError, CodeFuelExhausted, CodeExecError:
 		return http.StatusUnprocessableEntity
 	case CodeDeadline:
 		return http.StatusGatewayTimeout
-	case CodeShuttingDown:
+	case CodeShuttingDown, CodeCircuitOpen, CodeOverloaded:
 		return http.StatusServiceUnavailable
 	default: // compile_panic, trap_panic, sim_panic, injected_fault
 		return http.StatusInternalServerError

@@ -36,6 +36,17 @@ type request struct {
 	// RequestID is echoed back and stamped onto trace spans; minted
 	// when absent.
 	RequestID string `json:"request_id"`
+	// Priority is this request's shed priority, 0–9 (9 sheds last);
+	// omitted inherits the tenant's default.
+	Priority *int `json:"priority"`
+}
+
+// prio resolves the request's effective shed priority.
+func (req *request) prio(t *tenant) int {
+	if req.Priority != nil {
+		return clampPriority(*req.Priority)
+	}
+	return t.priority
 }
 
 // execResponse is the /v1/exec success body.
@@ -44,6 +55,7 @@ type execResponse struct {
 	Key        string `json:"key"`
 	Shard      int    `json:"shard"`
 	Cached     bool   `json:"cached"`
+	Durable    bool   `json:"durable"`
 	Result     any    `json:"result"`
 	ResultType string `json:"result_type"`
 	Cycles     uint64 `json:"cycles"`
@@ -57,6 +69,7 @@ type compileResponse struct {
 	Key       string `json:"key"`
 	Shard     int    `json:"shard"`
 	Cached    bool   `json:"cached"`
+	Durable   bool   `json:"durable"`
 	Entry     string `json:"entry"`
 	CodeBytes int64  `json:"code_bytes"`
 	Functions int    `json:"functions"`
@@ -115,6 +128,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, reqID string, ae *APIError) {
 	if ae.RetryAfterMS > 0 {
+		// Jitter the hint ±20% (on a copy — the original may be a shared
+		// template) so synchronized clients spread their retries.
+		j := *ae
+		j.RetryAfterMS = jitterMS(ae.RetryAfterMS)
+		ae = &j
 		secs := (ae.RetryAfterMS + 999) / 1000
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
@@ -141,7 +159,15 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cr, ae := s.compile(r.Context(), t, req.Lang, req.Source, req.Entry, req.Key)
+	if ae := t.admitRate(); ae != nil {
+		s.rateLimited.Inc()
+		t.rejected.Inc()
+		s.finishRequest(t, reqID, start, nil, sp, ae)
+		writeErr(w, reqID, ae)
+		return
+	}
+
+	cr, ae := s.compile(r.Context(), t, req.Lang, req.Source, req.Entry, req.Key, req.prio(t))
 	if ae != nil {
 		s.finishRequest(t, reqID, start, nil, sp, ae)
 		writeErr(w, reqID, ae)
@@ -167,6 +193,7 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		Key:        cr.key,
 		Shard:      cr.shard.id,
 		Cached:     cr.cached,
+		Durable:    cr.durable,
 		Result:     res,
 		ResultType: typ,
 		Cycles:     er.stats.Cycles,
@@ -195,7 +222,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, reqID, ae)
 		return
 	}
-	cr, ae := s.compile(r.Context(), t, req.Lang, req.Source, req.Entry, req.Key)
+	if ae := t.admitRate(); ae != nil {
+		s.rateLimited.Inc()
+		t.rejected.Inc()
+		s.finishRequest(t, reqID, start, nil, sp, ae)
+		writeErr(w, reqID, ae)
+		return
+	}
+	cr, ae := s.compile(r.Context(), t, req.Lang, req.Source, req.Entry, req.Key, req.prio(t))
 	if ae != nil {
 		s.finishRequest(t, reqID, start, nil, sp, ae)
 		writeErr(w, reqID, ae)
@@ -206,6 +240,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Key:       cr.key,
 		Shard:     cr.shard.id,
 		Cached:    cr.cached,
+		Durable:   cr.durable,
 		Entry:     cr.fn.Name,
 		Params:    len(cr.fn.Params),
 	}

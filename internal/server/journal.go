@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// The crash journal (VCJRNL) makes acknowledged units durable between
+// snapshots.  Each accepted compile appends one record; recovery loads
+// the last full snapshot and replays the journal tail on top of it.
+//
+// On-disk layout: a header — the magic string "VCJRNL" plus one version
+// byte — then a sequence of records, each framed as
+//
+//	[4-byte LE payload length][4-byte LE CRC32-IEEE of payload][payload]
+//
+// where the payload is a self-contained gob stream of one journalRecord.
+// Replay stops at the first short, oversized, CRC-mismatching or
+// undecodable record: everything before a torn tail is trusted,
+// everything at and after it is discarded.  That is sound because a
+// record is only acknowledged as durable after its batch fsynced.
+//
+// Appends funnel through one writer goroutine that group-commits: it
+// drains the request channel up to a batch bound or the fsync interval,
+// writes the batch with a single write+fsync, then releases every
+// waiter.  A write or sync failure flips the journal into a degraded
+// state — every current and future append fails fast (acks go out
+// non-durable) — until the next checkpoint rotation hands the writer a
+// fresh file.
+const (
+	journalMagic   = "VCJRNL"
+	journalVersion = byte(1)
+
+	journalOpAdd = byte(1)
+	journalOpDel = byte(2)
+
+	// maxJournalRecordBytes bounds one record at replay: a length field
+	// larger than this is corruption, not a real record.
+	maxJournalRecordBytes = 8 << 20
+	// journalBatchMax bounds one group commit.
+	journalBatchMax = 256
+)
+
+var (
+	errJournalDegraded = errors.New("server: journal degraded (write or fsync failed; clears at next checkpoint)")
+	errJournalClosed   = errors.New("server: journal closed")
+)
+
+// journalRecord is one logical mutation of the resident set.
+type journalRecord struct {
+	Op     byte
+	Key    string    // set for del
+	Entry  snapEntry // set for add
+	Shards int       // shard count at write time (resharding diagnostics)
+}
+
+func journalHeader() []byte {
+	return append([]byte(journalMagic), journalVersion)
+}
+
+// encodeRecord frames one record: length, CRC, gob payload.
+func encodeRecord(rec journalRecord) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
+		return nil, fmt.Errorf("server: encoding journal record: %w", err)
+	}
+	p := payload.Bytes()
+	frame := make([]byte, 8+len(p))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(p))
+	copy(frame[8:], p)
+	return frame, nil
+}
+
+// jreq is one writer-goroutine request: an append frame (done non-nil
+// when the caller wants to block until its fsync), or a rotation.
+type jreq struct {
+	frame []byte
+	done  chan error
+	rot   chan error
+}
+
+type journal struct {
+	path       string
+	fsyncEvery time.Duration
+	inj        *faultinject.Injector
+
+	reqs chan jreq
+	quit chan struct{}
+	dead chan struct{} // closed when the writer goroutine exits
+
+	closeOnce sync.Once
+
+	// failed marks the degraded state: the current journal generation
+	// took a write/sync error, so nothing after the failure point can be
+	// trusted durable.  Cleared only by rotation (fresh file).
+	failed  atomic.Bool
+	rotated atomic.Bool // writing to path+".rot", rename pending
+	pending atomic.Int64
+
+	f *os.File // owned by the writer goroutine once run starts
+
+	appends    *telemetry.Counter
+	appendErrs *telemetry.Counter
+	tombstones *telemetry.Counter
+	fsyncs     *telemetry.Counter
+	rotations  *telemetry.Counter
+	bytesOut   *telemetry.Counter
+}
+
+// openJournal truncates path to a fresh journal (header only, synced)
+// and starts the writer goroutine.  Callers must have folded any
+// previous journal contents into a snapshot first — open discards them.
+func openJournal(path string, fsyncEvery time.Duration, inj *faultinject.Injector, reg *telemetry.Registry) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(journalHeader()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &journal{
+		path:       path,
+		fsyncEvery: fsyncEvery,
+		inj:        inj,
+		reqs:       make(chan jreq, 1024),
+		quit:       make(chan struct{}),
+		dead:       make(chan struct{}),
+		f:          f,
+		appends:    reg.Counter("server.journal.appends"),
+		appendErrs: reg.Counter("server.journal.append_errors"),
+		tombstones: reg.Counter("server.journal.tombstones"),
+		fsyncs:     reg.Counter("server.journal.fsyncs"),
+		rotations:  reg.Counter("server.journal.rotations"),
+		bytesOut:   reg.Counter("server.journal.bytes"),
+	}
+	reg.GaugeFunc("server.journal.pending", func() float64 {
+		return float64(j.pending.Load())
+	})
+	go j.run()
+	return j, nil
+}
+
+func (j *journal) rotPath() string { return j.path + ".rot" }
+
+// append journals one record.  With wait set it blocks until the record
+// has been written and fsynced (group commit) — a nil return is the
+// durability guarantee.  Without wait the record rides the next batch on
+// a best-effort basis (eviction tombstones).
+func (j *journal) append(rec journalRecord, wait bool) error {
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if j.failed.Load() {
+		j.appendErrs.Inc()
+		return errJournalDegraded
+	}
+	r := jreq{frame: frame}
+	if wait {
+		r.done = make(chan error, 1)
+	}
+	j.pending.Add(1)
+	select {
+	case j.reqs <- r:
+	case <-j.dead:
+		j.pending.Add(-1)
+		return errJournalClosed
+	}
+	if !wait {
+		return nil
+	}
+	select {
+	case err := <-r.done:
+		return err
+	case <-j.dead:
+		return errJournalClosed
+	}
+}
+
+// rotate asks the writer to switch to a fresh path+".rot" generation
+// (syncing and closing the old file first) and waits for it.  A second
+// rotate while a rename is still pending is a sync-only no-op, so a
+// failed checkpoint cannot orphan unsnapshotted records.
+func (j *journal) rotate() error {
+	ch := make(chan error, 1)
+	select {
+	case j.reqs <- jreq{rot: ch}:
+	case <-j.dead:
+		return errJournalClosed
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-j.dead:
+		return errJournalClosed
+	}
+}
+
+// finishRotation completes a checkpoint: the new snapshot is on disk, so
+// the rotation file becomes the journal (the writer's fd follows the
+// inode across the rename).
+func (j *journal) finishRotation() error {
+	if !j.rotated.Load() {
+		return nil
+	}
+	if err := os.Rename(j.rotPath(), j.path); err != nil {
+		return err
+	}
+	j.rotated.Store(false)
+	return nil
+}
+
+// close stops the writer, flushing and syncing anything queued.
+func (j *journal) close() {
+	j.closeOnce.Do(func() { close(j.quit) })
+	<-j.dead
+}
+
+// run is the writer goroutine: group-commit batches off the request
+// channel, one write+fsync per batch.
+func (j *journal) run() {
+	defer close(j.dead)
+	var batch []jreq
+	for {
+		select {
+		case r := <-j.reqs:
+			if r.rot != nil {
+				r.rot <- j.doRotate()
+				continue
+			}
+			batch = append(batch[:0], r)
+			timer := time.NewTimer(j.fsyncEvery)
+			var rot chan error
+		gather:
+			for len(batch) < journalBatchMax {
+				select {
+				case r2 := <-j.reqs:
+					if r2.rot != nil {
+						rot = r2.rot
+						break gather
+					}
+					batch = append(batch, r2)
+				case <-timer.C:
+					break gather
+				case <-j.quit:
+					timer.Stop()
+					j.flush(batch)
+					j.drainAndExit()
+					return
+				}
+			}
+			timer.Stop()
+			j.flush(batch)
+			batch = batch[:0]
+			if rot != nil {
+				rot <- j.doRotate()
+			}
+		case <-j.quit:
+			j.drainAndExit()
+			return
+		}
+	}
+}
+
+// drainAndExit serves whatever is still queued, then syncs and closes.
+func (j *journal) drainAndExit() {
+	for {
+		select {
+		case r := <-j.reqs:
+			if r.rot != nil {
+				r.rot <- errJournalClosed
+				continue
+			}
+			j.flush([]jreq{r})
+		default:
+			if j.f != nil {
+				_ = j.f.Sync()
+				_ = j.f.Close()
+			}
+			return
+		}
+	}
+}
+
+// flush writes one batch with a single write and a single fsync, then
+// releases every waiter.  Any failure degrades the journal: all waiters
+// in the batch (and every later append until rotation) get an error,
+// because nothing past the failure point is guaranteed on disk.
+func (j *journal) flush(batch []jreq) {
+	if len(batch) == 0 {
+		return
+	}
+	defer j.pending.Add(-int64(len(batch)))
+	fail := func(err error) {
+		j.failed.Store(true)
+		j.appendErrs.Add(uint64(len(batch)))
+		for _, r := range batch {
+			if r.done != nil {
+				r.done <- err
+			}
+		}
+	}
+	if j.failed.Load() {
+		fail(errJournalDegraded)
+		return
+	}
+	var buf []byte
+	for _, r := range batch {
+		buf = append(buf, r.frame...)
+	}
+	if j.inj != nil {
+		if err := j.inj.JournalWriteFault(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		fail(err)
+		return
+	}
+	if j.inj != nil {
+		if err := j.inj.JournalSyncFault(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	if err := j.f.Sync(); err != nil {
+		fail(err)
+		return
+	}
+	j.appends.Add(uint64(len(batch)))
+	j.fsyncs.Inc()
+	j.bytesOut.Add(uint64(len(buf)))
+	for _, r := range batch {
+		if r.done != nil {
+			r.done <- nil
+		}
+	}
+}
+
+// doRotate switches the writer to a fresh path+".rot" generation and
+// clears the degraded state.  Runs on the writer goroutine.
+func (j *journal) doRotate() error {
+	if j.rotated.Load() {
+		// The previous rotation's snapshot+rename never completed; keep
+		// appending to the same generation rather than truncating
+		// records no snapshot covers yet.
+		if !j.failed.Load() {
+			return j.f.Sync()
+		}
+		return errJournalDegraded
+	}
+	if j.f != nil {
+		_ = j.f.Sync()
+		_ = j.f.Close()
+		j.f = nil
+	}
+	f, err := os.OpenFile(j.rotPath(), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		j.failed.Store(true)
+		return err
+	}
+	if _, err := f.Write(journalHeader()); err != nil {
+		f.Close()
+		j.failed.Store(true)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.failed.Store(true)
+		return err
+	}
+	j.f = f
+	j.rotated.Store(true)
+	j.failed.Store(false)
+	j.rotations.Inc()
+	return nil
+}
+
+// journalDiag describes what replay found.
+type journalDiag struct {
+	Missing   bool // no file
+	HeaderBad bool // existing file without a valid header
+	Torn      bool // stopped early at a short/corrupt record
+	Records   int  // good records returned
+}
+
+// replayJournal reads every trustworthy record from path, stopping at
+// the first torn or corrupt one.  It never fails hard: corruption just
+// truncates the replay.
+func replayJournal(path string) ([]journalRecord, journalDiag) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, journalDiag{Missing: true}
+	}
+	hdr := journalHeader()
+	if len(raw) < len(hdr) || !bytes.Equal(raw[:len(hdr)], hdr) {
+		return nil, journalDiag{HeaderBad: len(raw) > 0}
+	}
+	var (
+		recs []journalRecord
+		diag journalDiag
+	)
+	off := len(hdr)
+	for off < len(raw) {
+		if len(raw)-off < 8 {
+			diag.Torn = true
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off : off+4]))
+		sum := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		if n <= 0 || n > maxJournalRecordBytes || len(raw)-off-8 < n {
+			diag.Torn = true
+			break
+		}
+		payload := raw[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			diag.Torn = true
+			break
+		}
+		var rec journalRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			diag.Torn = true
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	diag.Records = len(recs)
+	return recs, diag
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+func testJournal(t *testing.T, inj *faultinject.Injector) (*journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "j.vcjrnl")
+	j, err := openJournal(path, time.Millisecond, inj, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	return j, path
+}
+
+func addRec(key string) journalRecord {
+	return journalRecord{Op: journalOpAdd, Entry: snapEntry{Key: key, Tenant: "t", Lang: "vasm", Source: "src-" + key}, Shards: 2}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j, path := testJournal(t, nil)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := j.append(addRec(k), true); err != nil {
+			t.Fatalf("append(%s): %v", k, err)
+		}
+	}
+	if err := j.append(journalRecord{Op: journalOpDel, Key: "b"}, true); err != nil {
+		t.Fatalf("append(del): %v", err)
+	}
+	j.close()
+
+	recs, diag := replayJournal(path)
+	if diag.Torn || diag.HeaderBad || diag.Missing {
+		t.Fatalf("clean journal diagnosed dirty: %+v", diag)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if recs[i].Op != journalOpAdd || recs[i].Entry.Key != want || recs[i].Entry.Source != "src-"+want {
+			t.Fatalf("record %d = %+v, want add %s", i, recs[i], want)
+		}
+	}
+	if recs[3].Op != journalOpDel || recs[3].Key != "b" {
+		t.Fatalf("record 3 = %+v, want del b", recs[3])
+	}
+}
+
+func TestJournalTornTailTruncatesReplay(t *testing.T) {
+	j, path := testJournal(t, nil)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := j.append(addRec(k), true); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	j.close()
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+		want   int // trusted records after corruption
+	}{
+		{"truncated mid-frame", func(b []byte) []byte { return b[:len(b)-3] }, 2},
+		{"flipped payload byte", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-2] ^= 0x40
+			return out
+		}, 2},
+		{"garbage appended", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xde, 0xad) }, 3},
+		{"absurd length field", func(b []byte) []byte {
+			// Rewrite the first record's length to claim gigabytes.
+			out := append([]byte(nil), b...)
+			off := len(journalHeader())
+			out[off], out[off+1], out[off+2], out[off+3] = 0xff, 0xff, 0xff, 0x7f
+			return out
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "mangled.vcjrnl")
+			if err := os.WriteFile(p, tc.mangle(clean), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, diag := replayJournal(p)
+			if !diag.Torn {
+				t.Fatalf("corruption not diagnosed: %+v", diag)
+			}
+			if len(recs) != tc.want {
+				t.Fatalf("replayed %d records, want %d", len(recs), tc.want)
+			}
+		})
+	}
+}
+
+func TestJournalHeaderCorruption(t *testing.T) {
+	j, path := testJournal(t, nil)
+	if err := j.append(addRec("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, diag := replayJournal(path)
+	if !diag.HeaderBad || len(recs) != 0 {
+		t.Fatalf("bad header accepted: recs=%d diag=%+v", len(recs), diag)
+	}
+	if _, diag := replayJournal(filepath.Join(t.TempDir(), "absent")); !diag.Missing {
+		t.Fatalf("missing file not diagnosed: %+v", diag)
+	}
+}
+
+func TestJournalRotationProtocol(t *testing.T) {
+	j, path := testJournal(t, nil)
+	if err := j.append(addRec("old"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.rotate(); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if err := j.append(addRec("new"), true); err != nil {
+		t.Fatalf("append after rotate: %v", err)
+	}
+
+	// Crash window: snapshot written but rename not yet done — recovery
+	// replays both generations.
+	oldRecs, _ := replayJournal(path)
+	rotRecs, _ := replayJournal(path + ".rot")
+	if len(oldRecs) != 1 || oldRecs[0].Entry.Key != "old" {
+		t.Fatalf("old generation = %+v", oldRecs)
+	}
+	if len(rotRecs) != 1 || rotRecs[0].Entry.Key != "new" {
+		t.Fatalf("rotation generation = %+v", rotRecs)
+	}
+
+	if err := j.finishRotation(); err != nil {
+		t.Fatalf("finishRotation: %v", err)
+	}
+	if _, err := os.Stat(path + ".rot"); !os.IsNotExist(err) {
+		t.Fatalf(".rot still present after publish: %v", err)
+	}
+	recs, _ := replayJournal(path)
+	if len(recs) != 1 || recs[0].Entry.Key != "new" {
+		t.Fatalf("published journal = %+v, want just new", recs)
+	}
+	j.close()
+}
+
+func TestJournalDegradesOnSyncFaultAndRotationClears(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{Seed: 1, JournalSyncErrorRate: 1})
+	j, _ := testJournal(t, inj)
+	defer j.close()
+
+	err := j.append(addRec("a"), true)
+	if err == nil {
+		t.Fatal("append succeeded with every fsync failing")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append error %v is not the injected fault", err)
+	}
+	// Degraded: later appends fail fast with the typed sentinel.
+	if err := j.append(addRec("b"), true); !errors.Is(err, errJournalDegraded) {
+		t.Fatalf("append after failure = %v, want errJournalDegraded", err)
+	}
+	if !j.failed.Load() {
+		t.Fatal("journal not marked degraded")
+	}
+	// Rotation hands the writer a fresh file and clears the state.
+	if err := j.rotate(); err != nil {
+		t.Fatalf("rotate out of degraded: %v", err)
+	}
+	if j.failed.Load() {
+		t.Fatal("rotation did not clear the degraded state")
+	}
+}
+
+func TestJournalRecordBytesAreFramed(t *testing.T) {
+	frame, err := encodeRecord(addRec("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) < 9 || !bytes.Contains(frame, []byte("src-x")) {
+		t.Fatalf("frame looks wrong: %d bytes", len(frame))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +65,25 @@ type Config struct {
 	// FailureBackoff negative-caches failed compiles per key (0 = every
 	// request retries).
 	FailureBackoff time.Duration
+	// FsyncInterval is the journal writer's group-commit window: appends
+	// gather up to this long (or a batch bound) before one write+fsync
+	// releases them all (default 2ms).
+	FsyncInterval time.Duration
+	// CheckpointInterval, when positive, folds journal + snapshot into a
+	// fresh snapshot generation on this period (started by Recover when
+	// a journal path is given).
+	CheckpointInterval time.Duration
+	// BreakerThreshold opens a key's compile circuit after this many
+	// consecutive failures (default 3; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown holds an open circuit before the half-open probe
+	// (default 5s).
+	BreakerCooldown time.Duration
+	// ShedLowWatermark / ShedHighWatermark are total batch-queue depths
+	// past which compile-requiring traffic below priority 4 / 8 is shed
+	// (defaults: half and 90% of Shards×QueueBound).
+	ShedLowWatermark  int64
+	ShedHighWatermark int64
 	// Registry receives the server's instruments (default
 	// telemetry.Default).
 	Registry *telemetry.Registry
@@ -98,6 +118,22 @@ func (c Config) withDefaults() Config {
 	if c.DefaultQuota.FuelPerCall == 0 {
 		c.DefaultQuota.FuelPerCall = 1 << 20
 	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 2 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	capacity := int64(c.Shards) * c.QueueBound
+	if c.ShedLowWatermark <= 0 {
+		c.ShedLowWatermark = capacity / 2
+	}
+	if c.ShedHighWatermark <= 0 {
+		c.ShedHighWatermark = capacity * 9 / 10
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
@@ -115,14 +151,37 @@ type Server struct {
 	reqSeq  atomic.Uint64
 	closing atomic.Bool
 
+	// Crash durability: the steady-state journal and the paths the
+	// periodic checkpointer folds into (set by Recover).
+	journal  *journal
+	snapPath string
+	jrnlPath string
+	ckptMu   sync.Mutex
+	ckptQuit chan struct{}
+	ckptWG   sync.WaitGroup
+
+	// Overload protection.
+	breakers   *breakerSet
+	queueDepth func() int64 // summed batch queue depth (tests may stub)
+
+	recoveryMS atomic.Int64
+
 	requests  *telemetry.Counter
 	errorsAll *telemetry.Counter
 	callNS    *telemetry.Histogram
 	requestNS *telemetry.Histogram
 
+	rateLimited            *telemetry.Counter
+	shedded                *telemetry.Counter
+	breakerFast            *telemetry.Counter
+	checkpoints            *telemetry.Counter
+	ckptErrors             *telemetry.Counter
+	jrnlReplayed, jrnlTorn *telemetry.Counter
+
 	snapSaved, snapRestored   *telemetry.Counter
 	snapExact, snapRecompiled *telemetry.Counter
 	snapErrors, snapIncompat  *telemetry.Counter
+	snapResharded             *telemetry.Counter
 }
 
 // New builds the server: N shard arenas on the configured backend, the
@@ -141,17 +200,36 @@ func New(cfg Config) (*Server, error) {
 		errorsAll:      reg.Counter("server.errors"),
 		callNS:         reg.Histogram("server.call_ns", nil),
 		requestNS:      reg.Histogram("server.request_ns", nil),
+		rateLimited:    reg.Counter("server.rate_limited"),
+		shedded:        reg.Counter("server.shed"),
+		breakerFast:    reg.Counter("server.breaker_open"),
+		checkpoints:    reg.Counter("server.checkpoints"),
+		ckptErrors:     reg.Counter("server.checkpoint_errors"),
+		jrnlReplayed:   reg.Counter("server.journal.replayed"),
+		jrnlTorn:       reg.Counter("server.journal.torn"),
 		snapSaved:      reg.Counter("server.snapshot.saved"),
 		snapRestored:   reg.Counter("server.snapshot.restored"),
 		snapExact:      reg.Counter("server.snapshot.exact"),
 		snapRecompiled: reg.Counter("server.snapshot.recompiled"),
 		snapErrors:     reg.Counter("server.snapshot.errors"),
 		snapIncompat:   reg.Counter("server.snapshot.incompatible"),
+		snapResharded:  reg.Counter("server.snapshot.resharded"),
 	}
+	s.queueDepth = s.totalQueueDepth
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	reg.GaugeFunc("server.recovery_ms", func() float64 {
+		return float64(s.recoveryMS.Load())
+	})
 	s.health.Expect("snapshot_restored")
 	s.health.Expect("warmup_drained")
+	var onResult func(key string, err error)
+	if s.breakers != nil {
+		onResult = s.breakers.record
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh, err := newShard(i, cfg.Backend, cfg.WorkersPerShard, cfg.MaxEntriesPerShard, cfg.MaxCodeBytesPerShard, cfg.FailureBackoff, reg)
+		sh, err := newShard(i, cfg.Backend, cfg.WorkersPerShard, cfg.MaxEntriesPerShard, cfg.MaxCodeBytesPerShard, cfg.FailureBackoff, reg, onResult)
 		if err != nil {
 			return nil, err
 		}
@@ -172,18 +250,38 @@ func (s *Server) Health() *telemetry.Health { return s.health }
 func (s *Server) Shards() int { return len(s.shards) }
 
 // unitEvicted is the shard eviction callback: return the program's
-// bytes to its tenant's residency budget.
+// bytes to its tenant's residency budget and journal a tombstone (best
+// effort — a lost tombstone just re-warms an evicted key on recovery).
 func (s *Server) unitEvicted(u *unit) {
 	if t, apiE := s.tenants.get(u.tenantName); apiE == nil {
 		t.resident.Add(-u.bytes)
 	}
+	if s.journal != nil {
+		s.journal.tombstones.Inc()
+		_ = s.journal.append(journalRecord{Op: journalOpDel, Key: u.key, Shards: len(s.shards)}, false)
+	}
 }
 
-// Close releases every shard's pool workers.  In-flight batches finish.
+// BeginDrain stops admitting new work — requests get shutting_down and
+// /readyz flips not-ready immediately — while in-flight calls keep
+// running.  The graceful-shutdown sequence is BeginDrain, drain the HTTP
+// server with its deadline, Checkpoint or SaveSnapshot, Close.
+func (s *Server) BeginDrain() {
+	s.closing.Store(true)
+	s.health.Set("accepting_traffic", false)
+}
+
+// Close releases every shard's pool workers and stops the checkpointer
+// and journal.  In-flight batches finish (and their journal appends
+// settle) before the journal closes.
 func (s *Server) Close() {
 	s.closing.Store(true)
+	s.stopCheckpoints()
 	for _, sh := range s.shards {
 		sh.close()
+	}
+	if s.journal != nil {
+		s.journal.close()
 	}
 }
 
@@ -191,17 +289,19 @@ func (s *Server) Close() {
 
 // compileResult is what the compile path hands the HTTP layer.
 type compileResult struct {
-	key    string
-	shard  *shard
-	fn     *core.Func
-	cached bool // served from cache without compiling here
+	key     string
+	shard   *shard
+	fn      *core.Func
+	cached  bool // served from cache without compiling here
+	durable bool // journal record fsynced (or restored from disk)
 }
 
 // compile resolves (lang, source, entry) — or a bare key — to a
 // resident entry function, compiling through the shard's batch pool
 // under admission control and quotas on a miss.  Concurrent requests
 // for one key coalesce into a single flight regardless of tenant.
-func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, key string) (compileResult, *APIError) {
+// prio is the request's shed priority (0–9).
+func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, key string, prio int) (compileResult, *APIError) {
 	if s.closing.Load() {
 		return compileResult{}, apiErr(CodeShuttingDown, "server is shutting down")
 	}
@@ -213,10 +313,32 @@ func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, ke
 	}
 	sh := s.shards[shardOf(key, len(s.shards))]
 	if fn, ok := sh.cache.Get(key); ok {
-		return compileResult{key: key, shard: sh, fn: fn, cached: true}, nil
+		return compileResult{key: key, shard: sh, fn: fn, cached: true, durable: sh.unitDurable(key)}, nil
 	}
 	if source == "" {
 		return compileResult{}, apiErr(CodeNotFound, "key %s is not resident and no source was given", key)
+	}
+
+	// Overload protection on the compile path: keys whose compiles keep
+	// failing fast-fail on the open circuit, then the global shed
+	// watermarks drop low-priority traffic while queues are deep.  Both
+	// run before the per-shard queue bound so a rejected request never
+	// touches the pool.
+	if s.breakers != nil {
+		if wait, open := s.breakers.allow(key); open {
+			t.rejected.Inc()
+			s.breakerFast.Inc()
+			ms := wait.Milliseconds()
+			if ms < 1 {
+				ms = retryAfterBreakerMS
+			}
+			return compileResult{}, apiErr(CodeCircuitOpen,
+				"key %s is failing repeatedly; circuit open", key).withRetryAfter(ms)
+		}
+	}
+	if apiE := s.shedCheck(prio); apiE != nil {
+		t.rejected.Inc()
+		return compileResult{}, apiE
 	}
 
 	// Admission: shard compile-queue backpressure, then tenant quotas.
@@ -242,6 +364,19 @@ func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, ke
 		t.resident.Add(u.bytes)
 		t.compiles.Inc()
 		compiledHere = true
+		if s.journal != nil {
+			// Group commit: block this flight until the record fsyncs.
+			// A degraded journal (write/fsync failure) still serves the
+			// unit — the ack just goes out durable=false until the next
+			// checkpoint rotation hands the writer a fresh file.
+			if jerr := s.journal.append(journalRecord{
+				Op:     journalOpAdd,
+				Entry:  snapEntryOf(u, sh.id),
+				Shards: len(s.shards),
+			}, true); jerr == nil {
+				u.durable.Store(true)
+			}
+		}
 		return u.entryFn, nil
 	}
 	if inj := s.cfg.Injector; inj != nil {
@@ -259,7 +394,7 @@ func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, ke
 	if err != nil {
 		return compileResult{}, classifyCompile(err)
 	}
-	return compileResult{key: key, shard: sh, fn: fn, cached: !compiledHere}, nil
+	return compileResult{key: key, shard: sh, fn: fn, cached: !compiledHere, durable: sh.unitDurable(key)}, nil
 }
 
 // execResult is one completed call.
@@ -339,6 +474,7 @@ func (sh *shard) statsView() ShardStats {
 	return ShardStats{
 		ID:                 sh.id,
 		Units:              units,
+		UnitBytes:          sh.unitBytes(),
 		Calls:              sh.calls.Load(),
 		Compiles:           sh.compiles.Load(),
 		QueueDepth:         sh.pool.QueueDepth(),
@@ -355,6 +491,7 @@ func (sh *shard) statsView() ShardStats {
 type ShardStats struct {
 	ID                 int               `json:"id"`
 	Units              int               `json:"units"`
+	UnitBytes          int64             `json:"unit_bytes"`
 	Calls              uint64            `json:"calls"`
 	Compiles           uint64            `json:"compiles"`
 	QueueDepth         int64             `json:"queue_depth"`
@@ -381,15 +518,21 @@ type TenantStats struct {
 
 // Stats is the /v1/stats document.
 type Stats struct {
-	Backend   string        `json:"backend"`
-	UptimeSec float64       `json:"uptime_sec"`
-	Ready     bool          `json:"ready"`
-	Requests  uint64        `json:"requests"`
-	Errors    uint64        `json:"errors"`
-	CallP50NS uint64        `json:"call_p50_ns"`
-	CallP99NS uint64        `json:"call_p99_ns"`
-	Shards    []ShardStats  `json:"shards"`
-	Tenants   []TenantStats `json:"tenants"`
+	Backend     string        `json:"backend"`
+	UptimeSec   float64       `json:"uptime_sec"`
+	Ready       bool          `json:"ready"`
+	Requests    uint64        `json:"requests"`
+	Errors      uint64        `json:"errors"`
+	RateLimited uint64        `json:"rate_limited"`
+	Shed        uint64        `json:"shed"`
+	BreakerOpen uint64        `json:"breaker_open"`
+	Resharded   uint64        `json:"resharded"`
+	RecoveryMS  int64         `json:"recovery_ms"`
+	QueueDepth  int64         `json:"queue_depth"`
+	CallP50NS   uint64        `json:"call_p50_ns"`
+	CallP99NS   uint64        `json:"call_p99_ns"`
+	Shards      []ShardStats  `json:"shards"`
+	Tenants     []TenantStats `json:"tenants"`
 }
 
 // StatsView assembles the current service-wide statistics.
@@ -397,13 +540,19 @@ func (s *Server) StatsView() Stats {
 	ready, _ := s.health.Ready()
 	sum := s.callNS.Summary()
 	st := Stats{
-		Backend:   s.cfg.Backend,
-		UptimeSec: time.Since(s.started).Seconds(),
-		Ready:     ready,
-		Requests:  s.requests.Load(),
-		Errors:    s.errorsAll.Load(),
-		CallP50NS: sum.P50,
-		CallP99NS: sum.P99,
+		Backend:     s.cfg.Backend,
+		UptimeSec:   time.Since(s.started).Seconds(),
+		Ready:       ready,
+		Requests:    s.requests.Load(),
+		Errors:      s.errorsAll.Load(),
+		RateLimited: s.rateLimited.Load(),
+		Shed:        s.shedded.Load(),
+		BreakerOpen: s.breakerFast.Load(),
+		Resharded:   s.snapResharded.Load(),
+		RecoveryMS:  s.recoveryMS.Load(),
+		QueueDepth:  s.queueDepth(),
+		CallP50NS:   sum.P50,
+		CallP99NS:   sum.P99,
 	}
 	for _, sh := range s.shards {
 		st.Shards = append(st.Shards, sh.statsView())

@@ -51,10 +51,17 @@ type unit struct {
 	entryFn    *core.Func
 	fns        []*core.Func
 	bytes      int64 // summed SizeBytes over fns
+
+	// durable flips true once the unit's journal record fsynced (or the
+	// unit was restored from disk) — the crash-survival guarantee the
+	// response's "durable" field reports.
+	durable atomic.Bool
 }
 
-// newShard builds one arena on the given backend.
-func newShard(id int, backend string, workers, maxEntries int, maxBytes int64, backoff time.Duration, reg *telemetry.Registry) (*shard, error) {
+// newShard builds one arena on the given backend.  onCompileResult,
+// when non-nil, receives every settled compile flight (the server's
+// circuit breaker feeds on it).
+func newShard(id int, backend string, workers, maxEntries int, maxBytes int64, backoff time.Duration, reg *telemetry.Registry, onCompileResult func(key string, err error)) (*shard, error) {
 	jm, err := jit.NewMachineTarget(backend, mem.Uncosted)
 	if err != nil {
 		return nil, err
@@ -66,12 +73,13 @@ func newShard(id int, backend string, workers, maxEntries int, maxBytes int64, b
 	}
 	name := fmt.Sprintf("srv%d", id)
 	s.cache = codecache.New(codecache.Config{
-		Machine:        s.machine,
-		MaxEntries:     maxEntries,
-		MaxCodeBytes:   maxBytes,
-		Name:           name,
-		OnEvict:        s.onEvict,
-		FailureBackoff: backoff,
+		Machine:         s.machine,
+		MaxEntries:      maxEntries,
+		MaxCodeBytes:    maxBytes,
+		Name:            name,
+		OnEvict:         s.onEvict,
+		FailureBackoff:  backoff,
+		OnCompileResult: onCompileResult,
 	})
 	s.pool, err = batch.New(batch.Config{Machine: s.machine, Workers: workers, Name: name})
 	if err != nil {
@@ -103,6 +111,28 @@ func (s *shard) unit(key string) *unit {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.units[key]
+}
+
+// unitDurable reports whether key's unit has its journal record on
+// disk (false for unknown keys and for units compiled while the
+// journal was degraded).
+func (s *shard) unitDurable(key string) bool {
+	s.mu.Lock()
+	u := s.units[key]
+	s.mu.Unlock()
+	return u != nil && u.durable.Load()
+}
+
+// unitBytes sums the resident units' bytes — the shard side of the
+// residency ledger (the tenant side is each tenant's resident counter).
+func (s *shard) unitBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum int64
+	for _, u := range s.units {
+		sum += u.bytes
+	}
+	return sum
 }
 
 // onEvict is the codecache hook: the cache has already uninstalled the

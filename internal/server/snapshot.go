@@ -2,89 +2,145 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/codecache"
 	"repro/internal/core"
 )
 
-// Warm-cache snapshots: on shutdown the server serializes every resident
-// program — key, owning tenant, language, entry point, source, and the
-// verified entry function's final code words — and on boot it restores
-// them through the batch pool's warmup path.  Restore recompiles from
-// source, which re-runs the verifier and the normal install pipeline, so
-// a snapshot can never smuggle unverified code into an arena: the stored
-// words are a cross-check, not the load path.  Code words are compared
-// against the recompiled function and counted as exact or recompiled
-// (words can legitimately differ across restarts when allocation order
-// shifts the absolute addresses linked into the code).
+// Warm-cache snapshots: the server serializes every resident program —
+// key, owning tenant, language, entry point, source, home shard, and the
+// verified entry function's final code words — and restores them through
+// the batch pool's warmup path.  Restore recompiles from source, which
+// re-runs the verifier and the normal install pipeline, so a snapshot
+// can never smuggle unverified code into an arena: the stored words are
+// a cross-check, not the load path.  Code words are compared against the
+// recompiled function and counted as exact or recompiled (words can
+// legitimately differ across restarts when allocation order shifts the
+// absolute addresses linked into the code).
 //
-// The format is a magic string, one version byte, then a gob stream.
-// Loading rejects bad magic and unknown versions; entries whose backend
-// differs from the server's are skipped, not errors, so a snapshot
-// survives a backend change without blocking boot.
+// The format is a magic string, one version byte, a CRC32-IEEE of the
+// payload (little-endian), then a gob stream.  Loading rejects bad
+// magic, unknown versions and checksum mismatches — a flipped bit
+// anywhere in the payload drops the whole snapshot to a typed error and
+// a cold boot rather than risking a silently altered source recompiling
+// into wrong words under a stale key.  Entries whose backend differs
+// from the server's are skipped, not errors, so a snapshot survives a
+// backend change without blocking boot.
+//
+// Every entry records the shard it lived in and the file records the
+// shard count, but restore routes each key through shardOf under the
+// *current* shard count: operators can change -shards across restarts
+// and the snapshot reshards on load (counted in
+// server.snapshot.resharded).
 
 const snapshotMagic = "VCSNAP"
-const snapshotVersion = byte(1)
+const snapshotVersion = byte(2)
 
-// snapEntry is one resident program in the snapshot.
+// snapEntry is one resident program in the snapshot (and in journal add
+// records, which embed the same shape).
 type snapEntry struct {
 	Key    string
 	Tenant string
 	Lang   string
 	Entry  string
 	Source string
+	Shard  int // home shard when recorded
 	Words  []uint32
 }
 
-// snapFile is the gob payload following the magic + version header.
+// snapFile is the gob payload following the magic + version + CRC
+// header.
 type snapFile struct {
 	Backend string
+	Shards  int
 	Entries []snapEntry
 }
 
+// snapEntryOf serializes one resident unit.
+func snapEntryOf(u *unit, shardID int) snapEntry {
+	words := make([]uint32, len(u.entryFn.Words))
+	copy(words, u.entryFn.Words)
+	return snapEntry{
+		Key:    u.key,
+		Tenant: u.tenantName,
+		Lang:   u.lang,
+		Entry:  u.entry,
+		Source: u.source,
+		Shard:  shardID,
+		Words:  words,
+	}
+}
+
 // SaveSnapshot writes the warm-cache snapshot for every shard to path
-// (atomically, via rename).  It returns the number of programs saved.
+// (atomically: temp file, fsync, rename).  It returns the number of
+// programs saved.
 func (s *Server) SaveSnapshot(path string) (int, error) {
-	file := snapFile{Backend: s.cfg.Backend}
+	file := snapFile{Backend: s.cfg.Backend, Shards: len(s.shards)}
 	for _, sh := range s.shards {
 		sh.cache.Each(func(key string, fn *core.Func) {
 			u := sh.unit(key)
 			if u == nil {
 				return
 			}
-			words := make([]uint32, len(u.entryFn.Words))
-			copy(words, u.entryFn.Words)
-			file.Entries = append(file.Entries, snapEntry{
-				Key:    u.key,
-				Tenant: u.tenantName,
-				Lang:   u.lang,
-				Entry:  u.entry,
-				Source: u.source,
-				Words:  words,
-			})
+			file.Entries = append(file.Entries, snapEntryOf(u, sh.id))
 		})
 	}
 	sort.Slice(file.Entries, func(i, j int) bool { return file.Entries[i].Key < file.Entries[j].Key })
 
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&file); err != nil {
+		return 0, fmt.Errorf("server: encoding snapshot: %w", err)
+	}
 	var buf bytes.Buffer
 	buf.WriteString(snapshotMagic)
 	buf.WriteByte(snapshotVersion)
-	if err := gob.NewEncoder(&buf).Encode(&file); err != nil {
-		return 0, fmt.Errorf("server: encoding snapshot: %w", err)
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return 0, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload.Bytes()))
+	buf.Write(crc[:])
+	buf.Write(payload.Bytes())
+
+	if err := writeFileAtomic(path, buf.Bytes()); err != nil {
 		return 0, err
 	}
 	s.snapSaved.Add(uint64(len(file.Entries)))
 	return len(file.Entries), nil
+}
+
+// writeFileAtomic is write-to-temp, fsync, rename, best-effort directory
+// sync — the crash-safe publish protocol both the snapshot and the
+// journal rotation rely on.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
 }
 
 // loadSnapshot parses and validates a snapshot file.
@@ -93,14 +149,20 @@ func loadSnapshot(path string) (*snapFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < len(snapshotMagic)+1 || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+	hdrLen := len(snapshotMagic) + 1 + 4
+	if len(raw) < hdrLen || string(raw[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, fmt.Errorf("server: %s is not a snapshot (bad magic)", path)
 	}
 	if v := raw[len(snapshotMagic)]; v != snapshotVersion {
 		return nil, fmt.Errorf("server: snapshot %s has version %d, want %d", path, v, snapshotVersion)
 	}
+	sum := binary.LittleEndian.Uint32(raw[len(snapshotMagic)+1 : hdrLen])
+	payload := raw[hdrLen:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("server: snapshot %s failed its checksum (corrupt)", path)
+	}
 	var file snapFile
-	if err := gob.NewDecoder(bytes.NewReader(raw[len(snapshotMagic)+1:])).Decode(&file); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&file); err != nil {
 		return nil, fmt.Errorf("server: decoding snapshot %s: %w", path, err)
 	}
 	return &file, nil
@@ -109,48 +171,36 @@ func loadSnapshot(path string) (*snapFile, error) {
 // Restore loads the warm-cache snapshot at path (if any) and marks the
 // server ready.  Call it exactly once after New, with "" or a missing
 // path when there is nothing to restore — readiness (/readyz) stays
-// false until both restore conditions flip.  Restored programs recompile
-// through each shard's batch pool with the same single-flight protocol
-// live requests use, so requests arriving mid-restore coalesce instead
-// of duplicating work.  It returns the number of programs made warm.
+// false until both restore conditions flip.  Servers with a journal
+// should call Recover instead, which replays the journal tail on top of
+// the snapshot and starts checkpointing; Restore is Recover without a
+// journal.  It returns the number of programs made warm.
 func (s *Server) Restore(path string) (int, error) {
-	if path == "" {
-		s.health.Set("snapshot_restored", true)
-		s.health.Set("warmup_drained", true)
-		return 0, nil
-	}
-	file, err := loadSnapshot(path)
-	if os.IsNotExist(err) {
-		s.health.Set("snapshot_restored", true)
-		s.health.Set("warmup_drained", true)
-		return 0, nil
-	}
-	if err != nil {
-		// A corrupt or unreadable snapshot must not wedge boot: count
-		// it, report it, and serve cold (ready).
-		s.snapErrors.Inc()
-		s.health.Set("snapshot_restored", true)
-		s.health.Set("warmup_drained", true)
-		return 0, err
-	}
+	st, err := s.Recover(path, "")
+	return st.Warm, err
+}
 
-	// Group entries by destination shard, skipping other backends.
+// restoreEntries routes recovered entries through shardOf under the
+// current shard count and recompiles them through each shard's warmup
+// path — the same single-flight protocol live requests use, so requests
+// arriving mid-restore coalesce instead of duplicating work.  Entries
+// whose recorded home shard differs from their current one are counted
+// as resharded.  Restored units are marked durable: they came from disk.
+func (s *Server) restoreEntries(entries []snapEntry) (warm, resharded int) {
 	perShard := make([][]snapEntry, len(s.shards))
-	for _, e := range file.Entries {
-		if file.Backend != s.cfg.Backend {
-			s.snapIncompat.Inc()
-			continue
-		}
+	for _, e := range entries {
 		i := shardOf(e.Key, len(s.shards))
+		if e.Shard != i {
+			resharded++
+		}
 		perShard[i] = append(perShard[i], e)
 	}
-	s.health.Set("snapshot_restored", true)
+	s.snapResharded.Add(uint64(resharded))
 
-	warm := 0
-	for i, entries := range perShard {
+	for i, list := range perShard {
 		sh := s.shards[i]
-		items := make([]codecache.WarmItem, 0, len(entries))
-		for _, e := range entries {
+		items := make([]codecache.WarmItem, 0, len(list))
+		for _, e := range list {
 			e := e
 			items = append(items, codecache.WarmItem{
 				Key: e.Key,
@@ -163,6 +213,7 @@ func (s *Server) Restore(path string) (int, error) {
 					if err != nil {
 						return nil, err
 					}
+					u.durable.Store(true)
 					sh.register(u)
 					t.resident.Add(u.bytes)
 					if wordsEqual(u.entryFn.Words, e.Words) {
@@ -183,8 +234,7 @@ func (s *Server) Restore(path string) (int, error) {
 		}
 	}
 	s.snapRestored.Add(uint64(warm))
-	s.health.Set("warmup_drained", true)
-	return warm, nil
+	return warm, resharded
 }
 
 func wordsEqual(a, b []uint32) bool {

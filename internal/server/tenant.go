@@ -23,6 +23,16 @@ type Quota struct {
 	// MaxCompileConcurrency caps the tenant's simultaneously running
 	// compile flights across all shards (cache hits don't count).
 	MaxCompileConcurrency int `json:"max_compile_concurrency"`
+	// RatePerSec caps the tenant's request admission rate with a token
+	// bucket Burst tokens deep (every request takes one token, cache
+	// hits included).  Zero inherits the default; negative is explicitly
+	// unlimited.
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	// Priority is the tenant's default shed priority, 1–9 (9 sheds
+	// last).  Zero inherits the default (5); requests may override per
+	// call with their own "priority" field.
+	Priority int `json:"priority"`
 }
 
 // withDefaults fills zero fields from d.
@@ -36,6 +46,15 @@ func (q Quota) withDefaults(d Quota) Quota {
 	if q.MaxCompileConcurrency == 0 {
 		q.MaxCompileConcurrency = d.MaxCompileConcurrency
 	}
+	if q.RatePerSec == 0 {
+		q.RatePerSec = d.RatePerSec
+	}
+	if q.Burst == 0 {
+		q.Burst = d.Burst
+	}
+	if q.Priority == 0 {
+		q.Priority = d.Priority
+	}
 	return q
 }
 
@@ -43,6 +62,11 @@ func (q Quota) withDefaults(d Quota) Quota {
 type tenant struct {
 	name  string
 	quota Quota
+
+	// bucket rate-limits admissions; nil means unlimited.
+	bucket *tokenBucket
+	// priority is the tenant's default shed priority (clamped 0–9).
+	priority int
 
 	// resident is the code bytes this tenant's compiles currently keep
 	// installed (decremented by the eviction hook).
@@ -65,6 +89,7 @@ func newTenant(reg *telemetry.Registry, name string, q Quota) *tenant {
 	t := &tenant{
 		name:      name,
 		quota:     q,
+		priority:  clampPriority(q.Priority),
 		requests:  reg.Counter(prefix + "requests"),
 		errors:    reg.Counter(prefix + "errors"),
 		rejected:  reg.Counter(prefix + "rejected"),
@@ -72,10 +97,40 @@ func newTenant(reg *telemetry.Registry, name string, q Quota) *tenant {
 		callNS:    reg.Histogram(prefix+"call_ns", nil),
 		requestNS: reg.Histogram(prefix+"request_ns", nil),
 	}
+	if q.Priority == 0 {
+		t.priority = shedDefaultPriority
+	}
+	if q.RatePerSec > 0 {
+		burst := q.Burst
+		if burst <= 0 {
+			burst = int(q.RatePerSec) // default burst: one second of rate
+		}
+		t.bucket = newTokenBucket(q.RatePerSec, burst)
+	}
 	reg.GaugeFunc(prefix+"resident_bytes", func() float64 {
 		return float64(t.resident.Load())
 	})
 	return t
+}
+
+// admitRate takes one token from the tenant's rate bucket, rejecting
+// with rate_limited (and the wait until a token accrues as Retry-After)
+// when the bucket is dry.
+func (t *tenant) admitRate() *APIError {
+	if t.bucket == nil {
+		return nil
+	}
+	ok, wait := t.bucket.take()
+	if ok {
+		return nil
+	}
+	ms := wait.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return apiErr(CodeRateLimited,
+		"tenant %s over %g req/s (burst %d)", t.name, t.quota.RatePerSec, t.quota.Burst).
+		withRetryAfter(ms)
 }
 
 // admitCompile checks the tenant's compile-side quotas and, when

@@ -9,7 +9,7 @@ verify:
 
 # Packages with a single Fuzz* target each, so -fuzz=Fuzz is unambiguous.
 FUZZ_PKGS = internal/vasm internal/tinyc internal/dpf internal/spec \
-	internal/mips internal/sparc internal/alpha
+	internal/mips internal/sparc internal/alpha internal/exec/diff
 FUZZTIME ?= 10s
 
 fuzz-smoke:

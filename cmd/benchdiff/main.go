@@ -11,12 +11,21 @@
 //   - codegen.<backend>.ns_per_insn — lower is better; every backend in
 //     the baseline must be present in the current record;
 //   - cache.hit_rate — higher is better;
+//   - cache.calls_per_sec — higher is better (warm-cache sandboxed call
+//     throughput, the execution-engine headline);
+//   - exec.<backend>.calls_per_sec — higher is better (threaded-engine
+//     warm call rate per port, standard band);
+//   - exec.<backend>.speedup_vs_switch — higher is better (the threaded
+//     engine must stay ahead of the fetch/switch oracle);
 //   - compile.funcs_per_sec — higher is better (batch pipeline
 //     throughput);
 //   - compile.serial_funcs_per_sec — higher is better (the pre-batch
 //     baseline must not rot either);
 //   - serve.calls_per_sec — higher is better (vcoded end-to-end
 //     throughput under the mixed-tenant load);
+//   - serve.calls_per_sec_by_backend.<backend> — higher is better
+//     (fault-free per-port serve throughput, wide band like the
+//     aggregate);
 //   - serve.p99_ns — lower is better (vcoded tail latency);
 //   - serve.recovery_ms — lower is better (warm recovery of the soak's
 //     snapshot into a resharded cold server);
@@ -44,6 +53,7 @@ type record struct {
 	Cache   *cacheEntry             `json:"cache"`
 	Compile *compileEntry           `json:"compile"`
 	Serve   *serveEntry             `json:"serve"`
+	Exec    map[string]execEntry    `json:"exec"`
 }
 
 type codegenEntry struct {
@@ -52,6 +62,14 @@ type codegenEntry struct {
 
 type cacheEntry struct {
 	HitRate float64 `json:"hit_rate"`
+	// Pointer so records from before the threaded engine (no
+	// calls_per_sec key) still load; nil never gates.
+	CallsPerSec *float64 `json:"calls_per_sec"`
+}
+
+type execEntry struct {
+	CallsPerSec     float64 `json:"calls_per_sec"`
+	SpeedupVsSwitch float64 `json:"speedup_vs_switch"`
 }
 
 type compileEntry struct {
@@ -68,6 +86,8 @@ type serveEntry struct {
 	RecoveryMS  *float64 `json:"recovery_ms"`
 	RateLimited *float64 `json:"rate_limited"`
 	Shed        *float64 `json:"shed"`
+
+	CallsPerSecByBackend map[string]float64 `json:"calls_per_sec_by_backend"`
 }
 
 // metric is one gate comparison.  higherIsBetter flips the direction the
@@ -132,6 +152,9 @@ func load(paths ...string) (*record, error) {
 				out.Codegen[bk] = cg
 			}
 		}
+		if out.Exec == nil && len(r.Exec) > 0 {
+			out.Exec = r.Exec
+		}
 		if out.Cache == nil {
 			out.Cache = r.Cache
 		}
@@ -167,6 +190,34 @@ func compare(base, cur *record) []metric {
 			m.cur, m.curPresent = cur.Cache.HitRate, true
 		}
 		ms = append(ms, m)
+		if base.Cache.CallsPerSec != nil {
+			// Wall-clock end-to-end throughput: wide band like
+			// serve.calls_per_sec.
+			cps := metric{name: "cache.calls_per_sec", base: *base.Cache.CallsPerSec, higherIsBetter: true, tolScale: 2}
+			if cur.Cache != nil && cur.Cache.CallsPerSec != nil {
+				cps.cur, cps.curPresent = *cur.Cache.CallsPerSec, true
+			}
+			ms = append(ms, cps)
+		}
+	}
+	execBackends := make([]string, 0, len(base.Exec))
+	for bk := range base.Exec {
+		execBackends = append(execBackends, bk)
+	}
+	sort.Strings(execBackends)
+	for _, bk := range execBackends {
+		c, ok := cur.Exec[bk]
+		ms = append(ms,
+			metric{
+				name: "exec." + bk + ".calls_per_sec",
+				base: base.Exec[bk].CallsPerSec, cur: c.CallsPerSec, curPresent: ok,
+				higherIsBetter: true,
+			},
+			metric{
+				name: "exec." + bk + ".speedup_vs_switch",
+				base: base.Exec[bk].SpeedupVsSwitch, cur: c.SpeedupVsSwitch, curPresent: ok,
+				higherIsBetter: true,
+			})
 	}
 	if base.Compile != nil {
 		pooled := metric{name: "compile.funcs_per_sec", base: base.Compile.FuncsPerSec, higherIsBetter: true}
@@ -185,6 +236,21 @@ func compare(base, cur *record) []metric {
 			p99.cur, p99.curPresent = cur.Serve.P99NS, true
 		}
 		ms = append(ms, cps, p99)
+		serveBackends := make([]string, 0, len(base.Serve.CallsPerSecByBackend))
+		for bk := range base.Serve.CallsPerSecByBackend {
+			serveBackends = append(serveBackends, bk)
+		}
+		sort.Strings(serveBackends)
+		for _, bk := range serveBackends {
+			m := metric{
+				name: "serve.calls_per_sec_by_backend." + bk,
+				base: base.Serve.CallsPerSecByBackend[bk], higherIsBetter: true, tolScale: 2,
+			}
+			if cur.Serve != nil {
+				m.cur, m.curPresent = cur.Serve.CallsPerSecByBackend[bk], cur.Serve.CallsPerSecByBackend[bk] != 0
+			}
+			ms = append(ms, m)
+		}
 		if base.Serve.RecoveryMS != nil {
 			rec := metric{name: "serve.recovery_ms", base: *base.Serve.RecoveryMS, tolScale: 8}
 			if cur.Serve != nil && cur.Serve.RecoveryMS != nil {

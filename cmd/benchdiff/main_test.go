@@ -17,10 +17,16 @@ func baseRecord() *record {
 			"sparc": {NsPerInsn: 33},
 			"alpha": {NsPerInsn: 37},
 		},
-		Cache:   &cacheEntry{HitRate: 0.99},
+		Cache:   &cacheEntry{HitRate: 0.99, CallsPerSec: fptr(800000)},
 		Compile: &compileEntry{FuncsPerSec: 100000, SerialFuncsPerSec: 25000, Speedup: 4},
 		Serve: &serveEntry{CallsPerSec: 8000, P99NS: 2e6,
-			RecoveryMS: fptr(50), RateLimited: fptr(100), Shed: fptr(0)},
+			RecoveryMS: fptr(50), RateLimited: fptr(100), Shed: fptr(0),
+			CallsPerSecByBackend: map[string]float64{"mips": 5000, "sparc": 4800, "alpha": 4700}},
+		Exec: map[string]execEntry{
+			"mips":  {CallsPerSec: 900000, SpeedupVsSwitch: 3.5},
+			"sparc": {CallsPerSec: 850000, SpeedupVsSwitch: 3.0},
+			"alpha": {CallsPerSec: 950000, SpeedupVsSwitch: 2.9},
+		},
 	}
 }
 
@@ -30,7 +36,10 @@ func TestNoRegressionWithinTolerance(t *testing.T) {
 	cur.Cache.HitRate = 0.80                                                  // -19%: inside
 	cur.Compile = &compileEntry{FuncsPerSec: 80000, SerialFuncsPerSec: 20000} // -20%: inside
 	cur.Serve = &serveEntry{CallsPerSec: 4800, P99NS: 5.5e6,                  // inside the widened serve bands
-		RecoveryMS: fptr(90), RateLimited: fptr(0), Shed: fptr(12345)} // overload counters gate on presence, not value
+		RecoveryMS: fptr(90), RateLimited: fptr(0), Shed: fptr(12345), // overload counters gate on presence, not value
+		CallsPerSecByBackend: map[string]float64{"mips": 3000, "sparc": 4800, "alpha": 4000}} // -40%: inside the widened band
+	cur.Cache.CallsPerSec = fptr(500000)                                    // -37%: inside the widened band
+	cur.Exec["mips"] = execEntry{CallsPerSec: 700000, SpeedupVsSwitch: 2.7} // -22%: inside ±25%
 	if run(os.Stdout, 0.25, baseRecord(), cur) {
 		t.Fatal("within-tolerance drift flagged as regression")
 	}
@@ -54,6 +63,15 @@ func TestDoctoredRegressionFails(t *testing.T) {
 		{"recovery_ms dropped", func(r *record) { r.Serve.RecoveryMS = nil }},
 		{"rate_limited counter dropped", func(r *record) { r.Serve.RateLimited = nil }},
 		{"shed counter dropped", func(r *record) { r.Serve.Shed = nil }},
+		{"cache calls/sec collapsed", func(r *record) { r.Cache.CallsPerSec = fptr(300000) }},
+		{"cache calls/sec dropped", func(r *record) { r.Cache.CallsPerSec = nil }},
+		{"exec backend dropped", func(r *record) { delete(r.Exec, "sparc") }},
+		{"exec calls/sec halved", func(r *record) { r.Exec["mips"] = execEntry{CallsPerSec: 450000, SpeedupVsSwitch: 3.5} }},
+		{"threaded engine slower than oracle", func(r *record) {
+			r.Exec["alpha"] = execEntry{CallsPerSec: 950000, SpeedupVsSwitch: 0.9}
+		}},
+		{"serve backend split dropped", func(r *record) { delete(r.Serve.CallsPerSecByBackend, "alpha") }},
+		{"serve backend throughput collapsed", func(r *record) { r.Serve.CallsPerSecByBackend["mips"] = 2000 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -66,6 +66,7 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 2000, "workload repetitions per system")
+	engineName := flag.String("engine", "threaded", "execution engine for simulator workloads: switch or threaded")
 	cacheMode := flag.Bool("cache", false, "drive the concurrent code-cache subsystem instead")
 	faultsMode := flag.Bool("faults", false, "soak the pipeline under fault injection instead")
 	workers := flag.Int("workers", 0, "cache/faults/batch mode: concurrent workers (0 = GOMAXPROCS)")
@@ -98,6 +99,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	engine, err := core.ParseEngine(*engineName)
+	die(err)
 
 	if *metricsOn {
 		telemetry.SetEnabled(true)
@@ -152,11 +155,14 @@ func main() {
 		if *jsonPath != "" {
 			rep = newReport("cache")
 		}
-		die(runCacheBench(*workers, *keys, *capacity, *requests, prof, rep))
+		die(runCacheBench(*workers, *keys, *capacity, *requests, engine, prof, rep))
 		if rep != nil {
 			// A short emit-only pass so the record always carries the
 			// headline ns/insn numbers alongside the cache workload.
 			die(rep.measureCodegen(max(50, *iters/10)))
+			// Per-backend engine comparison: threaded calls/sec and its
+			// speedup over the fetch/switch oracle.
+			die(rep.measureExec(max(200, *requests/25)))
 		}
 	case *faultsMode:
 		die(runFaultsBench(*workers, *keys, *capacity, *calls, *seed))

@@ -9,10 +9,13 @@ import (
 	"repro/internal/alpha"
 	"repro/internal/cgbench"
 	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/mem"
 	"repro/internal/mips"
 	"repro/internal/server"
 	"repro/internal/sparc"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // jsonReport is the machine-readable benchmark record written by -json.
@@ -35,6 +38,15 @@ type jsonReport struct {
 	Profile         *profileStats           `json:"profile,omitempty"`
 	Edges           *edgeStats              `json:"edges,omitempty"`
 	Serve           *serveStats             `json:"serve,omitempty"`
+	Exec            map[string]execStats    `json:"exec,omitempty"`
+}
+
+// execStats is the per-backend execution-engine headline: sandboxed warm
+// calls/sec through the predecoded direct-threaded dispatch loop, and
+// its speedup over the fetch/switch oracle on the identical workload.
+type execStats struct {
+	CallsPerSec     float64 `json:"calls_per_sec"`
+	SpeedupVsSwitch float64 `json:"speedup_vs_switch"`
 }
 
 // serveStats summarizes a -serve-url / -serve-soak run against the
@@ -54,6 +66,11 @@ type serveStats struct {
 	ErrorsByCode map[string]uint64    `json:"errors_by_code,omitempty"`
 	Shards       []server.ShardStats  `json:"shards,omitempty"`
 	Tenants      []server.TenantStats `json:"tenants,omitempty"`
+	// CallsPerSecByBackend attributes throughput to the execution
+	// engine per port: a clean (fault-free) server per backend under
+	// the same mixed load.  The aggregate CallsPerSec above remains
+	// the fault-injected soak headline.
+	CallsPerSecByBackend map[string]float64 `json:"calls_per_sec_by_backend,omitempty"`
 }
 
 // codegenStats is the headline paper number per backend: host nanoseconds
@@ -143,6 +160,64 @@ func emitNsPerInsn(bk core.Backend, iters int, hard bool) (float64, error) {
 		}
 	}
 	return best, nil
+}
+
+// measureExec fills the per-backend engine comparison: the same JIT-
+// compiled loop runs warm on the fetch/switch oracle and then on the
+// threaded engine, best-of-three timed passes each, so the record
+// attributes the call-rate headline to the engine rather than to cache
+// or driver effects.
+func (r *jsonReport) measureExec(calls int) error {
+	// Span recording off for the measurement: tens of thousands of
+	// per-call spans would both distort the rate and flush the workload's
+	// lifecycle chain out of the bounded ring before -trace snapshots it.
+	if trace.Enabled() {
+		trace.SetEnabled(false)
+		defer trace.SetEnabled(true)
+	}
+	r.Exec = map[string]execStats{}
+	for _, target := range []string{"mips", "sparc", "alpha"} {
+		m, err := jit.NewMachineTarget(target, mem.Uncosted)
+		if err != nil {
+			return err
+		}
+		fn, err := m.Compile(jit.Synthetic(1))
+		if err != nil {
+			return err
+		}
+		rate := func(engine core.Engine) (float64, error) {
+			if err := m.Core().SetEngine(engine); err != nil {
+				return 0, err
+			}
+			best := 0.0
+			for pass := 0; pass < 3; pass++ {
+				start := time.Now()
+				for i := 0; i < calls; i++ {
+					got, _, err := m.Run(fn, 10)
+					if err != nil {
+						return 0, err
+					}
+					if got != 395 {
+						return 0, fmt.Errorf("exec measure (%s, engine %v): got %d, want 395", target, engine, got)
+					}
+				}
+				if cps := float64(calls) / time.Since(start).Seconds(); cps > best {
+					best = cps
+				}
+			}
+			return best, nil
+		}
+		sw, err := rate(core.EngineSwitch)
+		if err != nil {
+			return err
+		}
+		th, err := rate(core.EngineThreaded)
+		if err != nil {
+			return err
+		}
+		r.Exec[target] = execStats{CallsPerSec: th, SpeedupVsSwitch: th / sw}
+	}
+	return nil
 }
 
 // attachTelemetry copies a bounded registry snapshot into the report:

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
@@ -343,7 +345,98 @@ func runServeSoak(calls, workers, tenants int, seed int64, rep *jsonReport) erro
 	st := inj.Stats()
 	fmt.Printf("serve-soak: injected fetchErr=%d bitflip=%d loadErr=%d storeErr=%d compileErr=%d compilePanic=%d — zero panics escaped\n",
 		st.FetchErrors, st.BitFlips, st.LoadErrors, st.StoreErrors, st.CompileErrors, st.CompilePanics)
+	if err := measureServeBackends(max(1000, calls/4), workers, tenants, seed, rep); err != nil {
+		return err
+	}
 	return measureSoakRecovery(srv, tenants, rep)
+}
+
+// measureServeBackends attributes serve throughput to the execution
+// engine per port: a clean in-process server per backend (no fault
+// injection — faults would add seed-dependent noise to the comparison),
+// the same mixed load, wall-clocked end-to-end.  The aggregate soak
+// number above stays the headline; this split is what makes an engine
+// change visible per backend in the benchmark record.
+func measureServeBackends(calls, workers, tenants int, seed int64, rep *jsonReport) error {
+	if rep == nil || rep.Serve == nil {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	rep.Serve.CallsPerSecByBackend = map[string]float64{}
+	for _, bk := range []string{"mips", "sparc", "alpha"} {
+		srv, err := server.New(server.Config{
+			Shards:             4,
+			WorkersPerShard:    2,
+			MaxEntriesPerShard: 64,
+			QueueBound:         64,
+			Backend:            bk,
+			DefaultQuota: server.Quota{
+				FuelPerCall:           1 << 18,
+				MaxResidentBytes:      128 << 10,
+				MaxCompileConcurrency: 4,
+			},
+			AllowUnknownTenants: true,
+			Registry:            telemetry.NewRegistry(),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := srv.Restore(""); err != nil {
+			srv.Close()
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		cps, err := timedServeLoad(ts.URL, calls, workers, tenants, seed)
+		ts.Close()
+		srv.Close()
+		if err != nil {
+			return err
+		}
+		rep.Serve.CallsPerSecByBackend[bk] = cps
+		fmt.Printf("serve-soak: backend %-5s %9.0f calls/sec\n", bk, cps)
+	}
+	return nil
+}
+
+// timedServeLoad is the throughput-only load: same request mix as
+// runServeLoad, but no latency capture or taxonomy bookkeeping — only
+// transport failures (which would corrupt the timing) are fatal.
+func timedServeLoad(baseURL string, calls, workers, tenants int, seed int64) (float64, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	per := calls / workers
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	var transport atomic.Uint64
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			var retried uint64
+			for i := 0; i < per; i++ {
+				path, body := serveRequest(rng, tenants, w, i)
+				raw, _ := json.Marshal(body)
+				resp, err := postMaybeRetry(client, baseURL+path, raw, false, &retried)
+				if err != nil {
+					transport.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := transport.Load(); n > 0 {
+		return 0, fmt.Errorf("serve backend measure: %d transport errors", n)
+	}
+	return float64(per*workers) / elapsed.Seconds(), nil
 }
 
 // measureSoakRecovery folds the soak's resident set into a snapshot and

@@ -236,7 +236,7 @@ func (a *Asm) BeginTypes(params []Type, leaf bool) ([]Reg, error) {
 	}
 
 	// Locate incoming parameters.
-	locs, stackBytes := a.conv.layoutArgs(params)
+	locs, stackBytes := a.conv.layoutArgs(params, nil)
 	a.inStack = stackBytes
 	a.argRegs = a.argRegs[:0]
 	for _, loc := range locs {
@@ -1032,7 +1032,7 @@ func (a *Asm) StartCall(sig string) {
 		a.setErr(err)
 		return
 	}
-	locs, stackBytes := a.conv.layoutArgs(params)
+	locs, stackBytes := a.conv.layoutArgs(params, nil)
 	a.frame.SaveRA = true
 	a.call = &callState{locs: locs, stackBytes: stackBytes}
 	if stackBytes > 0 {

@@ -148,8 +148,11 @@ type argLoc struct {
 // layoutArgs assigns argument locations for a signature under c: integer
 // and pointer arguments consume IntArgs in order, floating-point arguments
 // consume FPArgs, and overflow goes to ascending stack slots.  stackBytes
-// is the total outgoing stack space (already aligned).
-func (c *CallConv) layoutArgs(params []Type) (locs []argLoc, stackBytes int64) {
+// is the total outgoing stack space (already aligned).  locs is appended
+// to buf (which may be nil); the call path passes a stack buffer so warm
+// calls do not allocate.
+func (c *CallConv) layoutArgs(params []Type, buf []argLoc) (locs []argLoc, stackBytes int64) {
+	locs = buf
 	ni, nf := 0, 0
 	var off int64
 	slot := int64(c.SlotBytes)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -154,6 +155,15 @@ type Machine struct {
 	// (resolved lazily on the first enabled-telemetry operation).
 	tstats *telemetry.CodegenStats
 
+	// tcpu is the simulator's threaded engine, or nil if the CPU only
+	// implements Step; engine selects which one Call uses (engine.go).
+	// bodies holds the predecoded body per installed function, sorted by
+	// Base; lastBody is a single-entry dispatch cache.  All under mu.
+	tcpu     ThreadedCPU
+	engine   Engine
+	bodies   []*exec.Body
+	lastBody *exec.Body
+
 	trace io.Writer
 }
 
@@ -198,6 +208,10 @@ func NewMachine(b Backend, cpu CPU, m *mem.Memory) *Machine {
 		MaxSteps: 1 << 28,
 	}
 	mc.haltAddr = trapBase
+	if t, ok := cpu.(ThreadedCPU); ok {
+		mc.tcpu = t
+		mc.engine = EngineThreaded
+	}
 	mc.codeNextPub.Store(mc.codeNext)
 	mc.spanList = append(mc.spanList, FuncSpan{Start: trapBase, End: trapBase + 16, Name: "<halt>"})
 	registerDivHelpers(mc)
@@ -367,6 +381,7 @@ func (m *Machine) Release(mk Mark) {
 		m.freeCode = kept
 		m.codeNextPub.Store(m.codeNext)
 		m.pruneSpans(m.codeNext)
+		m.dropBodies(m.codeNext, m.mem.Size()-m.codeNext)
 	}
 	if mk.heap <= m.heapNext && mk.heap >= m.mem.Size()/2 {
 		m.heapNext = mk.heap
@@ -391,15 +406,28 @@ type codeRegion struct {
 	addr, size uint64
 }
 
-// sumWords fingerprints machine code (FNV-1a over the words).
+// sumWords fingerprints machine code: four interleaved FNV-1a lanes
+// folded at the end.  The lanes break the serial xor-multiply dependency
+// chain — this runs on every call of an installed function (the
+// mutation-after-install guard in installPrecheck), so its latency is
+// part of the warm call path.
 func sumWords(words []uint32) uint64 {
 	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
-	for _, w := range words {
-		h ^= uint64(w)
-		h *= prime
+	h0 := uint64(offset)
+	h1 := uint64(offset) ^ 0x9e3779b97f4a7c15
+	h2 := uint64(offset) ^ 0xc2b2ae3d27d4eb4f
+	h3 := uint64(offset) ^ 0x165667b19e3779f9
+	i := 0
+	for ; i+4 <= len(words); i += 4 {
+		h0 = (h0 ^ uint64(words[i])) * prime
+		h1 = (h1 ^ uint64(words[i+1])) * prime
+		h2 = (h2 ^ uint64(words[i+2])) * prime
+		h3 = (h3 ^ uint64(words[i+3])) * prime
 	}
-	return h
+	for ; i < len(words); i++ {
+		h0 = (h0 ^ uint64(words[i])) * prime
+	}
+	return ((h0*prime^h1)*prime^h2)*prime ^ h3
 }
 
 // Install places f (and, recursively, every generated function it
@@ -439,6 +467,7 @@ func (m *Machine) Uninstall(f *Func) error {
 	if f.owner != m {
 		return fmt.Errorf("machine: uninstall %s: installed on a different machine", f.Name)
 	}
+	m.dropBodies(f.addr, f.codeSize)
 	m.freeRegion(codeRegion{addr: f.addr, size: f.codeSize})
 	m.removeSpan(f.addr)
 	if telemetry.Enabled() {
@@ -636,6 +665,11 @@ func (m *Machine) install(f *Func) error {
 	f.sum = sumWords(f.Words)
 	f.sumValid = true
 	m.addSpan(FuncSpan{Start: addr, End: addr + size, Name: f.spanName()})
+	if m.tcpu != nil {
+		// f.Words were patched in place by linkAndVerify, so they match
+		// the installed image exactly.
+		m.attachBody(m.tcpu.Predecode(f.Words, f.addr))
+	}
 	if !start.IsZero() {
 		// Nested installs (referenced functions) are timed individually;
 		// the parent's duration includes its children.
@@ -824,6 +858,7 @@ func (m *Machine) InstallBatch(ctx context.Context, parallelism int, fns []*Func
 		size     uint64
 		resolved []resolvedReloc
 		image    []byte
+		body     *exec.Body // predecoded in phase 2, attached in phase 3
 		linkNS   int64
 		skip     bool // phase-1 failure; later phases pass it over
 	}
@@ -915,6 +950,12 @@ func (m *Machine) InstallBatch(ctx context.Context, parallelism int, fns []*Func
 						continue
 					}
 					it.image = image
+					if m.tcpu != nil {
+						// Predecode is pure, so it parallelizes with the
+						// linking fan-out; the body is attached under the
+						// commit lock in phase 3.
+						it.body = m.tcpu.Predecode(it.f.Words, it.f.addr)
+					}
 				}
 			}()
 		}
@@ -966,6 +1007,7 @@ func (m *Machine) InstallBatch(ctx context.Context, parallelism int, fns []*Func
 		f.sumValid = true
 		f.installed = true
 		m.spanList = append(m.spanList, FuncSpan{Start: f.addr, End: f.addr + it.size, Name: f.spanName()})
+		m.attachBody(it.body)
 		installed++
 		linkTotal += it.linkNS
 	}
@@ -1144,50 +1186,64 @@ func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, arg
 	}
 	start := time.Now()
 	cycles0, insns0 := m.cpu.Cycles(), m.cpu.Insns()
-	stats := func() CallStats {
-		return CallStats{
-			Cycles: m.cpu.Cycles() - cycles0,
-			Insns:  m.cpu.Insns() - insns0,
-			Wall:   time.Since(start),
-		}
+	v, fuelUsed, err := m.callLocked(ctx, opts, f, args)
+	st := CallStats{
+		Cycles: m.cpu.Cycles() - cycles0,
+		Insns:  m.cpu.Insns() - insns0,
+		Wall:   time.Since(start),
 	}
-	var fuelUsed uint64 // simulated steps the run loop consumed
-	finish := func(v Value, err error) (Value, CallStats, error) {
-		st := stats()
-		if telemetry.Enabled() {
-			ts := m.stats()
-			ts.Calls.Inc()
-			if err != nil {
-				ts.CallErrors.Inc()
-			}
-			ts.CallNS.Observe(uint64(st.Wall))
-			ts.SimInsns.Add(st.Insns)
-			ts.SimCycles.Add(st.Cycles)
-			telemetry.TraceRecord(telemetry.PhaseCall, f.BackendName, f.Name, st.Wall, int64(st.Insns))
+	if telemetry.Enabled() {
+		ts := m.stats()
+		ts.Calls.Inc()
+		if err != nil {
+			ts.CallErrors.Inc()
 		}
-		if trace.Enabled() {
-			trace.Record(trace.KindCall, f.BackendName, f.Name, f.lifecycleFlow(),
-				start, st.Wall, trace.Attrs{N: int64(st.Insns), Fuel: fuelUsed, Err: errText(err)})
-		}
-		return v, st, err
+		ts.CallNS.Observe(uint64(st.Wall))
+		ts.SimInsns.Add(st.Insns)
+		ts.SimCycles.Add(st.Cycles)
+		telemetry.TraceRecordAt(start.Add(st.Wall), telemetry.PhaseCall, f.BackendName, f.Name, st.Wall, int64(st.Insns))
 	}
-	if err := m.install(f); err != nil {
-		return finish(Value{}, err)
+	if trace.Enabled() {
+		trace.Record(trace.KindCall, f.BackendName, f.Name, f.lifecycleFlow(),
+			start, st.Wall, trace.Attrs{N: int64(st.Insns), Fuel: fuelUsed, Err: errText(err)})
+	}
+	return v, st, err
+}
+
+// callLocked is the hot body of a call: install-on-demand, argument
+// marshaling, the simulator run, and result extraction.  It is split from
+// CallWithStats so the wrapper's stats/telemetry bookkeeping closes over
+// nothing — with ≤ callBufArgs arguments the per-call path does not
+// allocate.  The second result is the simulated steps consumed (fuel).
+// Caller holds mu.
+func (m *Machine) callLocked(ctx context.Context, opts CallOpts, f *Func, args []Value) (Value, uint64, error) {
+	if f == nil || !f.installed || f.owner != m {
+		// Slow path: install-on-demand (or surface the nil/wrong-machine
+		// error).  Already-resident functions skip install entirely: the
+		// mutation fingerprint is verified on explicit Install, and a
+		// call always executes the installed image, so a mutated Words
+		// slice cannot affect it — re-hashing every call would put an
+		// O(code size) scan on the warm path.
+		if err := m.install(f); err != nil {
+			return Value{}, 0, err
+		}
 	}
 	if len(args) != len(f.Params) {
-		return finish(Value{}, fmt.Errorf("machine: %s takes %d args, got %d", f.Name, len(f.Params), len(args)))
+		return Value{}, 0, fmt.Errorf("machine: %s takes %d args, got %d", f.Name, len(f.Params), len(args))
 	}
 	conv := m.backend.DefaultConv()
 
 	sp := m.stackTop
-	types := make([]Type, len(args))
+	var tbuf [callBufArgs]Type
+	types := tbuf[:0]
 	for i, a := range args {
-		types[i] = a.T
 		if a.T != f.Params[i] {
-			return finish(Value{}, fmt.Errorf("machine: %s arg %d: have %s, want %s", f.Name, i, a.T, f.Params[i]))
+			return Value{}, 0, fmt.Errorf("machine: %s arg %d: have %s, want %s", f.Name, i, a.T, f.Params[i])
 		}
+		types = append(types, a.T)
 	}
-	locs, stackBytes := conv.layoutArgs(types)
+	var lbuf [callBufArgs]argLoc
+	locs, stackBytes := conv.layoutArgs(types, lbuf[:0])
 	if stackBytes > 0 {
 		sp -= uint64(stackBytes)
 	}
@@ -1205,7 +1261,7 @@ func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, arg
 		}
 		sz := loc.t.Size(m.backend.PtrBytes())
 		if err := m.mem.Store(sp+uint64(loc.stackOff), sz, args[i].Bits); err != nil {
-			return finish(Value{}, err)
+			return Value{}, 0, err
 		}
 	}
 
@@ -1213,13 +1269,16 @@ func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, arg
 	m.cpu.SetReg(conv.RA, m.retLinkValue(m.haltAddr))
 	m.cpu.SetPC(f.EntryAddr())
 	steps, err := m.run(ctx, opts, conv)
-	fuelUsed = steps
 	if err != nil {
-		return finish(Value{}, fmt.Errorf("machine: running %s: %w", f.Name, err))
+		return Value{}, steps, fmt.Errorf("machine: running %s: %w", f.Name, err)
 	}
 
-	return finish(m.result(f.Result, conv), nil)
+	return m.result(f.Result, conv), steps, nil
 }
+
+// callBufArgs is how many arguments the call path can marshal without
+// heap allocation; calls with more still work, spilling to the heap.
+const callBufArgs = 8
 
 // retLinkValue converts a desired return target into the value stored in
 // the link register (SPARC's call convention returns to RA+8).
@@ -1270,6 +1329,36 @@ func (m *Machine) run(ctx context.Context, opts CallOpts, conv *CallConv) (steps
 		if steps > budget {
 			return steps, fmt.Errorf("%w: %d steps (runaway generated code?)", ErrFuelExhausted, budget)
 		}
+		// Threaded fast path: dispatch through the predecoded body when
+		// one covers pc.  It runs before the trap lookup because
+		// attachBody refuses bodies overlapping a trap address — an
+		// in-body pc is never a trap — and the per-iteration map probe
+		// is measurable on the call hot path.  The budget check above
+		// already admitted this instruction, so the body may retire up
+		// to budget-steps+1 more before the loop must regain control;
+		// with a cancelable context the slice is clamped to the poll
+		// stride so cancellation latency stays bounded exactly as on the
+		// Step path.  A pending delay slot (materialized by a previous
+		// fuel-bounded exit), a fault-injection hook (which intercepts
+		// per-instruction fetches the threaded engine does not perform),
+		// and single-step tracing all force Step.
+		if m.engine == EngineThreaded && m.tcpu != nil && m.trace == nil &&
+			!m.tcpu.PendingDelay() && !m.mem.HasFaultHook() {
+			if b := m.bodyAt(pc); b != nil {
+				allow := budget - steps + 1
+				if cancelable && allow > stride {
+					allow = stride
+				}
+				n, rerr := m.tcpu.RunBody(b, b.IndexOf(pc), allow)
+				if n > 0 {
+					steps += n - 1
+				}
+				if rerr != nil {
+					return steps, rerr
+				}
+				continue
+			}
+		}
 		if h, ok := m.traps[pc]; ok {
 			if m.trace != nil {
 				fmt.Fprintf(m.trace, "%08x: <trap %s>\n", pc, m.symAt(pc))
@@ -1285,6 +1374,11 @@ func (m *Machine) run(ctx context.Context, opts CallOpts, conv *CallConv) (steps
 			if w, err := m.mem.FetchWord(pc); err == nil {
 				fmt.Fprintf(m.trace, "%08x: %08x  %s\n", pc, w, m.backend.Disasm(w, pc))
 			}
+			// Tracing needs per-instruction visibility: stay on Step.
+			if err := m.cpu.Step(); err != nil {
+				return steps, err
+			}
+			continue
 		}
 		if err := m.cpu.Step(); err != nil {
 			return steps, err

@@ -1,0 +1,63 @@
+// Package diff is the differential harness for the two execution
+// engines: the per-instruction fetch/switch Step loop (the oracle) and
+// the predecoded direct-threaded engine (internal/exec plus each
+// backend's threaded.go).  Every program must leave bit-identical
+// architectural state — registers, memory, PC, trap behavior, fuel
+// accounting and cycle counts — under both engines on all three
+// targets; any divergence is a bug in the threaded engine, since the
+// switch CPUs are the reference the regression tests and fuzzers
+// already pin down.
+package diff
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// StateDiff renders every architectural-state difference between two
+// CPUs of the same backend, or "" when they are bit-identical.  It
+// compares PC, retired-instruction and cycle counters, all 32 integer
+// registers and all 32 floating-point registers (full 64-bit contents).
+func StateDiff(sw, th core.CPU) string {
+	var b strings.Builder
+	if sw.PC() != th.PC() {
+		fmt.Fprintf(&b, "pc: switch=%#x threaded=%#x\n", sw.PC(), th.PC())
+	}
+	if sw.Insns() != th.Insns() {
+		fmt.Fprintf(&b, "insns: switch=%d threaded=%d\n", sw.Insns(), th.Insns())
+	}
+	if sw.Cycles() != th.Cycles() {
+		fmt.Fprintf(&b, "cycles: switch=%d threaded=%d\n", sw.Cycles(), th.Cycles())
+	}
+	for i := 0; i < 32; i++ {
+		if a, c := sw.Reg(core.GPR(i)), th.Reg(core.GPR(i)); a != c {
+			fmt.Fprintf(&b, "r%d: switch=%#x threaded=%#x\n", i, a, c)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if a, c := sw.FReg(core.FPR(i), true), th.FReg(core.FPR(i), true); a != c {
+			fmt.Fprintf(&b, "f%d: switch=%#x threaded=%#x\n", i, a, c)
+		}
+	}
+	return b.String()
+}
+
+// ErrDiff compares two error outcomes by text ("" for nil), which pins
+// both the fault classification and the faulting PC embedded in the
+// message.
+func ErrDiff(sw, th error) string {
+	a, b := errText(sw), errText(th)
+	if a == b {
+		return ""
+	}
+	return fmt.Sprintf("error: switch=%q threaded=%q\n", a, b)
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -123,46 +123,122 @@ func CompileInto(a *core.Asm, f *Func) (*core.Func, error) {
 		}
 	}
 
+	// Copy propagation: OpLoadVar/OpLoadArg do not emit a Movi into
+	// their stack slot.  Instead the slot records the source register as
+	// an alias, and consumers read the var/arg register directly — the
+	// Movi only materializes if the value must survive past a point where
+	// the alias could go stale (the var is overwritten) or where the
+	// canonical slot assignment is observable (a control-flow join).
+	alias := make([]core.Reg, maxDepth)
+	aliased := make([]bool, maxDepth)
+	src := func(d int) core.Reg {
+		if aliased[d] {
+			return alias[d]
+		}
+		return slots[d]
+	}
+	// spill materializes every live aliased slot below d into its
+	// canonical register, so code reached through a label (which assumes
+	// the canonical assignment) sees the right values.
+	spill := func(d int) {
+		for j := 0; j < d && j < maxDepth; j++ {
+			if aliased[j] {
+				a.Movi(slots[j], alias[j])
+				aliased[j] = false
+			}
+		}
+	}
+	clearAliases := func() {
+		for j := range aliased {
+			aliased[j] = false
+		}
+	}
+
 	ty := core.TypeI
 	depth := 0
+	skip := false
 	for pc, in := range f.Code {
+		if skip {
+			// Second half of a fused compare+jz pair (never a label
+			// target — fusion requires that).
+			skip = false
+			continue
+		}
 		if needLabel[pc] {
+			// Fall-through into a join point: canonicalize first, then
+			// forget aliases (the other predecessors did the same).
+			spill(depth)
+			clearAliases()
 			a.Bind(labels[pc])
 		}
 		switch in.Op {
 		case OpPushK:
 			a.Seti(slots[depth], int64(f.Consts[in.A]))
+			aliased[depth] = false
 			depth++
 		case OpLoadArg:
-			a.Movi(slots[depth], args[in.A])
+			alias[depth], aliased[depth] = args[in.A], true
 			depth++
 		case OpLoadVar:
-			a.Movi(slots[depth], vars[in.A])
+			alias[depth], aliased[depth] = vars[in.A], true
 			depth++
 		case OpStoreVar:
 			depth--
-			a.Movi(vars[in.A], slots[depth])
+			// Any live slot still aliasing this var must be
+			// materialized before the var changes under it.
+			for j := 0; j < depth; j++ {
+				if aliased[j] && alias[j] == vars[in.A] {
+					a.Movi(slots[j], alias[j])
+					aliased[j] = false
+				}
+			}
+			if from := src(depth); from != vars[in.A] {
+				a.Movi(vars[in.A], from)
+			}
+			aliased[depth] = false
 		case OpNeg:
-			a.Negi(slots[depth-1], slots[depth-1])
+			a.Negi(slots[depth-1], src(depth-1))
+			aliased[depth-1] = false
 		case OpJmp:
+			spill(depth)
 			a.Jmp(labels[in.A])
 			depth = -1 // unreachable until next label; re-established below
 		case OpJz:
 			depth--
-			a.Beqii(slots[depth], 0, labels[in.A])
+			cond := src(depth)
+			spill(depth)
+			a.Beqii(cond, 0, labels[in.A])
+			aliased[depth] = false
 		case OpRet:
-			a.Reti(slots[depth-1])
+			a.Reti(src(depth - 1))
 			depth = -1
 		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 			op := map[Op]core.Op{OpAdd: core.OpAdd, OpSub: core.OpSub,
 				OpMul: core.OpMul, OpDiv: core.OpDiv, OpMod: core.OpMod}[in.Op]
-			a.ALU(op, ty, slots[depth-2], slots[depth-2], slots[depth-1])
+			a.ALU(op, ty, slots[depth-2], src(depth-2), src(depth-1))
+			aliased[depth-2] = false
 			depth--
 		case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+			// Peephole: a comparison feeding directly into OpJz fuses
+			// into one inverted conditional branch — the materialized
+			// 0/1 flag, its re-test, and two jumps all disappear.  Only
+			// legal when the OpJz is not itself a branch target (a
+			// jump landing there expects a flag on the stack).
+			if pc+1 < len(f.Code) && f.Code[pc+1].Op == OpJz && !needLabel[pc+1] {
+				inv := map[Op]core.Op{OpLt: core.OpBge, OpLe: core.OpBgt, OpGt: core.OpBle,
+					OpGe: core.OpBlt, OpEq: core.OpBne, OpNe: core.OpBeq}[in.Op]
+				sa, sb := src(depth-2), src(depth-1)
+				depth -= 2
+				spill(depth)
+				a.Br(inv, ty, sa, sb, labels[f.Code[pc+1].A])
+				aliased[depth], aliased[depth+1] = false, false
+				skip = true
+				continue
+			}
 			op := map[Op]core.Op{OpLt: core.OpBlt, OpLe: core.OpBle, OpGt: core.OpBgt,
 				OpGe: core.OpBge, OpEq: core.OpBeq, OpNe: core.OpBne}[in.Op]
 			set1 := a.NewLabel()
-			a.Br(op, ty, slots[depth-2], slots[depth-1], set1)
+			a.Br(op, ty, src(depth-2), src(depth-1), set1)
 			// Fall-through: 0; taken: 1.  Use the same slot.
 			done := a.NewLabel()
 			a.Seti(slots[depth-2], 0)
@@ -170,6 +246,7 @@ func CompileInto(a *core.Asm, f *Func) (*core.Func, error) {
 			a.Bind(set1)
 			a.Seti(slots[depth-2], 1)
 			a.Bind(done)
+			aliased[depth-2] = false
 			depth--
 		default:
 			return nil, fmt.Errorf("jit: %s: unhandled opcode %v", f.Name, in.Op)
@@ -179,6 +256,7 @@ func CompileInto(a *core.Asm, f *Func) (*core.Func, error) {
 			// the next labelled instruction was validated at; recover
 			// it lazily.
 			depth = depthAfter(f, pc+1)
+			clearAliases()
 		}
 	}
 	fn, err := a.End()
@@ -242,9 +320,15 @@ func (m *Machine) RunContext(ctx context.Context, fn *core.Func, args ...int32) 
 // The returned cycle count is this call's simulator delta (CallStats), so
 // concurrent Runs never clobber each other's statistics.
 func (m *Machine) RunWith(ctx context.Context, opts core.CallOpts, fn *core.Func, args ...int32) (int32, uint64, error) {
-	vals := make([]core.Value, len(args))
-	for i, a := range args {
-		vals[i] = core.I(a)
+	// Marshal through a small stack buffer: Run sits on the warm-cache
+	// hot path, and a per-call slice allocation is measurable there.
+	var buf [8]core.Value
+	vals := buf[:0]
+	if len(args) > len(buf) {
+		vals = make([]core.Value, 0, len(args))
+	}
+	for _, a := range args {
+		vals = append(vals, core.I(a))
 	}
 	got, stats, err := m.machine.CallWithStats(ctx, opts, fn, vals...)
 	if err != nil {

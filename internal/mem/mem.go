@@ -41,6 +41,12 @@ type FaultHook interface {
 // SetFaultHook installs (or with nil removes) a fault-injection hook.
 func (m *Memory) SetFaultHook(h FaultHook) { m.hook = h }
 
+// HasFaultHook reports whether a fault-injection hook is installed.  The
+// threaded execution engine (internal/exec) skips per-instruction fetches,
+// so it must yield to the fetch/switch engine whenever a hook could
+// intercept them.
+func (m *Memory) HasFaultHook() bool { return m.hook != nil }
+
 // New returns a memory of the given size.  bigEndian selects the byte
 // order (SPARC is big-endian; the DECstation MIPS and Alpha are little).
 func New(size int, bigEndian bool) *Memory {

@@ -25,6 +25,10 @@ type CPU struct {
 	inDelay     bool
 	delayTarget uint64
 
+	// extPC holds the destination of a control transfer that leaves the
+	// current predecoded body (threaded engine only; see threaded.go).
+	extPC uint64
+
 	m *mem.Memory
 
 	baseCycles uint64
@@ -72,11 +76,20 @@ func (c *CPU) SetEdgeProbe(fn func(pc uint64, taken bool), stride uint64) {
 // edge is the countdown-gated probe call at conditional-branch
 // resolution.
 func (c *CPU) edge(pc uint64, taken bool) {
-	if c.edgeEvery != 0 {
-		if c.edgeLeft--; c.edgeLeft == 0 {
-			c.edgeLeft = c.edgeEvery
-			c.edgeFn(pc, taken)
-		}
+	// Split guard/slow-path so the no-probe case inlines into the branch
+	// handlers: with no edge probe attached this is a loaded-field test,
+	// not a call, and branch resolution is the threaded engine's hottest
+	// non-ALU operation.
+	if c.edgeEvery == 0 {
+		return
+	}
+	c.edgeSlow(pc, taken)
+}
+
+func (c *CPU) edgeSlow(pc uint64, taken bool) {
+	if c.edgeLeft--; c.edgeLeft == 0 {
+		c.edgeLeft = c.edgeEvery
+		c.edgeFn(pc, taken)
 	}
 }
 

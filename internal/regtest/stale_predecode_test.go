@@ -1,0 +1,83 @@
+package regtest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStalePredecodeNeverExecutes pins the eviction-ordering hazard the
+// predecoded-body registry must never expose: after Uninstall returns a
+// function's code region and a different function is installed at the
+// same arena address, a call through the threaded engine must execute
+// the new function's predecoded body, never the stale one.  The two
+// functions are built to the same size but different constants, so
+// executing the old body is observable in the return value.
+func TestStalePredecodeNeverExecutes(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			m := tg.NewMachine()
+			if m.Engine() != core.EngineThreaded {
+				t.Fatalf("threaded engine is not the default on %s", tg.Name)
+			}
+
+			f1 := buildAdd(t, tg, 1)
+			if err := m.Install(f1); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.PredecodedBodies(); got != 1 {
+				t.Fatalf("after install: %d predecoded bodies, want 1", got)
+			}
+			if v, err := m.Call(f1, core.I(10)); err != nil || v.Int() != 11 {
+				t.Fatalf("f1(10) = %v, %v; want 11", v, err)
+			}
+			addr1 := f1.Addr()
+
+			if err := m.Uninstall(f1); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.PredecodedBodies(); got != 0 {
+				t.Fatalf("after uninstall: %d predecoded bodies, want 0", got)
+			}
+
+			// Same code size, different constant: first-fit reuses the
+			// hole, so f2 lands exactly where f1's body used to be.
+			f2 := buildAdd(t, tg, 1000)
+			if err := m.Install(f2); err != nil {
+				t.Fatal(err)
+			}
+			if f2.Addr() != addr1 {
+				t.Fatalf("f2 installed at %#x, want reused %#x", f2.Addr(), addr1)
+			}
+			v, err := m.Call(f2, core.I(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Int() == 11 {
+				t.Fatalf("f2(10) = 11: the stale predecoded body executed")
+			}
+			if v.Int() != 1010 {
+				t.Fatalf("f2(10) = %d, want 1010", v.Int())
+			}
+
+			// Release must drop bodies above the mark just like
+			// Uninstall drops the per-function body.
+			mark := m.Mark()
+			f3 := buildAdd(t, tg, 7)
+			if err := m.Install(f3); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.PredecodedBodies(); got != 2 {
+				t.Fatalf("after third install: %d predecoded bodies, want 2", got)
+			}
+			m.Release(mark)
+			if got := m.PredecodedBodies(); got != 1 {
+				t.Fatalf("after release: %d predecoded bodies, want 1", got)
+			}
+			if v, err := m.Call(f2, core.I(1)); err != nil || v.Int() != 1001 {
+				t.Fatalf("f2(1) after release = %v, %v; want 1001", v, err)
+			}
+		})
+	}
+}

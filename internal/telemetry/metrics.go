@@ -11,7 +11,6 @@
 package telemetry
 
 import (
-	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -93,7 +92,14 @@ var DefTimeBounds = []uint64{
 
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	// Linear scan instead of sort.Search: bucket layouts are a dozen
+	// entries and Observe sits on the per-call hot path, where the
+	// closure-calling binary search costs more than it saves.
+	b := h.bounds
+	i := 0
+	for i < len(b) && b[i] < v {
+		i++
+	}
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)

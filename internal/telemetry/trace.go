@@ -125,16 +125,30 @@ func TraceRecord(p Phase, backend, name string, dur time.Duration, n int64) {
 	if !traceOn.Load() {
 		return
 	}
-	traceMu.Lock()
-	traceBuf[traceSeq%traceCap] = TraceEvent{
-		Seq:     traceSeq,
-		At:      time.Now(),
+	TraceRecordAt(time.Now(), p, backend, name, dur, n)
+}
+
+// TraceRecordAt is TraceRecord with a caller-supplied timestamp, for hot
+// paths that already read the clock (the per-call path saves one
+// time.Now per event).
+func TraceRecordAt(at time.Time, p Phase, backend, name string, dur time.Duration, n int64) {
+	if !traceOn.Load() {
+		return
+	}
+	// Build the event outside the lock: the ring mutex is on every
+	// machine call's hot path when tracing is on, so the critical
+	// section is just the slot store and sequence bump.
+	ev := TraceEvent{
+		At:      at,
 		Phase:   p.String(),
 		Backend: backend,
 		Name:    name,
 		DurNS:   dur,
 		N:       n,
 	}
+	traceMu.Lock()
+	ev.Seq = traceSeq
+	traceBuf[traceSeq%traceCap] = ev
 	traceSeq++
 	traceMu.Unlock()
 }

@@ -181,21 +181,24 @@ func Record(kind Kind, backend, name string, flow uint64, start time.Time, dur t
 }
 
 func record(kind Kind, backend, name string, flow uint64, start time.Time, dur time.Duration, at Attrs) {
-	st := start.Sub(epoch).Nanoseconds()
-	ringMu.Lock()
-	if ring == nil {
-		ring = make([]Span, spanCap)
-	}
-	ring[ringSeq%spanCap] = Span{
-		Seq:     ringSeq,
+	// Build the span outside the lock: recording is on the per-call hot
+	// path when tracing is on, so the critical section is just the slot
+	// copy and sequence bump.
+	sp := Span{
 		Flow:    flow,
 		Kind:    kind,
 		Backend: backend,
 		Name:    name,
-		Start:   st,
+		Start:   start.Sub(epoch).Nanoseconds(),
 		Dur:     dur.Nanoseconds(),
 		Attrs:   at,
 	}
+	ringMu.Lock()
+	if ring == nil {
+		ring = make([]Span, spanCap)
+	}
+	sp.Seq = ringSeq
+	ring[ringSeq%spanCap] = sp
 	ringSeq++
 	ringMu.Unlock()
 }

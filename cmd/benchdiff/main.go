@@ -31,7 +31,11 @@
 //     snapshot into a resharded cold server);
 //   - serve.rate_limited / serve.shed — presence-only: the record must
 //     keep carrying the overload counters (their values are
-//     load-dependent, but losing the measurement is a regression).
+//     load-dependent, but losing the measurement is a regression);
+//   - serve.slo.global_p99_ns / serve.slo.global_error_rate —
+//     presence-only: the SLO watchdog's view must stay in the record
+//     (its values depend on the soak's fault mix, but dropping the
+//     observability surface is a regression).
 //
 // A metric in the baseline but absent from the current record fails the
 // gate: silently dropping a measurement is how regressions hide.
@@ -88,6 +92,14 @@ type serveEntry struct {
 	Shed        *float64 `json:"shed"`
 
 	CallsPerSecByBackend map[string]float64 `json:"calls_per_sec_by_backend"`
+
+	// SLO gates on presence: the watchdog's keys must keep appearing.
+	SLO *sloEntry `json:"slo"`
+}
+
+type sloEntry struct {
+	GlobalP99NS     *float64 `json:"global_p99_ns"`
+	GlobalErrorRate *float64 `json:"global_error_rate"`
 }
 
 // metric is one gate comparison.  higherIsBetter flips the direction the
@@ -271,6 +283,19 @@ func compare(base, cur *record) []metric {
 				sh.cur, sh.curPresent = *cur.Serve.Shed, true
 			}
 			ms = append(ms, sh)
+		}
+		if base.Serve.SLO != nil {
+			p99 := metric{name: "serve.slo.global_p99_ns", presenceOnly: true}
+			er := metric{name: "serve.slo.global_error_rate", presenceOnly: true}
+			if cur.Serve != nil && cur.Serve.SLO != nil {
+				if cur.Serve.SLO.GlobalP99NS != nil {
+					p99.cur, p99.curPresent = *cur.Serve.SLO.GlobalP99NS, true
+				}
+				if cur.Serve.SLO.GlobalErrorRate != nil {
+					er.cur, er.curPresent = *cur.Serve.SLO.GlobalErrorRate, true
+				}
+			}
+			ms = append(ms, p99, er)
 		}
 	}
 	return ms

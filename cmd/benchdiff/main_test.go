@@ -21,7 +21,8 @@ func baseRecord() *record {
 		Compile: &compileEntry{FuncsPerSec: 100000, SerialFuncsPerSec: 25000, Speedup: 4},
 		Serve: &serveEntry{CallsPerSec: 8000, P99NS: 2e6,
 			RecoveryMS: fptr(50), RateLimited: fptr(100), Shed: fptr(0),
-			CallsPerSecByBackend: map[string]float64{"mips": 5000, "sparc": 4800, "alpha": 4700}},
+			CallsPerSecByBackend: map[string]float64{"mips": 5000, "sparc": 4800, "alpha": 4700},
+			SLO:                  &sloEntry{GlobalP99NS: fptr(3e6), GlobalErrorRate: fptr(0.01)}},
 		Exec: map[string]execEntry{
 			"mips":  {CallsPerSec: 900000, SpeedupVsSwitch: 3.5},
 			"sparc": {CallsPerSec: 850000, SpeedupVsSwitch: 3.0},
@@ -37,7 +38,8 @@ func TestNoRegressionWithinTolerance(t *testing.T) {
 	cur.Compile = &compileEntry{FuncsPerSec: 80000, SerialFuncsPerSec: 20000} // -20%: inside
 	cur.Serve = &serveEntry{CallsPerSec: 4800, P99NS: 5.5e6,                  // inside the widened serve bands
 		RecoveryMS: fptr(90), RateLimited: fptr(0), Shed: fptr(12345), // overload counters gate on presence, not value
-		CallsPerSecByBackend: map[string]float64{"mips": 3000, "sparc": 4800, "alpha": 4000}} // -40%: inside the widened band
+		CallsPerSecByBackend: map[string]float64{"mips": 3000, "sparc": 4800, "alpha": 4000}, // -40%: inside the widened band
+		SLO:                  &sloEntry{GlobalP99NS: fptr(9e6), GlobalErrorRate: fptr(0.4)}}  // SLO gates on presence, not value
 	cur.Cache.CallsPerSec = fptr(500000)                                    // -37%: inside the widened band
 	cur.Exec["mips"] = execEntry{CallsPerSec: 700000, SpeedupVsSwitch: 2.7} // -22%: inside ±25%
 	if run(os.Stdout, 0.25, baseRecord(), cur) {
@@ -72,6 +74,9 @@ func TestDoctoredRegressionFails(t *testing.T) {
 		}},
 		{"serve backend split dropped", func(r *record) { delete(r.Serve.CallsPerSecByBackend, "alpha") }},
 		{"serve backend throughput collapsed", func(r *record) { r.Serve.CallsPerSecByBackend["mips"] = 2000 }},
+		{"slo section dropped", func(r *record) { r.Serve.SLO = nil }},
+		{"slo p99 key dropped", func(r *record) { r.Serve.SLO.GlobalP99NS = nil }},
+		{"slo error-rate key dropped", func(r *record) { r.Serve.SLO.GlobalErrorRate = nil }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"archive/tar"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -293,6 +296,127 @@ func flipJournalTail(path string, rng *rand.Rand) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// saveBundle fetches /debug/bundle from a live child and writes it
+// beside the bench outputs — the post-mortem artifact CI uploads when a
+// soak check fails.  Best effort: a child too broken to serve the
+// bundle still fails with the original violation.
+func saveBundle(client *http.Client, base, path string) {
+	resp, err := client.Get(base + "/debug/bundle")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return
+	}
+	if os.WriteFile(path, data, 0o644) == nil {
+		fmt.Printf("crash-soak: diagnostic bundle written to %s\n", path)
+	}
+}
+
+// bundleFlightEvents fetches /debug/bundle and returns the decoded
+// flight-recorder ring from it.
+func bundleFlightEvents(client *http.Client, base string) ([]flightEvent, error) {
+	resp, err := client.Get(base + "/debug/bundle")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/bundle: %d", resp.StatusCode)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("bundle not gzip: %v", err)
+	}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("bundle has no flight.json")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bundle tar: %v", err)
+		}
+		if hdr.Name != "flight.json" {
+			continue
+		}
+		var events []flightEvent
+		if err := json.NewDecoder(tr).Decode(&events); err != nil {
+			return nil, fmt.Errorf("flight.json: %v", err)
+		}
+		return events, nil
+	}
+}
+
+// flightEvent is the slice of a flight-recorder event the harness
+// checks (decoded from bundle JSON, not linked against the package, so
+// this also pins the wire format).
+type flightEvent struct {
+	Stage   string `json:"stage"`
+	ReqID   string `json:"request_id"`
+	Verdict string `json:"verdict"`
+	LSN     uint64 `json:"lsn"`
+	Fuel    uint64 `json:"fuel"`
+}
+
+// verifyFlightChain drives one fresh durably-acked exec with a known
+// request ID against the finale child, pulls its diagnostic bundle, and
+// asserts the flight ring reconstructs the complete
+// admit→journal→compile→exec→outcome chain for that request — the
+// incident-debugging contract: any durable ack is explainable from a
+// bundle alone.
+func verifyFlightChain(client *http.Client, base string, keyCtr *atomic.Int64) error {
+	const reqID = "crash-finale-chain"
+	n := keyCtr.Add(1)
+	a, b := n*31+7, n%997
+	r, err := crashExec(client, base, map[string]any{
+		"lang":       "tinyc",
+		"source":     fmt.Sprintf("int main(int n) { return n * %d + %d; }", a, b),
+		"args":       []int{3},
+		"request_id": reqID,
+	})
+	if err != nil || r.status != http.StatusOK {
+		return fmt.Errorf("chain exec: status=%d err=%v", r.status, err)
+	}
+	if !r.durable {
+		return fmt.Errorf("chain exec not durable (key %s)", r.key)
+	}
+	events, err := bundleFlightEvents(client, base)
+	if err != nil {
+		return err
+	}
+	var got []string
+	var lsn uint64
+	for _, e := range events {
+		if e.ReqID != reqID {
+			continue
+		}
+		got = append(got, e.Stage+":"+e.Verdict)
+		if e.Stage == "journal" {
+			lsn = e.LSN
+		}
+	}
+	want := []string{"admit:ok", "journal:durable", "cache:compiled", "exec:ok", "outcome:ok"}
+	if len(got) != len(want) {
+		return fmt.Errorf("chain for %s = %v, want %v", reqID, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("chain for %s = %v, want %v", reqID, got, want)
+		}
+	}
+	if lsn == 0 {
+		return fmt.Errorf("chain for %s: durable journal event carries no LSN", reqID)
+	}
+	fmt.Printf("crash-soak: flight chain reconstructed for %s (lsn=%d): %s\n", reqID, lsn, strings.Join(got, " → "))
+	return nil
+}
+
 func runCrashSoak(cycles int, seed int64) error {
 	if cycles <= 0 {
 		cycles = 20
@@ -342,6 +466,7 @@ func runCrashSoak(cycles int, seed int64) error {
 		totalVerified += ok
 		totalDropped += dropped
 		if len(violations) > 0 {
+			saveBundle(client, c.base, "crash-soak-bundle.tar.gz")
 			c.kill()
 			show := violations
 			if len(show) > 5 {
@@ -393,8 +518,16 @@ func runCrashSoak(cycles int, seed int64) error {
 	totalVerified += ok
 	totalDropped += dropped
 	if len(violations) > 0 {
+		saveBundle(client, c.base, "crash-soak-bundle.tar.gz")
 		c.kill()
 		return fmt.Errorf("crash-soak: finale: %d keys wrong after 5-shard restore, e.g. %v", len(violations), violations[0])
+	}
+	// Incident-debugging contract: a durably-acked request is fully
+	// explainable from the child's diagnostic bundle by request ID.
+	if err := verifyFlightChain(client, c.base, &keyCtr); err != nil {
+		saveBundle(client, c.base, "crash-soak-bundle.tar.gz")
+		c.kill()
+		return fmt.Errorf("crash-soak: finale: %v", err)
 	}
 	var stats server.Stats
 	if err := getJSON(client, c.base+"/v1/stats", &stats); err != nil {

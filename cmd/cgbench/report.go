@@ -71,6 +71,21 @@ type serveStats struct {
 	// the same mixed load.  The aggregate CallsPerSec above remains
 	// the fault-injected soak headline.
 	CallsPerSecByBackend map[string]float64 `json:"calls_per_sec_by_backend,omitempty"`
+	// SLO is the server's watchdog view at the end of the run —
+	// benchdiff gates on the presence of these keys so the
+	// observability surface can't silently regress.
+	SLO *sloStats `json:"slo,omitempty"`
+}
+
+// sloStats is the flattened slice of the server's SLO snapshot the
+// bench record keeps.
+type sloStats struct {
+	GlobalP99NS     uint64   `json:"global_p99_ns"`
+	GlobalErrorRate float64  `json:"global_error_rate"`
+	LatencyBreaches uint64   `json:"latency_breaches"`
+	ErrorBreaches   uint64   `json:"error_breaches"`
+	BudgetBurnMS    uint64   `json:"budget_burn_ms"`
+	Degraded        []string `json:"degraded,omitempty"`
 }
 
 // codegenStats is the headline paper number per backend: host nanoseconds

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/flightrec"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -269,6 +270,16 @@ func runServeLoad(baseURL string, calls, workers, tenants int, seed int64, retry
 			rep.Serve.BreakerOpen = stats.BreakerOpen
 			rep.Serve.Shards = stats.Shards
 			rep.Serve.Tenants = stats.Tenants
+			if stats.SLO != nil {
+				rep.Serve.SLO = &sloStats{
+					GlobalP99NS:     stats.SLO.Global.P99NS,
+					GlobalErrorRate: stats.SLO.Global.ErrorRate,
+					LatencyBreaches: stats.SLO.Global.LatencyBreaches,
+					ErrorBreaches:   stats.SLO.Global.ErrorBreaches,
+					BudgetBurnMS:    stats.SLO.Global.BudgetBurnMS,
+					Degraded:        stats.SLO.Degraded,
+				}
+			}
 		}
 	}
 
@@ -338,8 +349,17 @@ func runServeSoak(calls, workers, tenants int, seed int64, rep *jsonReport) erro
 		ts.Close()
 		srv.Close()
 	}()
-	fmt.Printf("serve-soak: in-process vcoded, seed %d, faults on\n", seed)
+	// The soak runs with the flight recorder on, as production would:
+	// its overhead is inside the bench gate, and on a contract failure
+	// the bundle below carries every failed request's decision chain.
+	flightWas := flightrec.Enabled()
+	flightrec.SetEnabled(true)
+	defer flightrec.SetEnabled(flightWas)
+	fmt.Printf("serve-soak: in-process vcoded, seed %d, faults on, flight recorder on\n", seed)
 	if err := runServeLoad(ts.URL, calls, workers, tenants, seed, false, rep); err != nil {
+		if path, berr := srv.WriteBundleFile(".", "serve-soak"); berr == nil {
+			fmt.Printf("serve-soak: diagnostic bundle written to %s\n", path)
+		}
 		return err
 	}
 	st := inj.Stats()

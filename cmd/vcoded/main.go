@@ -25,7 +25,22 @@
 // jittered Retry-After hints.
 //
 // Observability rides on the same listener: /metrics, /metrics.json,
-// /debug/vars, /trace, /trace.txt, /healthz, /readyz, /v1/stats.
+// /debug/vars, /debug/pprof/*, /trace, /trace.txt, /healthz, /readyz,
+// /v1/stats, and /debug/bundle — a one-request gzipped diagnostic
+// archive (flight-recorder ring + exemplars, metrics, trace, goroutine
+// dump, shard stats, journal positions).  The flight recorder (-flight,
+// on by default) records every request's admission/cache/journal/exec
+// decision chain into a lock-light ring; SIGQUIT writes a bundle to
+// -bundle-dir without stopping the server, and a panic on the serve
+// path writes one on the way down.  The SLO watchdog (-slo-p99,
+// -slo-error-rate, -slo-window) tracks windowed p99 latency and
+// server-fault error rate per tenant and globally, exports slo.*
+// gauges, and annotates /readyz with "degraded:" reasons while an
+// objective is breached.
+//
+// Logs are structured (log/slog) with -log-format=text|json; request
+// lines carry request_id, tenant, shard and key at Debug level
+// (-log-level=debug).
 //
 // Quotas file (-quotas): JSON object mapping tenant name to
 // {"fuel_per_call": N, "max_resident_bytes": N,
@@ -39,7 +54,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,10 +62,18 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/flightrec"
 	"repro/internal/server"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// fatal logs at Error and exits — the slog replacement for log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -88,16 +111,47 @@ func main() {
 		chaosJrnlSync  = flag.Float64("chaos-journal-sync-rate", 0, "injected journal fsync-failure probability")
 		chaosCompile   = flag.Float64("chaos-compile-rate", 0, "injected compile-failure probability")
 
-		traceOn = flag.Bool("trace", false, "record lifecycle spans (serve at /trace)")
+		traceOn  = flag.Bool("trace", false, "record lifecycle spans (serve at /trace)")
+		flightOn = flag.Bool("flight", true, "record per-request flight events (served in /debug/bundle)")
+
+		bundleDir = flag.String("bundle-dir", ".", "directory for SIGQUIT/panic diagnostic bundles")
+
+		sloP99    = flag.Duration("slo-p99", 250*time.Millisecond, "p99 request-latency objective")
+		sloErrPct = flag.Float64("slo-error-rate", 0.5, "server-fault error-rate objective in [0,1)")
+		sloWindow = flag.Duration("slo-window", 30*time.Second, "SLO evaluation window")
+		sloOff    = flag.Bool("slo-disable", false, "disable the SLO watchdog")
+
+		logFormat = flag.String("log-format", "text", "log output format (text, json)")
+		logLevel  = flag.String("log-level", "info", "log level (debug, info, warn, error)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "vcoded: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "vcoded: bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(1)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	telemetry.SetEnabled(true)
 	if *traceOn {
 		trace.SetEnabled(true)
 	}
+	flightrec.SetEnabled(*flightOn)
 	if *journalPath != "" && *snapshot == "" {
-		log.Fatal("vcoded: -journal requires -snapshot (the file checkpoints compact into)")
+		fatal("-journal requires -snapshot (the file checkpoints compact into)")
 	}
 
 	cfg := server.Config{
@@ -123,6 +177,13 @@ func main() {
 		BreakerCooldown:     *breakerCD,
 		ShedLowWatermark:    *shedLow,
 		ShedHighWatermark:   *shedHigh,
+		SLO: slo.Objectives{
+			P99NS:     uint64(*sloP99),
+			ErrorRate: *sloErrPct,
+			Window:    *sloWindow,
+		},
+		SLODisable: *sloOff,
+		Logger:     logger,
 	}
 	if *chaosJrnlWrite > 0 || *chaosJrnlSync > 0 || *chaosCompile > 0 {
 		cfg.Injector = faultinject.New(faultinject.Config{
@@ -131,29 +192,44 @@ func main() {
 			JournalSyncErrorRate:  *chaosJrnlSync,
 			CompileErrorRate:      *chaosCompile,
 		})
-		log.Printf("vcoded: chaos enabled (seed=%d journal-write=%g journal-sync=%g compile=%g)",
-			*chaosSeed, *chaosJrnlWrite, *chaosJrnlSync, *chaosCompile)
+		logger.Info("chaos enabled",
+			"seed", *chaosSeed, "journal_write", *chaosJrnlWrite,
+			"journal_sync", *chaosJrnlSync, "compile", *chaosCompile)
 	}
 	if *quotaPath != "" {
 		raw, err := os.ReadFile(*quotaPath)
 		if err != nil {
-			log.Fatalf("vcoded: reading quotas: %v", err)
+			fatal("reading quotas", "err", err)
 		}
 		if err := json.Unmarshal(raw, &cfg.Tenants); err != nil {
-			log.Fatalf("vcoded: parsing quotas %s: %v", *quotaPath, err)
+			fatal("parsing quotas", "path", *quotaPath, "err", err)
 		}
 	}
 
 	srv, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("vcoded: %v", err)
+		fatal("server init", "err", err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// A panic on any serve goroutine takes the process down; write a
+	// bundle on the way so the incident is diagnosable post-mortem.
+	// http.Server recovers handler panics itself, so this catches the
+	// main-goroutine path; the handler wrapper below catches the rest.
+	defer func() {
+		if r := recover(); r != nil {
+			if path, err := srv.WriteBundleFile(*bundleDir, "panic"); err == nil {
+				logger.Error("panic — bundle written", "panic", fmt.Sprint(r), "bundle", path)
+			}
+			panic(r)
+		}
+	}()
+
+	handlerMux := srv.Handler()
+	hs := &http.Server{Addr: *addr, Handler: panicBundler(handlerMux, srv, *bundleDir, logger)}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("vcoded: serving on %s (backend=%s shards=%d workers/shard=%d)",
-		*addr, *backend, *shards, *workers)
+	logger.Info("serving",
+		"addr", *addr, "backend", *backend, "shards", *shards, "workers_per_shard", *workers)
 
 	// Recover after the listener is up: /healthz answers immediately,
 	// /readyz flips only once the warmup flights drain.  Recovery is
@@ -161,18 +237,32 @@ func main() {
 	// partially warm with a typed line, never fatally.
 	st, err := srv.Recover(*snapshot, *journalPath)
 	if err != nil {
-		log.Printf("vcoded: recovery degraded (%s): %v", st, err)
+		logger.Warn("recovery degraded", "stats", st.String(), "err", err)
 	} else if st.Warm > 0 || *snapshot != "" {
-		log.Printf("vcoded: recovered (%s)", st)
+		logger.Info("recovered", "stats", st.String())
 	}
+
+	// SIGQUIT: write a diagnostic bundle and keep serving — the
+	// operator's "what is it doing right now" hook.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	go func() {
+		for range quitc {
+			if path, err := srv.WriteBundleFile(*bundleDir, "sigquit"); err != nil {
+				logger.Error("bundle write failed", "err", err)
+			} else {
+				logger.Info("bundle written", "path", path)
+			}
+		}
+	}()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("vcoded: %v — draining (timeout %s)", sig, *drainTO)
+		logger.Info("draining", "signal", sig.String(), "timeout", drainTO.String())
 	case err := <-errc:
-		log.Fatalf("vcoded: listener: %v", err)
+		fatal("listener", "err", err)
 	}
 
 	// Graceful shutdown: stop admitting (readyz flips not-ready at
@@ -182,21 +272,43 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("vcoded: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	if *journalPath != "" {
 		if err := srv.Checkpoint(); err != nil {
-			log.Printf("vcoded: final checkpoint failed: %v", err)
+			logger.Error("final checkpoint failed", "err", err)
 		} else {
-			log.Printf("vcoded: final checkpoint written to %s", *snapshot)
+			logger.Info("final checkpoint written", "path", *snapshot)
 		}
 	} else if *snapshot != "" {
 		if n, err := srv.SaveSnapshot(*snapshot); err != nil {
-			log.Printf("vcoded: snapshot save failed: %v", err)
+			logger.Error("snapshot save failed", "err", err)
 		} else {
-			log.Printf("vcoded: saved %d warm programs to %s", n, *snapshot)
+			logger.Info("snapshot saved", "programs", n, "path", *snapshot)
 		}
 	}
 	srv.Close()
 	fmt.Fprintln(os.Stderr, "vcoded: bye")
+}
+
+// panicBundler wraps the mux so a panicking handler writes a diagnostic
+// bundle before re-panicking (net/http then logs the panic and kills
+// only that connection — the bundle preserves the request chain that
+// led there).
+func panicBundler(next http.Handler, srv *server.Server, dir string, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if path, err := srv.WriteBundleFile(dir, "panic"); err == nil {
+					logger.Error("handler panic — bundle written",
+						"panic", fmt.Sprint(rec), "path", r.URL.Path, "bundle", path)
+				} else {
+					logger.Error("handler panic — bundle failed",
+						"panic", fmt.Sprint(rec), "err", err)
+				}
+				panic(rec)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }

@@ -1173,7 +1173,11 @@ func (m *Machine) CallWith(ctx context.Context, opts CallOpts, f *Func, args ...
 // attributions — no stat reset (and no reset race) is needed.
 type CallStats struct {
 	Cycles, Insns uint64
-	Wall          time.Duration
+	// Fuel is the step budget the call consumed (0 when unlimited or the
+	// engine did not meter it) — the per-call cost a quota-billing layer
+	// or a flight recorder attributes to the request.
+	Fuel uint64
+	Wall time.Duration
 }
 
 // CallWithStats is CallWith returning per-call simulator statistics
@@ -1190,6 +1194,7 @@ func (m *Machine) CallWithStats(ctx context.Context, opts CallOpts, f *Func, arg
 	st := CallStats{
 		Cycles: m.cpu.Cycles() - cycles0,
 		Insns:  m.cpu.Insns() - insns0,
+		Fuel:   fuelUsed,
 		Wall:   time.Since(start),
 	}
 	if telemetry.Enabled() {

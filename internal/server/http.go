@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -95,6 +96,7 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("/v1/exec", s.handleExec)
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/debug/bundle", s.handleBundle)
 	return mux
 }
 
@@ -149,12 +151,14 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	reqID := s.requestID(req.RequestID)
 	sp := trace.Begin(trace.KindRequest, s.cfg.Backend, req.Tenant+"/"+reqID)
+	fr := flightrec.Begin(reqID, req.Tenant)
 
 	t, ae := s.tenants.get(req.Tenant)
 	if ae != nil {
 		s.requests.Inc()
 		s.errorsAll.Inc()
 		sp.End(0, trace.Attrs{Verdict: string(ae.Code)})
+		fr.Finish(string(ae.Code), ae.Message, 0)
 		writeErr(w, reqID, ae)
 		return
 	}
@@ -162,32 +166,34 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	if ae := t.admitRate(); ae != nil {
 		s.rateLimited.Inc()
 		t.rejected.Inc()
-		s.finishRequest(t, reqID, start, nil, sp, ae)
+		fr.Event(flightrec.StageAdmit, flightrec.Event{
+			Verdict: string(ae.Code), Shard: -1, Priority: int8(req.prio(t))})
+		s.finishRequest(t, reqID, req.Key, -1, start, nil, sp, fr, ae)
 		writeErr(w, reqID, ae)
 		return
 	}
 
-	cr, ae := s.compile(r.Context(), t, req.Lang, req.Source, req.Entry, req.Key, req.prio(t))
+	cr, ae := s.compile(r.Context(), fr, t, req.Lang, req.Source, req.Entry, req.Key, req.prio(t))
 	if ae != nil {
-		s.finishRequest(t, reqID, start, nil, sp, ae)
+		s.finishRequest(t, reqID, req.Key, -1, start, nil, sp, fr, ae)
 		writeErr(w, reqID, ae)
 		return
 	}
 	args, err := buildArgs(cr.fn.Params, req.Args)
 	if err != nil {
 		ae = classify(err)
-		s.finishRequest(t, reqID, start, cr.fn, sp, ae)
+		s.finishRequest(t, reqID, cr.key, cr.shard.id, start, cr.fn, sp, fr, ae)
 		writeErr(w, reqID, ae)
 		return
 	}
-	er, ae := s.exec(r.Context(), t, cr.shard, cr.fn, args, req.Fuel)
+	er, ae := s.exec(r.Context(), fr, t, cr.shard, cr.fn, args, req.Fuel)
 	if ae != nil {
-		s.finishRequest(t, reqID, start, cr.fn, sp, ae)
+		s.finishRequest(t, reqID, cr.key, cr.shard.id, start, cr.fn, sp, fr, ae)
 		writeErr(w, reqID, ae)
 		return
 	}
 	res, typ := renderResult(er.value)
-	s.finishRequest(t, reqID, start, cr.fn, sp, nil)
+	s.finishRequest(t, reqID, cr.key, cr.shard.id, start, cr.fn, sp, fr, nil)
 	writeJSON(w, http.StatusOK, execResponse{
 		RequestID:  reqID,
 		Key:        cr.key,
@@ -213,25 +219,29 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	reqID := s.requestID(req.RequestID)
 	sp := trace.Begin(trace.KindRequest, s.cfg.Backend, req.Tenant+"/"+reqID)
+	fr := flightrec.Begin(reqID, req.Tenant)
 
 	t, ae := s.tenants.get(req.Tenant)
 	if ae != nil {
 		s.requests.Inc()
 		s.errorsAll.Inc()
 		sp.End(0, trace.Attrs{Verdict: string(ae.Code)})
+		fr.Finish(string(ae.Code), ae.Message, 0)
 		writeErr(w, reqID, ae)
 		return
 	}
 	if ae := t.admitRate(); ae != nil {
 		s.rateLimited.Inc()
 		t.rejected.Inc()
-		s.finishRequest(t, reqID, start, nil, sp, ae)
+		fr.Event(flightrec.StageAdmit, flightrec.Event{
+			Verdict: string(ae.Code), Shard: -1, Priority: int8(req.prio(t))})
+		s.finishRequest(t, reqID, req.Key, -1, start, nil, sp, fr, ae)
 		writeErr(w, reqID, ae)
 		return
 	}
-	cr, ae := s.compile(r.Context(), t, req.Lang, req.Source, req.Entry, req.Key, req.prio(t))
+	cr, ae := s.compile(r.Context(), fr, t, req.Lang, req.Source, req.Entry, req.Key, req.prio(t))
 	if ae != nil {
-		s.finishRequest(t, reqID, start, nil, sp, ae)
+		s.finishRequest(t, reqID, req.Key, -1, start, nil, sp, fr, ae)
 		writeErr(w, reqID, ae)
 		return
 	}
@@ -251,7 +261,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		resp.CodeBytes = int64(cr.fn.SizeBytes())
 		resp.Functions = 1
 	}
-	s.finishRequest(t, reqID, start, cr.fn, sp, nil)
+	s.finishRequest(t, reqID, cr.key, cr.shard.id, start, cr.fn, sp, fr, nil)
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -109,6 +109,12 @@ type journal struct {
 	rotated atomic.Bool // writing to path+".rot", rename pending
 	pending atomic.Int64
 
+	// lsn numbers accepted appends across the journal's lifetime (1 is
+	// the first record).  It is a correlation ID for flight-recorder
+	// events and diagnostic bundles — monotonic per process, not a disk
+	// offset, and not reset by rotation.
+	lsn atomic.Uint64
+
 	f *os.File // owned by the writer goroutine once run starts
 
 	appends    *telemetry.Counter
@@ -159,19 +165,20 @@ func openJournal(path string, fsyncEvery time.Duration, inj *faultinject.Injecto
 
 func (j *journal) rotPath() string { return j.path + ".rot" }
 
-// append journals one record.  With wait set it blocks until the record
-// has been written and fsynced (group commit) — a nil return is the
-// durability guarantee.  Without wait the record rides the next batch on
-// a best-effort basis (eviction tombstones).
-func (j *journal) append(rec journalRecord, wait bool) error {
+// append journals one record and returns its LSN.  With wait set it
+// blocks until the record has been written and fsynced (group commit) —
+// a nil error is the durability guarantee.  Without wait the record
+// rides the next batch on a best-effort basis (eviction tombstones).
+func (j *journal) append(rec journalRecord, wait bool) (uint64, error) {
 	frame, err := encodeRecord(rec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if j.failed.Load() {
 		j.appendErrs.Inc()
-		return errJournalDegraded
+		return 0, errJournalDegraded
 	}
+	lsn := j.lsn.Add(1)
 	r := jreq{frame: frame}
 	if wait {
 		r.done = make(chan error, 1)
@@ -181,16 +188,16 @@ func (j *journal) append(rec journalRecord, wait bool) error {
 	case j.reqs <- r:
 	case <-j.dead:
 		j.pending.Add(-1)
-		return errJournalClosed
+		return lsn, errJournalClosed
 	}
 	if !wait {
-		return nil
+		return lsn, nil
 	}
 	select {
 	case err := <-r.done:
-		return err
+		return lsn, err
 	case <-j.dead:
-		return errJournalClosed
+		return lsn, errJournalClosed
 	}
 }
 

@@ -29,11 +29,11 @@ func addRec(key string) journalRecord {
 func TestJournalRoundTrip(t *testing.T) {
 	j, path := testJournal(t, nil)
 	for _, k := range []string{"a", "b", "c"} {
-		if err := j.append(addRec(k), true); err != nil {
+		if _, err := j.append(addRec(k), true); err != nil {
 			t.Fatalf("append(%s): %v", k, err)
 		}
 	}
-	if err := j.append(journalRecord{Op: journalOpDel, Key: "b"}, true); err != nil {
+	if _, err := j.append(journalRecord{Op: journalOpDel, Key: "b"}, true); err != nil {
 		t.Fatalf("append(del): %v", err)
 	}
 	j.close()
@@ -58,7 +58,7 @@ func TestJournalRoundTrip(t *testing.T) {
 func TestJournalTornTailTruncatesReplay(t *testing.T) {
 	j, path := testJournal(t, nil)
 	for _, k := range []string{"a", "b", "c"} {
-		if err := j.append(addRec(k), true); err != nil {
+		if _, err := j.append(addRec(k), true); err != nil {
 			t.Fatalf("append: %v", err)
 		}
 	}
@@ -107,7 +107,7 @@ func TestJournalTornTailTruncatesReplay(t *testing.T) {
 
 func TestJournalHeaderCorruption(t *testing.T) {
 	j, path := testJournal(t, nil)
-	if err := j.append(addRec("a"), true); err != nil {
+	if _, err := j.append(addRec("a"), true); err != nil {
 		t.Fatal(err)
 	}
 	j.close()
@@ -127,13 +127,13 @@ func TestJournalHeaderCorruption(t *testing.T) {
 
 func TestJournalRotationProtocol(t *testing.T) {
 	j, path := testJournal(t, nil)
-	if err := j.append(addRec("old"), true); err != nil {
+	if _, err := j.append(addRec("old"), true); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.rotate(); err != nil {
 		t.Fatalf("rotate: %v", err)
 	}
-	if err := j.append(addRec("new"), true); err != nil {
+	if _, err := j.append(addRec("new"), true); err != nil {
 		t.Fatalf("append after rotate: %v", err)
 	}
 
@@ -166,7 +166,7 @@ func TestJournalDegradesOnSyncFaultAndRotationClears(t *testing.T) {
 	j, _ := testJournal(t, inj)
 	defer j.close()
 
-	err := j.append(addRec("a"), true)
+	_, err := j.append(addRec("a"), true)
 	if err == nil {
 		t.Fatal("append succeeded with every fsync failing")
 	}
@@ -174,7 +174,7 @@ func TestJournalDegradesOnSyncFaultAndRotationClears(t *testing.T) {
 		t.Fatalf("append error %v is not the injected fault", err)
 	}
 	// Degraded: later appends fail fast with the typed sentinel.
-	if err := j.append(addRec("b"), true); !errors.Is(err, errJournalDegraded) {
+	if _, err := j.append(addRec("b"), true); !errors.Is(err, errJournalDegraded) {
 		t.Fatalf("append after failure = %v, want errJournalDegraded", err)
 	}
 	if !j.failed.Load() {

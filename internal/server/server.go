@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,8 @@ import (
 	"repro/internal/codecache"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/flightrec"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -87,6 +90,14 @@ type Config struct {
 	// Registry receives the server's instruments (default
 	// telemetry.Default).
 	Registry *telemetry.Registry
+	// SLO configures the watchdog's objectives (zero fields take the
+	// slo package defaults); SLODisable skips the watchdog entirely.
+	SLO        slo.Objectives
+	SLODisable bool
+	// Logger receives the server's structured request log (default
+	// slog.Default()).  Per-request lines log at Debug so steady-state
+	// traffic stays quiet unless the handler is raised to that level.
+	Logger *slog.Logger
 	// Injector, when set, seeds deterministic faults into every shard:
 	// memory faults on the simulated machines and compile
 	// errors/panics around the front ends — the soak configuration.
@@ -147,6 +158,12 @@ type Server struct {
 	tenants *tenantSet
 	health  *telemetry.Health
 	started time.Time
+	log     *slog.Logger
+
+	// SLO watchdog: nil when disabled; sloGlobal is the service-wide
+	// tracker every finished request observes into.
+	slo       *slo.Watchdog
+	sloGlobal *slo.Tracker
 
 	reqSeq  atomic.Uint64
 	closing atomic.Bool
@@ -215,9 +232,19 @@ func New(cfg Config) (*Server, error) {
 		snapIncompat:   reg.Counter("server.snapshot.incompatible"),
 		snapResharded:  reg.Counter("server.snapshot.resharded"),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.Default()
+	}
 	s.queueDepth = s.totalQueueDepth
 	if cfg.BreakerThreshold > 0 {
 		s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	if !cfg.SLODisable {
+		s.slo = slo.New(cfg.SLO, reg, s.health)
+		s.sloGlobal = s.slo.Global()
+		s.tenants.setWatchdog(s.slo)
+		s.slo.Start()
 	}
 	reg.GaugeFunc("server.recovery_ms", func() float64 {
 		return float64(s.recoveryMS.Load())
@@ -258,7 +285,7 @@ func (s *Server) unitEvicted(u *unit) {
 	}
 	if s.journal != nil {
 		s.journal.tombstones.Inc()
-		_ = s.journal.append(journalRecord{Op: journalOpDel, Key: u.key, Shards: len(s.shards)}, false)
+		_, _ = s.journal.append(journalRecord{Op: journalOpDel, Key: u.key, Shards: len(s.shards)}, false)
 	}
 }
 
@@ -277,6 +304,9 @@ func (s *Server) BeginDrain() {
 func (s *Server) Close() {
 	s.closing.Store(true)
 	s.stopCheckpoints()
+	if s.slo != nil {
+		s.slo.Stop()
+	}
 	for _, sh := range s.shards {
 		sh.close()
 	}
@@ -300,22 +330,35 @@ type compileResult struct {
 // resident entry function, compiling through the shard's batch pool
 // under admission control and quotas on a miss.  Concurrent requests
 // for one key coalesce into a single flight regardless of tenant.
-// prio is the request's shed priority (0–9).
-func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, key string, prio int) (compileResult, *APIError) {
+// prio is the request's shed priority (0–9).  fr (nil-safe) records
+// the admission, cache and journal decisions on the request's flight
+// chain.
+func (s *Server) compile(ctx context.Context, fr *flightrec.Request, t *tenant, lang, source, entry, key string, prio int) (compileResult, *APIError) {
+	reject := func(apiE *APIError) (compileResult, *APIError) {
+		fr.Event(flightrec.StageAdmit, flightrec.Event{
+			Verdict: string(apiE.Code), Key: key, Shard: -1, Priority: int8(prio)})
+		return compileResult{}, apiE
+	}
 	if s.closing.Load() {
-		return compileResult{}, apiErr(CodeShuttingDown, "server is shutting down")
+		return reject(apiErr(CodeShuttingDown, "server is shutting down"))
 	}
 	if key == "" {
 		if source == "" {
-			return compileResult{}, apiErr(CodeBadRequest, "need source (or a resident key)")
+			return reject(apiErr(CodeBadRequest, "need source (or a resident key)"))
 		}
 		key = contentKey(lang, entry, source)
 	}
 	sh := s.shards[shardOf(key, len(s.shards))]
 	if fn, ok := sh.cache.Get(key); ok {
+		// Hit path: no admission gates ran, so the chain goes straight
+		// to the cache verdict.
+		fr.Event(flightrec.StageCache, flightrec.Event{
+			Verdict: "hit", Key: key, Shard: int32(sh.id), Priority: int8(prio)})
 		return compileResult{key: key, shard: sh, fn: fn, cached: true, durable: sh.unitDurable(key)}, nil
 	}
 	if source == "" {
+		fr.Event(flightrec.StageCache, flightrec.Event{
+			Verdict: string(CodeNotFound), Key: key, Shard: int32(sh.id), Priority: int8(prio)})
 		return compileResult{}, apiErr(CodeNotFound, "key %s is not resident and no source was given", key)
 	}
 
@@ -332,27 +375,29 @@ func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, ke
 			if ms < 1 {
 				ms = retryAfterBreakerMS
 			}
-			return compileResult{}, apiErr(CodeCircuitOpen,
-				"key %s is failing repeatedly; circuit open", key).withRetryAfter(ms)
+			return reject(apiErr(CodeCircuitOpen,
+				"key %s is failing repeatedly; circuit open", key).withRetryAfter(ms))
 		}
 	}
 	if apiE := s.shedCheck(prio); apiE != nil {
 		t.rejected.Inc()
-		return compileResult{}, apiE
+		return reject(apiE)
 	}
 
 	// Admission: shard compile-queue backpressure, then tenant quotas.
 	if depth := sh.pool.QueueDepth(); depth >= s.cfg.QueueBound {
 		t.rejected.Inc()
-		return compileResult{}, apiErr(CodeQueueFull,
+		return reject(apiErr(CodeQueueFull,
 			"shard %d compile queue at %d (bound %d)", sh.id, depth, s.cfg.QueueBound).
-			withRetryAfter(retryAfterQueueMS)
+			withRetryAfter(retryAfterQueueMS))
 	}
 	if apiE := t.admitCompile(); apiE != nil {
 		t.rejected.Inc()
-		return compileResult{}, apiE
+		return reject(apiE)
 	}
 	defer t.releaseCompile()
+	fr.Event(flightrec.StageAdmit, flightrec.Event{
+		Verdict: "ok", Key: key, Shard: int32(sh.id), Priority: int8(prio)})
 
 	compiledHere := false
 	doCompile := func() (*core.Func, error) {
@@ -369,12 +414,19 @@ func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, ke
 			// A degraded journal (write/fsync failure) still serves the
 			// unit — the ack just goes out durable=false until the next
 			// checkpoint rotation hands the writer a fresh file.
-			if jerr := s.journal.append(journalRecord{
+			lsn, jerr := s.journal.append(journalRecord{
 				Op:     journalOpAdd,
 				Entry:  snapEntryOf(u, sh.id),
 				Shards: len(s.shards),
-			}, true); jerr == nil {
+			}, true)
+			if jerr == nil {
 				u.durable.Store(true)
+				u.lsn.Store(lsn)
+				fr.Event(flightrec.StageJournal, flightrec.Event{
+					Verdict: "durable", Key: key, Shard: int32(sh.id), LSN: lsn})
+			} else {
+				fr.Event(flightrec.StageJournal, flightrec.Event{
+					Verdict: "degraded", Key: key, Shard: int32(sh.id), Detail: truncate(jerr.Error())})
 			}
 		}
 		return u.entryFn, nil
@@ -392,9 +444,26 @@ func (s *Server) compile(ctx context.Context, t *tenant, lang, source, entry, ke
 		return res[0].Func, res[0].Err
 	})
 	if err != nil {
-		return compileResult{}, classifyCompile(err)
+		apiE := classifyCompile(err)
+		fr.Event(flightrec.StageCache, flightrec.Event{
+			Verdict: "error", Key: key, Shard: int32(sh.id), Detail: string(apiE.Code)})
+		return compileResult{}, apiE
 	}
+	verdict := "compiled"
+	if !compiledHere {
+		verdict = "coalesced"
+	}
+	fr.Event(flightrec.StageCache, flightrec.Event{
+		Verdict: verdict, Key: key, Shard: int32(sh.id)})
 	return compileResult{key: key, shard: sh, fn: fn, cached: !compiledHere, durable: sh.unitDurable(key)}, nil
+}
+
+// truncate bounds error text carried in flight events and logs.
+func truncate(s string) string {
+	if len(s) > 120 {
+		return s[:120]
+	}
+	return s
 }
 
 // execResult is one completed call.
@@ -404,14 +473,18 @@ type execResult struct {
 }
 
 // exec runs one sandboxed call under the tenant's fuel quota and the
-// server call timeout.
-func (s *Server) exec(ctx context.Context, t *tenant, sh *shard, fn *core.Func, args []core.Value, fuel uint64) (execResult, *APIError) {
+// server call timeout.  fr (nil-safe) records the call's engine, fuel
+// spend and wall time on the request's flight chain.
+func (s *Server) exec(ctx context.Context, fr *flightrec.Request, t *tenant, sh *shard, fn *core.Func, args []core.Value, fuel uint64) (execResult, *APIError) {
 	budget := t.quota.FuelPerCall
 	if fuel > 0 {
 		if budget > 0 && fuel > budget {
 			t.rejected.Inc()
-			return execResult{}, apiErr(CodeQuotaFuel,
+			apiE := apiErr(CodeQuotaFuel,
 				"requested fuel %d exceeds tenant cap %d", fuel, budget)
+			fr.Event(flightrec.StageExec, flightrec.Event{
+				Verdict: string(apiE.Code), Shard: int32(sh.id)})
+			return execResult{}, apiE
 		}
 		budget = fuel
 	}
@@ -424,8 +497,15 @@ func (s *Server) exec(ctx context.Context, t *tenant, sh *shard, fn *core.Func, 
 		t.callNS.Observe(uint64(st.Wall))
 	}
 	if err != nil {
-		return execResult{}, classify(err)
+		apiE := classify(err)
+		fr.Event(flightrec.StageExec, flightrec.Event{
+			Verdict: string(apiE.Code), Shard: int32(sh.id),
+			Detail: sh.machine.Engine().String(), Fuel: st.Fuel, DurNS: st.Wall.Nanoseconds()})
+		return execResult{}, apiE
 	}
+	fr.Event(flightrec.StageExec, flightrec.Event{
+		Verdict: "ok", Shard: int32(sh.id),
+		Detail: sh.machine.Engine().String(), Fuel: st.Fuel, DurNS: st.Wall.Nanoseconds()})
 	return execResult{value: v, stats: st}, nil
 }
 
@@ -437,32 +517,42 @@ func (s *Server) requestID(supplied string) string {
 	return fmt.Sprintf("r%06d", s.reqSeq.Add(1))
 }
 
-// finishRequest records the request's telemetry and its lifecycle span.
-// The span's name carries tenant/request-id; its flow joins the entry
-// function's lifecycle lane when the function is known, so a Perfetto
-// lane ties verify/install/call spans back to the network request.
-func (s *Server) finishRequest(t *tenant, reqID string, start time.Time, fn *core.Func, sp trace.Active, apiE *APIError) {
+// finishRequest records the request's telemetry, its lifecycle span,
+// its SLO observation, its flight-recorder outcome and (at Debug) its
+// structured log line.  The span's name carries tenant/request-id; its
+// flow joins the entry function's lifecycle lane when the function is
+// known, so a Perfetto lane ties verify/install/call spans back to the
+// network request.
+func (s *Server) finishRequest(t *tenant, reqID, key string, shardID int, start time.Time, fn *core.Func, sp trace.Active, fr *flightrec.Request, apiE *APIError) {
 	s.requests.Inc()
 	t.requests.Inc()
+	d := time.Since(start)
 	if telemetry.Enabled() {
-		d := uint64(time.Since(start))
-		s.requestNS.Observe(d)
-		t.requestNS.Observe(d)
+		s.requestNS.Observe(uint64(d))
+		t.requestNS.Observe(uint64(d))
 	}
 	verdict, errText := "ok", ""
 	if apiE != nil {
 		s.errorsAll.Inc()
 		t.errors.Inc()
-		verdict, errText = string(apiE.Code), apiE.Message
-		if len(errText) > 120 {
-			errText = errText[:120]
-		}
+		verdict, errText = string(apiE.Code), truncate(apiE.Message)
 	}
+	// SLO: only 5xx-class failures are the service's fault — typed 4xx
+	// rejections spend the caller's budget, not the error objective.
+	isFault := apiE != nil && apiE.Status() >= 500
+	s.sloGlobal.Observe(uint64(d), isFault)
+	t.slo.Observe(uint64(d), isFault)
 	var flow uint64
 	if fn != nil {
 		flow = fn.TraceFlow()
 	}
 	sp.End(flow, trace.Attrs{Verdict: verdict, Err: errText})
+	fr.Finish(verdict, errText, flow)
+	if s.log.Enabled(context.Background(), slog.LevelDebug) {
+		s.log.Debug("request",
+			"request_id", reqID, "tenant", t.name, "shard", shardID,
+			"key", key, "code", verdict, "dur_ms", d.Milliseconds())
+	}
 }
 
 // lookupStats aggregates one shard's cache metrics for /v1/stats.
@@ -533,6 +623,8 @@ type Stats struct {
 	CallP99NS   uint64        `json:"call_p99_ns"`
 	Shards      []ShardStats  `json:"shards"`
 	Tenants     []TenantStats `json:"tenants"`
+	// SLO is the watchdog's evaluated view (absent when disabled).
+	SLO *slo.Snapshot `json:"slo,omitempty"`
 }
 
 // StatsView assembles the current service-wide statistics.
@@ -553,6 +645,10 @@ func (s *Server) StatsView() Stats {
 		QueueDepth:  s.queueDepth(),
 		CallP50NS:   sum.P50,
 		CallP99NS:   sum.P99,
+	}
+	if s.slo != nil {
+		snap := s.slo.View()
+		st.SLO = &snap
 	}
 	for _, sh := range s.shards {
 		st.Shards = append(st.Shards, sh.statsView())

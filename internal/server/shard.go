@@ -56,6 +56,10 @@ type unit struct {
 	// unit was restored from disk) — the crash-survival guarantee the
 	// response's "durable" field reports.
 	durable atomic.Bool
+	// lsn is the journal sequence number behind the durable ack (0 for
+	// units restored from a snapshot or compiled without a journal) — the
+	// correlation ID flight-recorder events and bundles carry.
+	lsn atomic.Uint64
 }
 
 // newShard builds one arena on the given backend.  onCompileResult,

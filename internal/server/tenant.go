@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -80,6 +81,10 @@ type tenant struct {
 	compiles  *telemetry.Counter
 	callNS    *telemetry.Histogram
 	requestNS *telemetry.Histogram
+
+	// slo is the tenant's SLO tracker (nil when the watchdog is
+	// disabled; Observe is nil-safe).
+	slo *slo.Tracker
 }
 
 // newTenant builds the runtime state and registers the tenant's
@@ -182,6 +187,8 @@ type tenantSet struct {
 	reg          *telemetry.Registry
 	defaultQuota Quota
 	allowUnknown bool
+	// watchdog, when set, hands every tenant its SLO tracker.
+	watchdog *slo.Watchdog
 }
 
 func newTenantSet(reg *telemetry.Registry, quotas map[string]Quota, defaultQuota Quota, allowUnknown bool) *tenantSet {
@@ -197,6 +204,18 @@ func newTenantSet(reg *telemetry.Registry, quotas map[string]Quota, defaultQuota
 	return ts
 }
 
+// setWatchdog attaches the SLO watchdog, wiring trackers onto the
+// tenants declared at construction (lazily-admitted tenants get theirs
+// in get).
+func (ts *tenantSet) setWatchdog(w *slo.Watchdog) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.watchdog = w
+	for name, t := range ts.tenants {
+		t.slo = w.Tenant(name)
+	}
+}
+
 // get resolves name, lazily admitting unknown tenants when allowed.
 func (ts *tenantSet) get(name string) (*tenant, *APIError) {
 	ts.mu.Lock()
@@ -208,6 +227,9 @@ func (ts *tenantSet) get(name string) (*tenant, *APIError) {
 		return nil, apiErr(CodeUnknownTenant, "tenant %q has no quota configured", name)
 	}
 	t := newTenant(ts.reg, name, ts.defaultQuota)
+	if ts.watchdog != nil {
+		t.slo = ts.watchdog.Tenant(name)
+	}
 	ts.tenants[name] = t
 	return t, nil
 }

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 )
 
@@ -17,8 +18,9 @@ import (
 // The zero value is ready (no conditions registered).  Safe for
 // concurrent use.
 type Health struct {
-	mu    sync.Mutex
-	conds map[string]bool
+	mu       sync.Mutex
+	conds    map[string]bool
+	degraded map[string]bool
 }
 
 // Expect registers a readiness condition in the false state.  Until
@@ -60,6 +62,44 @@ func (h *Health) Ready() (bool, []string) {
 	return len(unmet) == 0, unmet
 }
 
+// Degrade records a named degradation reason.  Degradations are softer
+// than readiness conditions: the process still serves (readyz stays 200)
+// but advertises the reason — an SLO watchdog flags "slo:p99:global"
+// while the latency objective is breached, and operators or autoscalers
+// polling /readyz see it without the server leaving rotation.
+// Idempotent; re-degrading an active reason is a no-op.
+func (h *Health) Degrade(reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.degraded == nil {
+		h.degraded = make(map[string]bool)
+	}
+	h.degraded[reason] = true
+}
+
+// ClearDegraded removes a degradation reason set by Degrade.  Clearing
+// an unknown reason is a no-op.
+func (h *Health) ClearDegraded(reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.degraded, reason)
+}
+
+// Degraded returns the active degradation reasons, sorted.
+func (h *Health) Degraded() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.degraded) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(h.degraded))
+	for r := range h.degraded {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RegisterHealth mounts /healthz (liveness: always 200 while the process
 // serves) and /readyz (readiness: 200 once every Health condition is
 // met, 503 naming the unmet conditions otherwise) on mux.
@@ -71,13 +111,20 @@ func RegisterHealth(mux *http.ServeMux, h *Health) {
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		ready, unmet := h.Ready()
+		degraded := h.Degraded()
 		if !ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			for _, name := range unmet {
 				fmt.Fprintf(w, "unready: %s\n", name)
 			}
+			for _, reason := range degraded {
+				fmt.Fprintf(w, "degraded: %s\n", reason)
+			}
 			return
 		}
 		fmt.Fprintln(w, "ready")
+		for _, reason := range degraded {
+			fmt.Fprintf(w, "degraded: %s\n", reason)
+		}
 	})
 }

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"expvar"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 )
 
@@ -32,8 +33,11 @@ func PublishExpvar() {
 }
 
 // NewMux returns an http.ServeMux exposing reg at /metrics (Prometheus
-// text), /metrics.json (JSON dump), and the expvar page at /debug/vars.
-// Callers mount extra handlers (e.g. a profiler download) on the result.
+// text), /metrics.json (JSON dump), the expvar page at /debug/vars, and
+// the standard profiler at /debug/pprof/* (mounted explicitly — the mux
+// is private, so the net/http/pprof init-time DefaultServeMux
+// registration never reaches it).  Callers mount extra handlers on the
+// result.
 func NewMux(reg *Registry) *http.ServeMux {
 	PublishExpvar()
 	mux := http.NewServeMux()
@@ -43,5 +47,10 @@ func NewMux(reg *Registry) *http.ServeMux {
 		_ = reg.WriteJSON(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }

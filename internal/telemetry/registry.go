@@ -243,6 +243,12 @@ func (r *Registry) WriteText(w io.Writer) {
 				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, b.Count)
 			}
 			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, s.Sum, pn, s.Count)
+			// Precomputed quantiles and extrema as gauges, so a plain
+			// scrape sees the tail without histogram_quantile math.
+			if sum := r.hists[n].Summary(); sum.Count > 0 {
+				fmt.Fprintf(w, "%s_min %d\n%s_max %d\n", pn, sum.Min, pn, sum.Max)
+				fmt.Fprintf(w, "%s_p50 %d\n%s_p99 %d\n", pn, sum.P50, pn, sum.P99)
+			}
 		}
 	}
 }

@@ -141,6 +141,10 @@ func TestWriteTextAndJSON(t *testing.T) {
 		`emit_ns_bucket{le="200"} 1`,
 		`emit_ns_bucket{le="+Inf"} 1`,
 		"emit_ns_count 1",
+		"emit_ns_min 150",
+		"emit_ns_max 150",
+		"emit_ns_p50 150",
+		"emit_ns_p99 150",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text output missing %q:\n%s", want, text)

@@ -9,7 +9,8 @@ verify:
 
 # Packages with a single Fuzz* target each, so -fuzz=Fuzz is unambiguous.
 FUZZ_PKGS = internal/vasm internal/tinyc internal/dpf internal/spec \
-	internal/mips internal/sparc internal/alpha internal/exec/diff
+	internal/mips internal/sparc internal/alpha internal/exec/diff \
+	internal/superblock
 FUZZTIME ?= 10s
 
 fuzz-smoke:
@@ -68,12 +69,15 @@ bench-json:
 		-json $(BENCH_OUT:.json=.batch.json)
 	go run ./cmd/cgbench -serve-soak -serve-calls 8000 -workers 8 -seed 7 \
 		-json $(BENCH_OUT:.json=.serve.json)
+	go run ./cmd/cgbench -tier3 -metrics \
+		-json $(BENCH_OUT:.json=.tier3.json)
 
 # Benchmark-regression gate: the fresh records against the committed
 # baseline, ±25% tolerance (serve latency gets a widened band inside
 # benchdiff).  Exits nonzero on regression (CI fails red).
 bench-gate: bench-json
 	go run ./cmd/benchdiff -tolerance 0.25 BENCH_baseline.json \
-		$(BENCH_OUT) $(BENCH_OUT:.json=.batch.json) $(BENCH_OUT:.json=.serve.json)
+		$(BENCH_OUT) $(BENCH_OUT:.json=.batch.json) $(BENCH_OUT:.json=.serve.json) \
+		$(BENCH_OUT:.json=.tier3.json)
 
 .PHONY: verify fuzz-smoke soak run-server soak-server crash-soak test bench bench-json bench-gate

@@ -35,7 +35,17 @@
 //   - serve.slo.global_p99_ns / serve.slo.global_error_rate —
 //     presence-only: the SLO watchdog's view must stay in the record
 //     (its values depend on the soak's fault mix, but dropping the
-//     observability surface is a regression).
+//     observability surface is a regression);
+//   - tier3.<backend>.cycles_per_call — lower is better (simulated
+//     cycles of the superblock-optimized body on the loop workload;
+//     deterministic, so the band stays at the default tolerance);
+//   - tier3.<backend>.tier2_cycles_per_call — lower is better (the
+//     tier-2 body the speedup is measured against must not rot);
+//   - tier3.<backend>.speedup — higher is better (the optimized body's
+//     cycles/call win over tier 2);
+//   - superblock.formed / installed / side_exits / deopt —
+//     presence-only: the tier's lifecycle counters must keep appearing
+//     in the record (their values depend on the pipeline workload).
 //
 // A metric in the baseline but absent from the current record fails the
 // gate: silently dropping a measurement is how regressions hide.
@@ -58,6 +68,24 @@ type record struct {
 	Compile *compileEntry           `json:"compile"`
 	Serve   *serveEntry             `json:"serve"`
 	Exec    map[string]execEntry    `json:"exec"`
+	Tier3   map[string]tier3Entry   `json:"tier3"`
+	// Superblock gates on presence: the tier's lifecycle counters must
+	// keep appearing in the record.  Pointers distinguish "key absent"
+	// from "counted zero".
+	Superblock *superblockEntry `json:"superblock"`
+}
+
+type tier3Entry struct {
+	Tier2CyclesPerCall float64 `json:"tier2_cycles_per_call"`
+	CyclesPerCall      float64 `json:"cycles_per_call"`
+	Speedup            float64 `json:"speedup"`
+}
+
+type superblockEntry struct {
+	Formed    *float64 `json:"formed"`
+	Installed *float64 `json:"installed"`
+	SideExits *float64 `json:"side_exits"`
+	Deopt     *float64 `json:"deopt"`
 }
 
 type codegenEntry struct {
@@ -175,6 +203,12 @@ func load(paths ...string) (*record, error) {
 		}
 		if out.Serve == nil {
 			out.Serve = r.Serve
+		}
+		if out.Tier3 == nil && len(r.Tier3) > 0 {
+			out.Tier3 = r.Tier3
+		}
+		if out.Superblock == nil {
+			out.Superblock = r.Superblock
 		}
 	}
 	return out, nil
@@ -296,6 +330,51 @@ func compare(base, cur *record) []metric {
 				}
 			}
 			ms = append(ms, p99, er)
+		}
+	}
+	t3Backends := make([]string, 0, len(base.Tier3))
+	for bk := range base.Tier3 {
+		t3Backends = append(t3Backends, bk)
+	}
+	sort.Strings(t3Backends)
+	for _, bk := range t3Backends {
+		c, ok := cur.Tier3[bk]
+		ms = append(ms,
+			metric{
+				name: "tier3." + bk + ".cycles_per_call",
+				base: base.Tier3[bk].CyclesPerCall, cur: c.CyclesPerCall, curPresent: ok,
+			},
+			metric{
+				name: "tier3." + bk + ".tier2_cycles_per_call",
+				base: base.Tier3[bk].Tier2CyclesPerCall, cur: c.Tier2CyclesPerCall, curPresent: ok,
+			},
+			metric{
+				name: "tier3." + bk + ".speedup",
+				base: base.Tier3[bk].Speedup, cur: c.Speedup, curPresent: ok,
+				higherIsBetter: true,
+			})
+	}
+	if base.Superblock != nil {
+		counters := []struct {
+			name string
+			get  func(*superblockEntry) *float64
+		}{
+			{"superblock.formed", func(e *superblockEntry) *float64 { return e.Formed }},
+			{"superblock.installed", func(e *superblockEntry) *float64 { return e.Installed }},
+			{"superblock.side_exits", func(e *superblockEntry) *float64 { return e.SideExits }},
+			{"superblock.deopt", func(e *superblockEntry) *float64 { return e.Deopt }},
+		}
+		for _, c := range counters {
+			if c.get(base.Superblock) == nil {
+				continue
+			}
+			m := metric{name: c.name, presenceOnly: true}
+			if cur.Superblock != nil {
+				if v := c.get(cur.Superblock); v != nil {
+					m.cur, m.curPresent = *v, true
+				}
+			}
+			ms = append(ms, m)
 		}
 	}
 	return ms

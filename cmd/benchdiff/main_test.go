@@ -28,6 +28,14 @@ func baseRecord() *record {
 			"sparc": {CallsPerSec: 850000, SpeedupVsSwitch: 3.0},
 			"alpha": {CallsPerSec: 950000, SpeedupVsSwitch: 2.9},
 		},
+		Tier3: map[string]tier3Entry{
+			"mips":  {Tier2CyclesPerCall: 5800, CyclesPerCall: 3000, Speedup: 1.93},
+			"sparc": {Tier2CyclesPerCall: 3800, CyclesPerCall: 2800, Speedup: 1.35},
+			"alpha": {Tier2CyclesPerCall: 5200, CyclesPerCall: 2600, Speedup: 2.0},
+		},
+		Superblock: &superblockEntry{
+			Formed: fptr(6), Installed: fptr(3), SideExits: fptr(300), Deopt: fptr(3),
+		},
 	}
 }
 
@@ -40,8 +48,11 @@ func TestNoRegressionWithinTolerance(t *testing.T) {
 		RecoveryMS: fptr(90), RateLimited: fptr(0), Shed: fptr(12345), // overload counters gate on presence, not value
 		CallsPerSecByBackend: map[string]float64{"mips": 3000, "sparc": 4800, "alpha": 4000}, // -40%: inside the widened band
 		SLO:                  &sloEntry{GlobalP99NS: fptr(9e6), GlobalErrorRate: fptr(0.4)}}  // SLO gates on presence, not value
-	cur.Cache.CallsPerSec = fptr(500000)                                    // -37%: inside the widened band
-	cur.Exec["mips"] = execEntry{CallsPerSec: 700000, SpeedupVsSwitch: 2.7} // -22%: inside ±25%
+	cur.Cache.CallsPerSec = fptr(500000)                                                         // -37%: inside the widened band
+	cur.Exec["mips"] = execEntry{CallsPerSec: 700000, SpeedupVsSwitch: 2.7}                      // -22%: inside ±25%
+	cur.Tier3["mips"] = tier3Entry{Tier2CyclesPerCall: 6800, CyclesPerCall: 3500, Speedup: 1.94} // +17%: inside ±25%
+	cur.Superblock = &superblockEntry{                                                           // counter values are load-dependent: presence gates, values don't
+		Formed: fptr(60), Installed: fptr(1), SideExits: fptr(99999), Deopt: fptr(0)}
 	if run(os.Stdout, 0.25, baseRecord(), cur) {
 		t.Fatal("within-tolerance drift flagged as regression")
 	}
@@ -77,6 +88,21 @@ func TestDoctoredRegressionFails(t *testing.T) {
 		{"slo section dropped", func(r *record) { r.Serve.SLO = nil }},
 		{"slo p99 key dropped", func(r *record) { r.Serve.SLO.GlobalP99NS = nil }},
 		{"slo error-rate key dropped", func(r *record) { r.Serve.SLO.GlobalErrorRate = nil }},
+		{"tier3 cycles/call +50%", func(r *record) {
+			r.Tier3["mips"] = tier3Entry{Tier2CyclesPerCall: 5800, CyclesPerCall: 4500, Speedup: 1.29}
+		}},
+		{"tier2 reference body rotted", func(r *record) {
+			r.Tier3["alpha"] = tier3Entry{Tier2CyclesPerCall: 9000, CyclesPerCall: 2600, Speedup: 3.46}
+		}},
+		{"tier3 speedup collapsed", func(r *record) {
+			r.Tier3["sparc"] = tier3Entry{Tier2CyclesPerCall: 3800, CyclesPerCall: 3750, Speedup: 1.01}
+		}},
+		{"tier3 backend dropped", func(r *record) { delete(r.Tier3, "alpha") }},
+		{"tier3 section dropped", func(r *record) { r.Tier3 = nil }},
+		{"superblock section dropped", func(r *record) { r.Superblock = nil }},
+		{"superblock installed key dropped", func(r *record) { r.Superblock.Installed = nil }},
+		{"superblock deopt key dropped", func(r *record) { r.Superblock.Deopt = nil }},
+		{"superblock side_exits key dropped", func(r *record) { r.Superblock.SideExits = nil }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -15,6 +15,13 @@
 // per-function install), reporting funcs/sec and ns per generated
 // instruction for both.
 //
+// With -tier3 it benchmarks the profile-guided superblock tier
+// (internal/superblock): the full interpret → compile → superblock →
+// bias-flip-deopt lifecycle runs through jit.Adaptive on all three
+// backends, then the loop workload's simulated cycles per call are
+// compared tier-2 vs tier-3 per backend.  The optimized body must beat
+// tier 2 by at least 15% cycles/call or the run fails.
+//
 // With -faults it soaks the hardened pipeline under deterministic fault
 // injection (internal/faultinject) across all three simulated targets,
 // verifying that no fault — corrupted code words, failed accesses,
@@ -89,6 +96,7 @@ func main() {
 	serveSoak := flag.Bool("serve-soak", false, "spin up an in-process vcoded server under fault injection and soak it")
 	serveCalls := flag.Int("serve-calls", 4000, "serve modes: total requests across workers")
 	serveTenants := flag.Int("serve-tenants", 4, "serve modes: synthetic tenants in the load mix")
+	tier3Mode := flag.Bool("tier3", false, "benchmark the superblock tier: tier-2 vs tier-3 cycles/call per backend")
 	crashSoak := flag.Bool("crash-soak", false, "SIGKILL a child vcoded mid-checkpoint repeatedly and verify recovery")
 	crashCycles := flag.Int("crash-cycles", 20, "crash-soak: kill/recover cycles")
 	flag.Parse()
@@ -163,6 +171,15 @@ func main() {
 			// Per-backend engine comparison: threaded calls/sec and its
 			// speedup over the fetch/switch oracle.
 			die(rep.measureExec(max(200, *requests/25)))
+		}
+	case *tier3Mode:
+		if *jsonPath != "" {
+			rep = newReport("tier3")
+		}
+		die(runTier3Bench(rep))
+		if rep != nil {
+			// Keep the headline ns/insn numbers in every record.
+			die(rep.measureCodegen(max(50, *iters/10)))
 		}
 	case *faultsMode:
 		die(runFaultsBench(*workers, *keys, *capacity, *calls, *seed))

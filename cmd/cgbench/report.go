@@ -39,6 +39,29 @@ type jsonReport struct {
 	Edges           *edgeStats              `json:"edges,omitempty"`
 	Serve           *serveStats             `json:"serve,omitempty"`
 	Exec            map[string]execStats    `json:"exec,omitempty"`
+	Tier3           map[string]tier3Stats   `json:"tier3,omitempty"`
+	Superblock      *superblockStats        `json:"superblock,omitempty"`
+}
+
+// tier3Stats is the per-backend superblock-tier headline: simulated
+// cycles per call of the tier-2 body vs the tier-3 optimized body on the
+// loop workload, and their ratio.  Cycle counts are deterministic, so
+// benchdiff can gate them with a tight band.
+type tier3Stats struct {
+	Tier2CyclesPerCall float64 `json:"tier2_cycles_per_call"`
+	CyclesPerCall      float64 `json:"cycles_per_call"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// superblockStats is the tier's lifecycle counters as observed by the
+// -tier3 pipeline run (interpret → compile → superblock → bias-flip
+// deopt on every backend).  Values are workload-dependent; benchdiff
+// gates on the keys staying present.
+type superblockStats struct {
+	Formed    uint64 `json:"formed"`
+	Installed uint64 `json:"installed"`
+	SideExits uint64 `json:"side_exits"`
+	Deopt     uint64 `json:"deopt"`
 }
 
 // execStats is the per-backend execution-engine headline: sandboxed warm

@@ -105,6 +105,13 @@ type Asm struct {
 	// assigned at Begin when tracing is on so front ends (jit.Compile)
 	// can hang regalloc/compile spans on it before End produces the Func.
 	flow uint64
+
+	// rec accumulates the portable-emission recording when armed with
+	// Record (see record.go); recPause suppresses capture inside internal
+	// synthesis sequences whose portable event was already recorded.
+	recOn    bool
+	rec      *Recording
+	recPause int
 }
 
 // TraceFlow returns the lifecycle span ID of the function currently being
@@ -213,6 +220,10 @@ func (a *Asm) BeginTypes(params []Type, leaf bool) ([]Reg, error) {
 	a.buf.Reset()
 	a.err = nil
 	a.state = stBuilding
+	a.rec = nil
+	if a.recOn {
+		a.rec = &Recording{Params: append([]Type(nil), params...), Leaf: leaf}
+	}
 	a.labels = a.labels[:0]
 	a.fixups = a.fixups[:0]
 	a.pending = a.pending[:0]
@@ -265,6 +276,9 @@ func (a *Asm) BeginTypes(params []Type, leaf bool) ([]Reg, error) {
 	}
 	if a.err != nil {
 		return nil, a.err
+	}
+	if a.rec != nil {
+		a.rec.Args = append([]Reg(nil), a.argRegs...)
 	}
 	return a.argRegs, nil
 }
@@ -388,6 +402,9 @@ func (a *Asm) End() (*Func, error) {
 		}
 	}
 
+	if a.rec != nil {
+		a.rec.Name = a.name
+	}
 	fn := &Func{
 		Name:          a.name,
 		BackendName:   a.backend.Name(),
@@ -459,6 +476,7 @@ func (a *Asm) Bind(l Label) {
 		return
 	}
 	a.labels[l] = a.buf.Len()
+	a.record(RecEvent{Kind: RecBind, Label: l})
 }
 
 func (a *Asm) refLabel(site int, l Label) {
@@ -490,6 +508,7 @@ func (a *Asm) getReg(class RegClass, fp bool) (Reg, error) {
 	if save {
 		a.noteSaved(r)
 	}
+	a.record(RecEvent{Kind: RecGetReg, Rd: r, Class: class, FP: fp})
 	return r, nil
 }
 
@@ -497,6 +516,7 @@ func (a *Asm) getReg(class RegClass, fp bool) (Reg, error) {
 func (a *Asm) PutReg(r Reg) {
 	if a.ra != nil {
 		a.ra.free(r)
+		a.record(RecEvent{Kind: RecPutReg, Rd: r})
 	}
 }
 
@@ -527,6 +547,11 @@ func (a *Asm) hard(bank []Reg, n int, save bool) Reg {
 	if save && a.state == stBuilding {
 		a.noteSaved(r)
 	}
+	cl := Temp
+	if save {
+		cl = Var
+	}
+	a.record(RecEvent{Kind: RecHardReg, Rd: r, Class: cl})
 	return r
 }
 
@@ -548,6 +573,7 @@ func (a *Asm) Local(t Type) int64 {
 	a.frame.LocalBytes = (a.frame.LocalBytes + sz - 1) &^ (sz - 1)
 	off := a.frame.SaveAreaBytes + a.frame.LocalBytes
 	a.frame.LocalBytes += sz
+	a.record(RecEvent{Kind: RecLocal, T: t, Imm: off})
 	return off
 }
 
@@ -594,6 +620,7 @@ func (a *Asm) ALU(op Op, t Type, rd, rs1, rs2 Reg) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecALU, Op: op, T: t, Rd: rd, Rs1: rs1, Rs2: rs2})
 	if sym, ok := a.backend.EmulatedOp(op, t); ok {
 		a.emulCall(sym, rd, rs1, rs2, 0, false)
 		return
@@ -614,6 +641,7 @@ func (a *Asm) ALUI(op Op, t Type, rd, rs Reg, imm int64) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecALUI, Op: op, T: t, Rd: rd, Rs1: rs, Imm: imm})
 	if sym, ok := a.backend.EmulatedOp(op, t); ok {
 		a.emulCall(sym, rd, rs, NoReg, imm, true)
 		return
@@ -634,6 +662,7 @@ func (a *Asm) Unary(op Op, t Type, rd, rs Reg) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecUnary, Op: op, T: t, Rd: rd, Rs1: rs})
 	a.setErr(a.backend.Unary(a.buf, op, t, rd, rs))
 }
 
@@ -650,14 +679,21 @@ func (a *Asm) SetI(t Type, rd Reg, imm int64) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecSetI, T: t, Rd: rd, Imm: imm})
 	a.setErr(a.backend.SetImm(a.buf, t, rd, imm))
 }
 
 // SetF emits rd = imm for TypeF via the per-function constant pool.
-func (a *Asm) SetF(rd Reg, imm float32) { a.setFloat(TypeF, rd, f32bits(imm), false) }
+func (a *Asm) SetF(rd Reg, imm float32) {
+	a.setFloat(TypeF, rd, f32bits(imm), false)
+	a.record(RecEvent{Kind: RecSetF, T: TypeF, Rd: rd, F: float64(imm)})
+}
 
 // SetD emits rd = imm for TypeD via the per-function constant pool.
-func (a *Asm) SetD(rd Reg, imm float64) { a.setFloat(TypeD, rd, f64bits(imm), true) }
+func (a *Asm) SetD(rd Reg, imm float64) {
+	a.setFloat(TypeD, rd, f64bits(imm), true)
+	a.record(RecEvent{Kind: RecSetD, T: TypeD, Rd: rd, F: imm})
+}
 
 func (a *Asm) setFloat(t Type, rd Reg, bits uint64, double bool) {
 	if !a.ready() {
@@ -708,6 +744,7 @@ func (a *Asm) Ld(t Type, rd, base, roff Reg) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecLd, T: t, Rd: rd, Rs1: base, Rs2: roff})
 	a.setErr(a.backend.LoadRR(a.buf, t, rd, base, roff))
 }
 
@@ -724,6 +761,7 @@ func (a *Asm) LdI(t Type, rd, base Reg, off int64) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecLdI, T: t, Rd: rd, Rs1: base, Imm: off})
 	a.setErr(a.backend.Load(a.buf, t, rd, base, off))
 }
 
@@ -740,6 +778,7 @@ func (a *Asm) St(t Type, rs, base, roff Reg) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecSt, T: t, Rd: rs, Rs1: base, Rs2: roff})
 	a.setErr(a.backend.StoreRR(a.buf, t, rs, base, roff))
 }
 
@@ -756,6 +795,7 @@ func (a *Asm) StI(t Type, rs, base Reg, off int64) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecStI, T: t, Rd: rs, Rs1: base, Imm: off})
 	a.setErr(a.backend.Store(a.buf, t, rs, base, off))
 }
 
@@ -778,6 +818,7 @@ func (a *Asm) Br(op Op, t Type, rs1, rs2 Reg, l Label) {
 		return
 	}
 	a.refLabel(site, l)
+	a.record(RecEvent{Kind: RecBr, Op: op, T: t, Rs1: rs1, Rs2: rs2, Label: l, Site: site})
 }
 
 // BrI emits a conditional branch to l comparing rs against an immediate.
@@ -799,6 +840,7 @@ func (a *Asm) BrI(op Op, t Type, rs Reg, imm int64, l Label) {
 		return
 	}
 	a.refLabel(site, l)
+	a.record(RecEvent{Kind: RecBrI, Op: op, T: t, Rs1: rs, Imm: imm, Label: l, Site: site})
 }
 
 // Jmp emits an unconditional jump to l (v_jv with a label target).
@@ -813,6 +855,7 @@ func (a *Asm) Jmp(l Label) {
 		return
 	}
 	a.refLabel(site, l)
+	a.record(RecEvent{Kind: RecJmp, Label: l, Site: site})
 }
 
 // JmpReg emits an unconditional jump through register r.
@@ -823,6 +866,7 @@ func (a *Asm) JmpReg(r Reg) {
 	if !a.checkRegs(TypeP, r) {
 		return
 	}
+	a.recordUnsupported("indirect jump")
 	a.insnCount++
 	a.setErr(a.backend.JumpReg(a.buf, r))
 }
@@ -833,6 +877,7 @@ func (a *Asm) Nop() {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecNop})
 	a.backend.Nop(a.buf)
 }
 
@@ -850,6 +895,7 @@ func (a *Asm) Ret(t Type, rs Reg) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecRet, T: t, Rs1: rs})
 	a.result = t
 	ret := a.conv.RetInt
 	if t.IsFloat() {
@@ -876,6 +922,7 @@ func (a *Asm) RetVoid() {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecRetVoid})
 	a.emitRetJump(-1)
 }
 
@@ -906,6 +953,10 @@ func (a *Asm) Cvt(from, to Type, rd, rs Reg) {
 		return
 	}
 	a.insnCount++
+	a.record(RecEvent{Kind: RecCvt, T: from, T2: to, Rd: rd, Rs1: rs})
+	// The unsigned->float path below synthesizes through public emitters;
+	// replay re-expands it from the single event recorded above.
+	defer a.pauseRecord()()
 
 	unsigned := from == TypeU || from == TypeUL || from == TypeP
 	if unsigned && to.IsFloat() {
@@ -980,6 +1031,7 @@ func (a *Asm) Jal(l Label) {
 	if !a.ready() {
 		return
 	}
+	a.recordUnsupported("intra-function call")
 	if a.frame.Leaf {
 		a.setErr(ErrLeafCall)
 		return
@@ -999,6 +1051,7 @@ func (a *Asm) JalReg(r Reg) {
 	if !a.ready() {
 		return
 	}
+	a.recordUnsupported("indirect call")
 	if a.frame.Leaf {
 		a.setErr(ErrLeafCall)
 		return
@@ -1115,6 +1168,7 @@ func (a *Asm) callCommon(emit func()) {
 	if !a.ready() {
 		return
 	}
+	a.recordUnsupported("call")
 	if a.frame.Leaf {
 		a.setErr(ErrLeafCall)
 		return
@@ -1154,6 +1208,7 @@ func (a *Asm) Setfunc(rd Reg, f *Func) {
 	if !a.checkRegs(TypeP, rd) {
 		return
 	}
+	a.recordUnsupported("function-address materialization")
 	a.insnCount++
 	sites, err := a.backend.LoadAddr(a.buf, rd)
 	if err != nil {
@@ -1173,6 +1228,7 @@ func (a *Asm) SetSym(rd Reg, sym string) {
 	if !a.checkRegs(TypeP, rd) {
 		return
 	}
+	a.recordUnsupported("symbol-address materialization")
 	a.insnCount++
 	sites, err := a.backend.LoadAddr(a.buf, rd)
 	if err != nil {

@@ -15,6 +15,9 @@ func (a *Asm) ScheduleDelay(branch, slot func()) {
 	if !a.ready() {
 		return
 	}
+	// The code motion below invalidates recorded branch sites and event
+	// order; recordings of delay-scheduled functions do not replay.
+	a.recordUnsupported("delay-slot scheduling")
 	start := a.buf.Len()
 	branch()
 	mid := a.buf.Len()
@@ -57,6 +60,7 @@ func (a *Asm) RawLoad(load func(), uses int) {
 	if !a.ready() {
 		return
 	}
+	a.recordUnsupported("raw-load scheduling")
 	load()
 	for pad := a.backend.LoadDelay() - uses; pad > 0; pad-- {
 		a.backend.Nop(a.buf)

@@ -69,6 +69,12 @@ func (a *Asm) Ext(name string, t Type, rd Reg, rs ...Reg) {
 		return
 	}
 	if ok {
+		// Hardware implementation: no public sub-emissions happened, so
+		// record the extension as one opaque event; replay re-offers it
+		// to the same backend.  The Synth path below needs no event of
+		// its own — its expansion goes through the public emitters and is
+		// recorded instruction by instruction.
+		a.record(RecEvent{Kind: RecExt, Name: name, T: t, Rd: rd, Srcs: append([]Reg(nil), rs...)})
 		return
 	}
 	if d.Synth == nil {

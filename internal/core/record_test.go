@@ -1,0 +1,165 @@
+package core
+
+import "testing"
+
+// buildRecorded emits a small function with branches, a loop, locals,
+// mid-body temp allocation, and memory traffic — the shapes the superblock
+// rewriter has to replay — and returns the function plus its recording.
+func buildRecorded(t *testing.T, a *Asm) (*Func, *Recording) {
+	t.Helper()
+	a.Record(true)
+	a.SetName("rec_rt")
+	args, err := a.Begin("%i%p", Leaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	n, base := args[0], args[1]
+	sum, err := a.GetReg(Var)
+	if err != nil {
+		t.Fatalf("GetReg: %v", err)
+	}
+	i, err := a.GetReg(Var)
+	if err != nil {
+		t.Fatalf("GetReg: %v", err)
+	}
+	slot := a.Local(TypeI)
+	a.SetI(TypeI, sum, 0)
+	a.SetI(TypeI, i, 0)
+	loop, done := a.NewLabel(), a.NewLabel()
+	a.Bind(loop)
+	a.Br(OpBge, TypeI, i, n, done)
+	tmp, err := a.GetReg(Temp)
+	if err != nil {
+		t.Fatalf("GetReg: %v", err)
+	}
+	a.LdI(TypeI, tmp, base, 0)
+	a.ALU(OpAdd, TypeI, sum, sum, tmp)
+	a.PutReg(tmp)
+	a.StLocal(TypeI, sum, slot)
+	a.LdLocal(TypeI, sum, slot)
+	a.ALUI(OpAdd, TypeI, i, i, 1)
+	a.Jmp(loop)
+	a.Bind(done)
+	a.Nop()
+	a.Ret(TypeI, sum)
+	fn, err := a.End()
+	if err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	rec := a.TakeRecording()
+	if rec == nil {
+		t.Fatal("no recording")
+	}
+	return fn, rec
+}
+
+// TestRecordReplayRoundTrip verifies the foundational invariant: replaying
+// a recording's allocation history and then its instruction events in
+// original order reproduces the function word for word.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	a := NewAsm(newFake())
+	fn, rec := buildRecorded(t, a)
+	if ok, why := rec.Eligible(); !ok {
+		t.Fatalf("recording ineligible: %s", why)
+	}
+
+	b := NewAsm(newFake())
+	b.SetName(rec.Name)
+	if _, err := b.BeginFromRecording(rec); err != nil {
+		t.Fatalf("BeginFromRecording: %v", err)
+	}
+	labels := map[Label]Label{}
+	mapLabel := func(l Label) Label {
+		if m, ok := labels[l]; ok {
+			return m
+		}
+		m := b.NewLabel()
+		labels[l] = m
+		return m
+	}
+	for _, ev := range rec.Events {
+		if ev.Kind.IsAlloc() {
+			continue
+		}
+		b.Replay(ev, mapLabel)
+	}
+	fn2, err := b.End()
+	if err != nil {
+		t.Fatalf("replay End: %v", err)
+	}
+
+	if len(fn.Words) != len(fn2.Words) {
+		t.Fatalf("word count: original %d, replay %d", len(fn.Words), len(fn2.Words))
+	}
+	for i := range fn.Words {
+		if fn.Words[i] != fn2.Words[i] {
+			t.Fatalf("word %d: original %#x, replay %#x", i, fn.Words[i], fn2.Words[i])
+		}
+	}
+	if fn.Entry != fn2.Entry || fn.FrameBytes != fn2.FrameBytes || fn.Result != fn2.Result {
+		t.Fatalf("metadata mismatch: entry %d/%d frame %d/%d result %v/%v",
+			fn.Entry, fn2.Entry, fn.FrameBytes, fn2.FrameBytes, fn.Result, fn2.Result)
+	}
+}
+
+// TestRecordUnsupported verifies that functions beyond the replay
+// guarantee say so instead of replaying wrong.
+func TestRecordUnsupported(t *testing.T) {
+	a := NewAsm(newFake())
+	a.Record(true)
+	args, err := a.Begin("%i", NonLeaf)
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	a.StartCall("%i")
+	a.SetArg(0, args[0])
+	a.CallSym("helper")
+	a.RetVoid()
+	if _, err := a.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	rec := a.TakeRecording()
+	if ok, _ := rec.Eligible(); ok {
+		t.Fatal("recording with a call claims to be replayable")
+	}
+	if _, err := NewAsm(newFake()).BeginFromRecording(rec); err == nil {
+		t.Fatal("BeginFromRecording accepted an ineligible recording")
+	}
+}
+
+// TestRecordDetached verifies recordings don't leak across builds on a
+// pooled assembler.
+func TestRecordDetached(t *testing.T) {
+	a := NewAsm(newFake())
+	_, rec := buildRecorded(t, a)
+	n := len(rec.Events)
+
+	// A second build must start a fresh recording, not append.
+	if _, err := a.Begin("%i", Leaf); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	a.RetVoid()
+	if _, err := a.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	rec2 := a.TakeRecording()
+	if len(rec.Events) != n {
+		t.Fatal("first recording mutated by second build")
+	}
+	if rec2 == nil || len(rec2.Events) != 1 {
+		t.Fatalf("second recording wrong: %+v", rec2)
+	}
+
+	// Disarmed: no recording.
+	a.Record(false)
+	if _, err := a.Begin("%i", Leaf); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	a.RetVoid()
+	if _, err := a.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	if a.TakeRecording() != nil {
+		t.Fatal("recording produced while disarmed")
+	}
+}

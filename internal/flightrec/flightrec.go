@@ -106,6 +106,11 @@ type Event struct {
 	Fuel     uint64 `json:"fuel,omitempty"`
 	LSN      uint64 `json:"lsn,omitempty"`
 	DurNS    int64  `json:"dur_ns,omitempty"`
+	// Tier is the execution tier that served a StageExec event: 1
+	// interpreted, 2 compiled, 3 superblock-optimized.  Zero on stages
+	// where no tier applies (and in rings recorded before the field
+	// existed).
+	Tier int8 `json:"tier,omitempty"`
 }
 
 // enabled is the global gate; see the package comment.

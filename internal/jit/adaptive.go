@@ -57,6 +57,12 @@ type Adaptive struct {
 	blocks *profile.HotCounts
 
 	keys sync.Map // *Func -> memoized content hash (string)
+
+	// sb, when set (EnableSuperblocks), adds the third tier: hot compiled
+	// functions are re-formed into profile-guided superblocks.
+	sb        *SuperblockConfig
+	sbState   sync.Map // key (string) -> *tier3state
+	sbForming sync.Map // key (string) -> struct{} (formation in flight)
 }
 
 // NewAdaptive wraps a JIT machine with a cache bounded at 128 compiled
@@ -159,11 +165,13 @@ func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
 	hot := int(n) > ad.Threshold || ad.cache.Contains(key)
 	if !hot && ad.BlockThreshold > 0 {
 		// Block-heat check last (it walks a sync.Map; the cheap paths
-		// above decide most calls).  Summing by display name merges the
-		// interpreter's backedge entry (keyed by content hash) with an
-		// edge profiler's entry (keyed "edge:"+name) for the same
-		// function.
-		hot = ad.blocks.GetByName(f.Name) >= ad.BlockThreshold
+		// above decide most calls).  The interpreter's backedge entry is
+		// keyed by content hash and an edge profiler's by "edge:"+name;
+		// summing exactly those two keys scopes the signal to THIS
+		// function's identity — the old GetByName merge summed every
+		// entry sharing a display name, so a hot function in one tenant
+		// could promote a cold same-named function in another.
+		hot = ad.blocks.Get(key)+ad.blocks.Get("edge:"+f.Name) >= ad.BlockThreshold
 	}
 	if hot {
 		if ad.pool != nil {
@@ -171,7 +179,7 @@ func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
 			// kick the background promotion and keep interpreting — the
 			// hot call never blocks on compile+install latency.
 			if fn, ok := ad.cache.Get(key); ok {
-				return ad.m.Run(fn, args...)
+				return ad.runCompiled(key, f, fn, n, args...)
 			}
 			ad.promote(key, f)
 		} else {
@@ -181,7 +189,7 @@ func (ad *Adaptive) Call(f *Func, args ...int32) (int32, uint64, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			return ad.m.Run(fn, args...)
+			return ad.runCompiled(key, f, fn, n, args...)
 		}
 	}
 	r, cycles, backedges, err := InterpCounted(f, args...)

@@ -107,6 +107,39 @@ func Synthetic(k int32) *Func {
 	}
 }
 
+// BiasedLoop runs a 100-iteration loop whose inner branch direction
+// depends only on the argument: acc += 1 when x < 50, else acc += 2.
+// Calls with x on one side of 50 train a decisive edge profile (the
+// superblock tier straightens the hot arm); switching sides afterwards
+// drives every iteration through the side exit, which is the bias-flip
+// signal the de-optimizer polls for.  BiasedLoop()(x<50) == 100,
+// otherwise 200.
+func BiasedLoop() *Func {
+	// vars: 0=acc 1=i
+	return &Func{
+		Name:   "biased",
+		NArgs:  1,
+		NVars:  2,
+		Consts: []int32{0, 1, 2, 50, 100},
+		Code: []Insn{
+			{OpPushK, 0}, {OpStoreVar, 0}, // acc = 0
+			{OpPushK, 0}, {OpStoreVar, 1}, // i = 0
+			// head (pc 4): while (i < 100)
+			{OpLoadVar, 1}, {OpPushK, 4}, {OpLt, 0}, {OpJz, 26},
+			// if (x < 50) acc += 1 else acc += 2
+			{OpLoadArg, 0}, {OpPushK, 3}, {OpLt, 0}, {OpJz, 17},
+			{OpLoadVar, 0}, {OpPushK, 1}, {OpAdd, 0}, {OpStoreVar, 0},
+			{OpJmp, 21},
+			{OpLoadVar, 0}, {OpPushK, 2}, {OpAdd, 0}, {OpStoreVar, 0}, // pc 17
+			// cont (pc 21): i++
+			{OpLoadVar, 1}, {OpPushK, 1}, {OpAdd, 0}, {OpStoreVar, 1},
+			{OpJmp, 4},
+			// done (pc 26)
+			{OpLoadVar, 0}, {OpRet, 0},
+		},
+	}
+}
+
 // Poly evaluates 3x^2 - 4x + 7 with straight-line stack code.
 func Poly() *Func {
 	return &Func{

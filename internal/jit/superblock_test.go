@@ -1,0 +1,156 @@
+package jit
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/profile"
+)
+
+// sbAdaptive builds an Adaptive with an attached stride-1 edge profiler
+// and the superblock tier enabled with small, test-friendly thresholds.
+func sbAdaptive(t *testing.T) (*Adaptive, *profile.EdgeProfiler) {
+	t.Helper()
+	m := NewMachine(mem.DEC5000)
+	ad := NewAdaptive(m, 3)
+	ep := profile.NewEdgeProfiler(1)
+	if err := ep.Attach(m.Core()); err != nil {
+		t.Fatalf("attach edge profiler: %v", err)
+	}
+	ad.EnableSuperblocks(SuperblockConfig{
+		Threshold:   8,
+		Edges:       ep,
+		DeoptFactor: 8,
+		PollEvery:   2,
+		Cooldown:    6,
+	})
+	return ad, ep
+}
+
+// settle drains background promotions (tier-2 compiles and tier-3
+// formations both ride promoteWG).
+func settle(ad *Adaptive) { ad.WaitPromotions() }
+
+// callChecked runs f(x) and asserts the result, whatever tier served it.
+func callChecked(t *testing.T, ad *Adaptive, f *Func, x, want int32) {
+	t.Helper()
+	got, _, err := ad.Call(f, x)
+	if err != nil {
+		t.Fatalf("%s(%d): %v", f.Name, x, err)
+	}
+	if got != want {
+		t.Fatalf("%s(%d) = %d, want %d", f.Name, x, got, want)
+	}
+}
+
+// TestSuperblockPromotes drives BiasedLoop hot with a stable bias and
+// checks the function climbs all three tiers, with results identical on
+// each.
+func TestSuperblockPromotes(t *testing.T) {
+	ad, _ := sbAdaptive(t)
+	f := BiasedLoop()
+	for i := 0; i < 40; i++ {
+		callChecked(t, ad, f, 10, 100)
+		settle(ad)
+	}
+	if !ad.Compiled(f) {
+		t.Fatal("function never reached tier 2")
+	}
+	if !ad.Superblocked(f) {
+		t.Fatal("function never reached tier 3")
+	}
+	// Tier-3 results stay correct for both arms (cold arm runs through
+	// the side exit into the unmodified cold copy).
+	callChecked(t, ad, f, 10, 100)
+	callChecked(t, ad, f, 90, 200)
+}
+
+// TestSuperblockDeoptAndRepromote flips the branch bias under an
+// installed superblock: every iteration now leaves through the side exit,
+// the poll detects exits outrunning calls, the tier-3 body is evicted (no
+// stale predecoded body may survive — results must stay correct through
+// demotion), the edge profile retrains, and the function re-promotes onto
+// a superblock formed for the NEW bias.
+func TestSuperblockDeoptAndRepromote(t *testing.T) {
+	ad, _ := sbAdaptive(t)
+	f := BiasedLoop()
+
+	// Phase 1: train x<50 until tier 3 lands.
+	for i := 0; i < 40 && !ad.Superblocked(f); i++ {
+		callChecked(t, ad, f, 10, 100)
+		settle(ad)
+	}
+	if !ad.Superblocked(f) {
+		t.Fatal("function never reached tier 3")
+	}
+
+	// Phase 2: flip the bias.  Each call exits the trace ~100 times; the
+	// counter poll (every 2 calls) must demote quickly.
+	deopted := false
+	for i := 0; i < 30; i++ {
+		callChecked(t, ad, f, 90, 200)
+		if !ad.Superblocked(f) {
+			deopted = true
+			break
+		}
+	}
+	if !deopted {
+		t.Fatal("bias flip never de-optimized")
+	}
+	// Demoted execution is tier 2: still correct, for both arms.
+	callChecked(t, ad, f, 90, 200)
+	callChecked(t, ad, f, 10, 100)
+
+	// Phase 3: keep the new bias hot; after the cooldown the retrained
+	// profile is decisive the other way and tier 3 re-forms.  The old
+	// body was uninstalled, so the reinstall must execute fresh code —
+	// a stale predecoded body would produce phase-1 results here.
+	repromoted := false
+	for i := 0; i < 60; i++ {
+		callChecked(t, ad, f, 90, 200)
+		settle(ad)
+		if ad.Superblocked(f) {
+			repromoted = true
+			break
+		}
+	}
+	if !repromoted {
+		t.Fatal("function never re-promoted after retraining")
+	}
+	callChecked(t, ad, f, 90, 200)
+	callChecked(t, ad, f, 10, 100)
+}
+
+// TestBlockHeatScopedToIdentity is the regression test for block-heat
+// promotion reading heat by display name: two different functions sharing
+// a name must not promote each other.  The cold twin here has the same
+// name but different code; the hot one's backedge heat must not promote
+// it.
+func TestBlockHeatScopedToIdentity(t *testing.T) {
+	m := NewMachine(mem.DEC5000)
+	ad := NewAdaptive(m, 1<<30) // call counts never promote
+	ad.BlockThreshold = 500
+
+	hot := SumSquares()
+	cold := FibIter()
+	cold.Name = hot.Name // same display name, different content
+
+	// Drive the hot function's block heat well past the threshold.
+	for i := 0; i < 8; i++ {
+		if _, _, err := ad.Call(hot, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ad.Compiled(hot) {
+		t.Fatal("hot function should promote on block heat")
+	}
+	// One call of the same-named cold function: under the old
+	// name-merged heat it promoted immediately; identity-scoped heat
+	// keeps it interpreted.
+	if _, _, err := ad.Call(cold, 5); err != nil {
+		t.Fatal(err)
+	}
+	if ad.Compiled(cold) {
+		t.Fatal("cold same-named function cross-promoted on the hot twin's block heat")
+	}
+}

@@ -192,6 +192,56 @@ func (p *Asm) BrI(op core.Op, t core.Type, rs core.Reg, imm int64, l core.Label)
 	p.A.BrI(op, t, rs, imm, l)
 }
 
+// Ld flushes and emits a register-offset load (only immediate-offset
+// loads enter the window).
+func (p *Asm) Ld(t core.Type, rd, base, roff core.Reg) {
+	p.Flush()
+	p.A.Ld(t, rd, base, roff)
+}
+
+// St flushes and emits a register-offset store (its address is unknown to
+// the window, so ordering with any pending StI must be preserved).
+func (p *Asm) St(t core.Type, rs, base, roff core.Reg) {
+	p.Flush()
+	p.A.St(t, rs, base, roff)
+}
+
+// SetF flushes and emits a float constant load.
+func (p *Asm) SetF(rd core.Reg, imm float32) {
+	p.Flush()
+	p.A.SetF(rd, imm)
+}
+
+// SetD flushes and emits a double constant load.
+func (p *Asm) SetD(rd core.Reg, imm float64) {
+	p.Flush()
+	p.A.SetD(rd, imm)
+}
+
+// Cvt flushes and emits a conversion.
+func (p *Asm) Cvt(from, to core.Type, rd, rs core.Reg) {
+	p.Flush()
+	p.A.Cvt(from, to, rd, rs)
+}
+
+// Ext flushes and emits an extension instruction.
+func (p *Asm) Ext(name string, t core.Type, rd core.Reg, rs ...core.Reg) {
+	p.Flush()
+	p.A.Ext(name, t, rd, rs...)
+}
+
+// Nop flushes and emits a no-operation.
+func (p *Asm) Nop() {
+	p.Flush()
+	p.A.Nop()
+}
+
+// RetVoid flushes and returns.
+func (p *Asm) RetVoid() {
+	p.Flush()
+	p.A.RetVoid()
+}
+
 // Bind flushes and binds a label (a label kills the window: something
 // may jump here).
 func (p *Asm) Bind(l core.Label) {

@@ -171,6 +171,20 @@ func (e *EdgeProfiler) Reset() {
 	e.mu.Unlock()
 }
 
+// ResetSpan discards accumulated counts for branch PCs in [start, end).
+// De-optimization uses it when a superblock's bias assumption flips: the
+// demoted function retrains from fresh counts instead of blending the
+// stale pre-flip history into the next formation decision.
+func (e *EdgeProfiler) ResetSpan(start, end uint64) {
+	e.mu.Lock()
+	for pc := range e.edges {
+		if pc >= start && pc < end {
+			delete(e.edges, pc)
+		}
+	}
+	e.mu.Unlock()
+}
+
 // EdgeSample is one branch-bias row.  Bias is the taken fraction in
 // [0,1] of the recorded events for this branch.
 type EdgeSample struct {

@@ -67,6 +67,33 @@ func MulI(a *core.Asm, t core.Type, rd, rs core.Reg, k int64) {
 	}
 }
 
+// MulNoTemp reports whether MulI(t, rd, rs, k) will reduce the multiply
+// to a shift/add sequence that writes only rd and allocates no temporary
+// register.  That is the precondition for rewriting inside a superblock
+// trace, where every recorded destination must keep its exact value and
+// no registers beyond the recording's own may be touched.
+func MulNoTemp(t core.Type, rd, rs core.Reg, k int64) bool {
+	if rd == rs {
+		return false
+	}
+	uk := uint64(k)
+	if t.IsSigned() && k < 0 {
+		uk = uint64(-k)
+	}
+	switch {
+	case uk == 0, uk == 1:
+		return true
+	case bits.OnesCount64(uk) == 1:
+		return true
+	case bits.OnesCount64(uk) == 2:
+		// The lo != 0 form needs a scratch register for the second shift.
+		return bits.TrailingZeros64(uk) == 0
+	case bits.OnesCount64(uk+1) == 1:
+		return true
+	}
+	return false
+}
+
 // DivPow2 emits rd = rs / 2^n with correct C (round toward zero)
 // semantics for signed types: negative dividends are biased by 2^n - 1
 // before the arithmetic shift.  rd may alias rs.

@@ -8,7 +8,13 @@ import (
 
 // BuildALU generates fn(x, y) { return x op y } for type t.
 func BuildALU(bk core.Backend, op core.Op, t core.Type) (*core.Func, error) {
-	a := core.NewAsm(bk)
+	return BuildALUOn(core.NewAsm(bk), op, t)
+}
+
+// BuildALUOn is BuildALU on a caller-supplied assembler, so clients that
+// need build-time features configured on the Asm (recording, pooling) can
+// reuse the matrix.
+func BuildALUOn(a *core.Asm, op core.Op, t core.Type) (*core.Func, error) {
 	a.SetName(fmt.Sprintf("%s%s", op, t.Letter()))
 	args, err := a.BeginTypes([]core.Type{t, t}, core.Leaf)
 	if err != nil {
@@ -21,7 +27,11 @@ func BuildALU(bk core.Backend, op core.Op, t core.Type) (*core.Func, error) {
 
 // BuildALUImm generates fn(x) { return x op imm }.
 func BuildALUImm(bk core.Backend, op core.Op, t core.Type, imm int64) (*core.Func, error) {
-	a := core.NewAsm(bk)
+	return BuildALUImmOn(core.NewAsm(bk), op, t, imm)
+}
+
+// BuildALUImmOn is BuildALUImm on a caller-supplied assembler.
+func BuildALUImmOn(a *core.Asm, op core.Op, t core.Type, imm int64) (*core.Func, error) {
 	a.SetName(fmt.Sprintf("%s%si", op, t.Letter()))
 	args, err := a.BeginTypes([]core.Type{t}, core.Leaf)
 	if err != nil {
@@ -34,7 +44,11 @@ func BuildALUImm(bk core.Backend, op core.Op, t core.Type, imm int64) (*core.Fun
 
 // BuildUnary generates fn(x) { return op x }.
 func BuildUnary(bk core.Backend, op core.Op, t core.Type) (*core.Func, error) {
-	a := core.NewAsm(bk)
+	return BuildUnaryOn(core.NewAsm(bk), op, t)
+}
+
+// BuildUnaryOn is BuildUnary on a caller-supplied assembler.
+func BuildUnaryOn(a *core.Asm, op core.Op, t core.Type) (*core.Func, error) {
 	a.SetName(fmt.Sprintf("%s%s", op, t.Letter()))
 	args, err := a.BeginTypes([]core.Type{t}, core.Leaf)
 	if err != nil {
@@ -56,7 +70,11 @@ func BuildUnary(bk core.Backend, op core.Op, t core.Type) (*core.Func, error) {
 
 // BuildBranch generates fn(x, y) { if x op y { return 1 } return 0 }.
 func BuildBranch(bk core.Backend, op core.Op, t core.Type) (*core.Func, error) {
-	a := core.NewAsm(bk)
+	return BuildBranchOn(core.NewAsm(bk), op, t)
+}
+
+// BuildBranchOn is BuildBranch on a caller-supplied assembler.
+func BuildBranchOn(a *core.Asm, op core.Op, t core.Type) (*core.Func, error) {
 	a.SetName(fmt.Sprintf("%s%s", op, t.Letter()))
 	args, err := a.BeginTypes([]core.Type{t, t}, core.Leaf)
 	if err != nil {
@@ -77,7 +95,11 @@ func BuildBranch(bk core.Backend, op core.Op, t core.Type) (*core.Func, error) {
 
 // BuildBranchImm generates fn(x) { if x op imm { return 1 } return 0 }.
 func BuildBranchImm(bk core.Backend, op core.Op, t core.Type, imm int64) (*core.Func, error) {
-	a := core.NewAsm(bk)
+	return BuildBranchImmOn(core.NewAsm(bk), op, t, imm)
+}
+
+// BuildBranchImmOn is BuildBranchImm on a caller-supplied assembler.
+func BuildBranchImmOn(a *core.Asm, op core.Op, t core.Type, imm int64) (*core.Func, error) {
 	a.SetName(fmt.Sprintf("%s%si", op, t.Letter()))
 	args, err := a.BeginTypes([]core.Type{t}, core.Leaf)
 	if err != nil {
@@ -98,7 +120,11 @@ func BuildBranchImm(bk core.Backend, op core.Op, t core.Type, imm int64) (*core.
 
 // BuildCvt generates fn(x from) { return (to)x }.
 func BuildCvt(bk core.Backend, from, to core.Type) (*core.Func, error) {
-	a := core.NewAsm(bk)
+	return BuildCvtOn(core.NewAsm(bk), from, to)
+}
+
+// BuildCvtOn is BuildCvt on a caller-supplied assembler.
+func BuildCvtOn(a *core.Asm, from, to core.Type) (*core.Func, error) {
 	a.SetName(fmt.Sprintf("cv%s2%s", from.Letter(), to.Letter()))
 	args, err := a.BeginTypes([]core.Type{from}, core.Leaf)
 	if err != nil {
@@ -133,8 +159,12 @@ func ArgTypeFor(t core.Type) core.Type {
 // exercising every load/store type including the synthesized byte and
 // halfword forms on Alpha.
 func BuildMemRoundtrip(bk core.Backend, t core.Type) (*core.Func, error) {
+	return BuildMemRoundtripOn(core.NewAsm(bk), t)
+}
+
+// BuildMemRoundtripOn is BuildMemRoundtrip on a caller-supplied assembler.
+func BuildMemRoundtripOn(a *core.Asm, t core.Type) (*core.Func, error) {
 	at := ArgTypeFor(t)
-	a := core.NewAsm(bk)
 	a.SetName(fmt.Sprintf("mem%s", t.Letter()))
 	args, err := a.BeginTypes([]core.Type{core.TypeP, at}, core.Leaf)
 	if err != nil {
@@ -149,8 +179,13 @@ func BuildMemRoundtrip(bk core.Backend, t core.Type) (*core.Func, error) {
 // BuildMemRoundtripRR is BuildMemRoundtrip with register-offset
 // addressing (v_ld / v_st with a register offset): fn(p, off, x).
 func BuildMemRoundtripRR(bk core.Backend, t core.Type) (*core.Func, error) {
+	return BuildMemRoundtripRROn(core.NewAsm(bk), t)
+}
+
+// BuildMemRoundtripRROn is BuildMemRoundtripRR on a caller-supplied
+// assembler.
+func BuildMemRoundtripRROn(a *core.Asm, t core.Type) (*core.Func, error) {
 	at := ArgTypeFor(t)
-	a := core.NewAsm(bk)
 	a.SetName(fmt.Sprintf("memrr%s", t.Letter()))
 	args, err := a.BeginTypes([]core.Type{core.TypeP, core.TypeP, at}, core.Leaf)
 	if err != nil {
@@ -183,7 +218,11 @@ func RefMemRoundtrip(t core.Type, x core.Value, ptrBytes int) core.Value {
 // double for FP parameters, exercising the calling convention (register
 // and stack argument passing) for the given signature.
 func BuildWeightedSum(bk core.Backend, params []core.Type) (*core.Func, error) {
-	a := core.NewAsm(bk)
+	return BuildWeightedSumOn(core.NewAsm(bk), params)
+}
+
+// BuildWeightedSumOn is BuildWeightedSum on a caller-supplied assembler.
+func BuildWeightedSumOn(a *core.Asm, params []core.Type) (*core.Func, error) {
 	a.SetName(fmt.Sprintf("sum%d", len(params)))
 	args, err := a.BeginTypes(params, core.Leaf)
 	if err != nil {

@@ -483,7 +483,7 @@ func (s *Server) exec(ctx context.Context, fr *flightrec.Request, t *tenant, sh 
 			apiE := apiErr(CodeQuotaFuel,
 				"requested fuel %d exceeds tenant cap %d", fuel, budget)
 			fr.Event(flightrec.StageExec, flightrec.Event{
-				Verdict: string(apiE.Code), Shard: int32(sh.id)})
+				Verdict: string(apiE.Code), Shard: int32(sh.id), Tier: 2})
 			return execResult{}, apiE
 		}
 		budget = fuel
@@ -499,12 +499,12 @@ func (s *Server) exec(ctx context.Context, fr *flightrec.Request, t *tenant, sh 
 	if err != nil {
 		apiE := classify(err)
 		fr.Event(flightrec.StageExec, flightrec.Event{
-			Verdict: string(apiE.Code), Shard: int32(sh.id),
+			Verdict: string(apiE.Code), Shard: int32(sh.id), Tier: 2,
 			Detail: sh.machine.Engine().String(), Fuel: st.Fuel, DurNS: st.Wall.Nanoseconds()})
 		return execResult{}, apiE
 	}
 	fr.Event(flightrec.StageExec, flightrec.Event{
-		Verdict: "ok", Shard: int32(sh.id),
+		Verdict: "ok", Shard: int32(sh.id), Tier: 2,
 		Detail: sh.machine.Engine().String(), Fuel: st.Fuel, DurNS: st.Wall.Nanoseconds()})
 	return execResult{value: v, stats: st}, nil
 }

@@ -1,0 +1,302 @@
+package superblock
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// block is one basic block of the recorded function: the labels bound at
+// its head and its instruction events (terminator included, RecBind
+// events excluded — they become labels).
+type block struct {
+	labels []core.Label
+	events []core.RecEvent
+}
+
+// term returns the block's terminating event, if it has one.  Blocks
+// without a terminator fall through to the next block in recording order.
+func (b *block) term() (core.RecEvent, bool) {
+	if n := len(b.events); n > 0 {
+		ev := b.events[n-1]
+		switch ev.Kind {
+		case core.RecBr, core.RecBrI, core.RecJmp, core.RecRet, core.RecRetVoid:
+			return ev, true
+		}
+	}
+	return core.RecEvent{}, false
+}
+
+// body returns the block's events without the terminator.
+func (b *block) body() []core.RecEvent {
+	if _, ok := b.term(); ok {
+		return b.events[:len(b.events)-1]
+	}
+	return b.events
+}
+
+// traceStep is one block's position in the selected trace, with the
+// control-flow edits formation decided for its terminator.
+type traceStep struct {
+	block int
+
+	// Conditional-branch rewrite.  When emitBranch is set the trace
+	// emits brOp (possibly the recorded op inverted) with the recorded
+	// operands, targeting block brTo — through its trace label when
+	// brTrace (a loop back into the trace), through a counting side-exit
+	// stub when brStub (a decisively cold direction), and straight to
+	// its cold-copy label otherwise (an indecisive trace exit).
+	emitBranch bool
+	brOp       core.Op
+	brTo       int
+	brTrace    bool
+	brStub     bool
+
+	// Unconditional tail.  When emitJmp is set the trace emits a jump to
+	// block jmpTo after the branch (trace label when jmpTrace, cold-copy
+	// label otherwise).
+	emitJmp  bool
+	jmpTo    int
+	jmpTrace bool
+
+	// next is the block the trace continues into, -1 when the trace ends
+	// at this step.
+	next int
+}
+
+// Plan is a formed superblock: the block decomposition of the recording
+// plus the selected trace and its control-flow edits.  Compile turns it
+// into an installable function.
+type Plan struct {
+	rec        *core.Recording
+	opt        Options
+	blocks     []block
+	labelBlock map[core.Label]int
+	steps      []traceStep
+	traceLabel map[int]bool // blocks needing an in-trace label (loop targets)
+	coldNeeded bool
+
+	// Formation statistics.
+	Straightened int // unconditional jumps removed from the trace
+	Inverted     int // branches inverted so the hot side falls through
+	SideExits    int // counting side-exit stubs
+	Loops        int // branches kept as loops back into the trace
+}
+
+// TraceBlocks returns the number of blocks in the selected trace.
+func (p *Plan) TraceBlocks() int { return len(p.steps) }
+
+// Interesting reports whether formation changed anything: at least one
+// straightened jump, inverted branch, or decisive side exit.  A plan that
+// is not interesting re-emits the original control flow and is not worth
+// installing (the differential oracle compiles it anyway).
+func (p *Plan) Interesting() bool {
+	return p.Straightened+p.Inverted+p.SideExits > 0
+}
+
+// Form selects a superblock trace through rec guided by bias.  It returns
+// an error when the recording is ineligible for replay or structurally
+// malformed (a branch to an unbound label, a fall through past the last
+// block); jit treats any error as "stay on tier 2".
+func Form(rec *core.Recording, bias BiasSource, opt Options) (*Plan, error) {
+	if ok, why := rec.Eligible(); !ok {
+		return nil, fmt.Errorf("superblock: %s does not replay: %s", rec.Name, why)
+	}
+	opt = opt.withDefaults()
+	p := &Plan{
+		rec:        rec,
+		opt:        opt,
+		labelBlock: make(map[core.Label]int),
+		traceLabel: make(map[int]bool),
+	}
+	p.buildBlocks()
+	if len(p.blocks) == 0 {
+		return nil, fmt.Errorf("superblock: %s has no instructions", rec.Name)
+	}
+	if err := p.selectTrace(bias); err != nil {
+		return nil, err
+	}
+	for _, st := range p.steps {
+		if (st.emitBranch && !st.brTrace) || (st.emitJmp && !st.jmpTrace) {
+			p.coldNeeded = true
+		}
+	}
+	cFormed.Inc()
+	return p, nil
+}
+
+// buildBlocks splits the recording's instruction events at labels and
+// terminators.  Consecutive binds accumulate on one block; allocation
+// events are skipped (BeginFromRecording replays them).
+func (p *Plan) buildBlocks() {
+	var cur block
+	flush := func() {
+		p.blocks = append(p.blocks, cur)
+		cur = block{}
+	}
+	for _, ev := range p.rec.Events {
+		if ev.Kind.IsAlloc() {
+			continue
+		}
+		switch ev.Kind {
+		case core.RecBind:
+			if len(cur.events) > 0 {
+				flush()
+			}
+			cur.labels = append(cur.labels, ev.Label)
+		case core.RecBr, core.RecBrI, core.RecJmp, core.RecRet, core.RecRetVoid:
+			cur.events = append(cur.events, ev)
+			flush()
+		default:
+			cur.events = append(cur.events, ev)
+		}
+	}
+	if len(cur.events) > 0 || len(cur.labels) > 0 {
+		flush()
+	}
+	for i, b := range p.blocks {
+		for _, l := range b.labels {
+			p.labelBlock[l] = i
+		}
+	}
+}
+
+// selectTrace walks from the entry block, growing the trace through the
+// likely direction of each branch.
+func (p *Plan) selectTrace(bias BiasSource) error {
+	visited := make(map[int]bool)
+	cur := 0
+	for {
+		visited[cur] = true
+		step := traceStep{block: cur, next: -1}
+		ev, hasTerm := p.blocks[cur].term()
+		switch {
+		case !hasTerm:
+			// Falls through to the next block in recording order.
+			nxt := cur + 1
+			if nxt >= len(p.blocks) {
+				return fmt.Errorf("superblock: %s falls through past the last block", p.rec.Name)
+			}
+			if visited[nxt] {
+				p.traceLabel[nxt] = true
+				step.emitJmp, step.jmpTo, step.jmpTrace = true, nxt, true
+				p.Loops++
+			} else {
+				step.next = nxt
+			}
+
+		case ev.Kind == core.RecRet || ev.Kind == core.RecRetVoid:
+			// Replayed verbatim; the trace ends here.
+
+		case ev.Kind == core.RecJmp:
+			tgt, ok := p.labelBlock[ev.Label]
+			if !ok {
+				return fmt.Errorf("superblock: %s jumps to an unbound label", p.rec.Name)
+			}
+			if visited[tgt] {
+				p.traceLabel[tgt] = true
+				step.emitJmp, step.jmpTo, step.jmpTrace = true, tgt, true
+				p.Loops++
+			} else {
+				// Straightened: the target's body follows inline and the
+				// jump disappears.
+				step.next = tgt
+				p.Straightened++
+			}
+
+		default: // RecBr / RecBrI
+			tgt, ok := p.labelBlock[ev.Label]
+			if !ok {
+				return fmt.Errorf("superblock: %s branches to an unbound label", p.rec.Name)
+			}
+			fall := cur + 1
+			if fall >= len(p.blocks) {
+				return fmt.Errorf("superblock: %s branch falls through past the last block", p.rec.Name)
+			}
+			taken, not, haveBias := bias(ev.Site)
+			total := taken + not
+			var frac float64
+			if total > 0 {
+				frac = float64(taken) / float64(total)
+			}
+			trusted := haveBias && total >= p.opt.MinSamples
+			// Float comparisons are never inverted: with a NaN operand
+			// both a branch and its inversion can be not-taken, so the
+			// inverted form is not equivalent.
+			decisiveTaken := trusted && frac >= p.opt.MinBias && !ev.T.IsFloat()
+			decisiveFall := trusted && frac <= 1-p.opt.MinBias
+
+			switch {
+			case visited[tgt]:
+				// Loop back into the trace: keep the branch, retarget it
+				// at the in-trace copy of its target.
+				p.traceLabel[tgt] = true
+				step.emitBranch, step.brOp, step.brTo, step.brTrace = true, ev.Op, tgt, true
+				p.Loops++
+				if visited[fall] {
+					p.traceLabel[fall] = true
+					step.emitJmp, step.jmpTo, step.jmpTrace = true, fall, true
+					p.Loops++
+				} else {
+					step.next = fall
+				}
+			case visited[fall] && decisiveTaken:
+				// The fallthrough loops back into the trace but the taken
+				// side is decisively hot: invert so the hot side falls
+				// through, branching back into the trace on the cold side.
+				p.traceLabel[fall] = true
+				step.emitBranch, step.brOp, step.brTo, step.brTrace = true, ev.Op.InvertBranch(), fall, true
+				step.next = tgt
+				p.Inverted++
+				p.Loops++
+			case visited[fall]:
+				// Fallthrough loops back into the trace; keep the branch
+				// as the exit (counted when the profile says it is rare).
+				p.traceLabel[fall] = true
+				step.emitBranch, step.brOp, step.brTo = true, ev.Op, tgt
+				if decisiveFall {
+					step.brStub = true
+					p.SideExits++
+				}
+				step.emitJmp, step.jmpTo, step.jmpTrace = true, fall, true
+				p.Loops++
+			case decisiveTaken:
+				// Hot side is the taken target: invert the branch so the
+				// trace falls into it; the now-rare taken direction exits
+				// through a counting stub to the cold fallthrough block.
+				step.emitBranch, step.brOp, step.brTo, step.brStub = true, ev.Op.InvertBranch(), fall, true
+				step.next = tgt
+				p.Inverted++
+				p.SideExits++
+			case decisiveFall:
+				// Hot side is the fallthrough: keep the branch, route its
+				// rare taken direction through a counting stub.
+				step.emitBranch, step.brOp, step.brTo, step.brStub = true, ev.Op, tgt, true
+				step.next = fall
+				p.SideExits++
+			default:
+				// Indecisive (or float-taken-biased): end the trace with
+				// the original control flow into the cold copy.  These
+				// exits are deliberately NOT counted — an even 50/50
+				// branch exiting every other call is normal, not a bias
+				// flip, and must not feed the de-optimization signal.
+				step.emitBranch, step.brOp, step.brTo = true, ev.Op, tgt
+				step.emitJmp, step.jmpTo = true, fall
+			}
+		}
+
+		p.steps = append(p.steps, step)
+		if step.next < 0 {
+			return nil
+		}
+		if len(p.steps) >= p.opt.MaxBlocks {
+			// Trace length bound: convert the continuation into a cold
+			// exit.
+			last := &p.steps[len(p.steps)-1]
+			last.emitJmp, last.jmpTo, last.jmpTrace = true, last.next, false
+			last.next = -1
+			return nil
+		}
+		cur = step.next
+	}
+}

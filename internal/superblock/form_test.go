@@ -1,0 +1,273 @@
+package superblock_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mips"
+	"repro/internal/profile"
+	"repro/internal/superblock"
+)
+
+func mipsBackend() core.Backend { return mips.New() }
+
+func mipsMachine() *core.Machine {
+	m := mem.New(1<<22, false)
+	return core.NewMachine(mips.New(), mips.NewCPU(m), m)
+}
+
+// alwaysTaken / alwaysFall are synthetic bias sources for unit tests.
+func alwaysTaken(int) (uint64, uint64, bool) { return 100, 0, true }
+func alwaysFall(int) (uint64, uint64, bool)  { return 0, 100, true }
+func noBias(int) (uint64, uint64, bool)      { return 0, 0, false }
+
+func recordClamp(t *testing.T, bk core.Backend) (*core.Func, *core.Recording) {
+	t.Helper()
+	a := core.NewAsm(bk)
+	a.Record(true)
+	fn, err := buildClamp(a)
+	if err != nil {
+		t.Fatalf("build clamp: %v", err)
+	}
+	rec := a.TakeRecording()
+	if rec == nil {
+		t.Fatal("no recording")
+	}
+	return fn, rec
+}
+
+// TestFormClampShape checks the trace decisions on the clamp CFG under a
+// profile where both guards decisively fall through: both cold targets
+// become counting side exits and the tail jump is straightened away.
+func TestFormClampShape(t *testing.T) {
+	_, rec := recordClamp(t, mipsBackend())
+	plan, err := superblock.Form(rec, alwaysFall, superblock.Options{})
+	if err != nil {
+		t.Fatalf("form: %v", err)
+	}
+	if plan.SideExits != 2 {
+		t.Errorf("side exits: got %d, want 2", plan.SideExits)
+	}
+	if plan.Straightened != 1 {
+		t.Errorf("straightened: got %d, want 1", plan.Straightened)
+	}
+	if plan.Inverted != 0 {
+		t.Errorf("inverted: got %d, want 0", plan.Inverted)
+	}
+	if !plan.Interesting() {
+		t.Error("plan should be interesting")
+	}
+	// Entry guards + hot body + straightened-into out block.
+	if plan.TraceBlocks() < 4 {
+		t.Errorf("trace blocks: got %d, want >=4", plan.TraceBlocks())
+	}
+}
+
+// TestFormIndecisive checks that an untrained profile forms a plan that
+// changes nothing — the jit uses Interesting() to skip installing these.
+func TestFormIndecisive(t *testing.T) {
+	_, rec := recordClamp(t, mipsBackend())
+	plan, err := superblock.Form(rec, noBias, superblock.Options{})
+	if err != nil {
+		t.Fatalf("form: %v", err)
+	}
+	if plan.SideExits != 0 || plan.Inverted != 0 {
+		t.Errorf("indecisive profile produced exits=%d inverted=%d", plan.SideExits, plan.Inverted)
+	}
+}
+
+// TestFormInverts checks that a decisively taken branch is inverted so the
+// hot target falls through.
+func TestFormInverts(t *testing.T) {
+	_, rec := recordClamp(t, mipsBackend())
+	plan, err := superblock.Form(rec, alwaysTaken, superblock.Options{})
+	if err != nil {
+		t.Fatalf("form: %v", err)
+	}
+	if plan.Inverted < 1 {
+		t.Errorf("inverted: got %d, want >=1", plan.Inverted)
+	}
+}
+
+// TestFormIneligible checks that recordings with unsupported events (here,
+// an intra-function call through Setfunc-less emission) are rejected.
+func TestFormIneligible(t *testing.T) {
+	bk := mipsBackend()
+	a := core.NewAsm(bk)
+	a.Record(true)
+	a.SetName("caller")
+	if _, err := a.BeginTypes([]core.Type{core.TypeI}, core.NonLeaf); err != nil {
+		t.Fatal(err)
+	}
+	other := core.NewAsm(bk)
+	other.SetName("callee")
+	if _, err := other.BeginTypes(nil, core.Leaf); err != nil {
+		t.Fatal(err)
+	}
+	other.RetVoid()
+	callee, err := other.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.CallFunc(callee)
+	a.RetVoid()
+	if _, err := a.End(); err != nil {
+		t.Fatal(err)
+	}
+	rec := a.TakeRecording()
+	if rec == nil {
+		t.Fatal("no recording")
+	}
+	if _, err := superblock.Form(rec, noBias, superblock.Options{}); err == nil {
+		t.Fatal("expected Form to reject a recording with a call")
+	}
+}
+
+// TestSideExitCounter compiles clamp with a live counter word and checks
+// the stubs bump it exactly once per cold-path call — the signal
+// jit.Adaptive polls for de-optimization.
+func TestSideExitCounter(t *testing.T) {
+	bk := mipsBackend()
+	m2 := mipsMachine()
+	m3 := mipsMachine()
+	cnt2, err := m2.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt3, err := m3.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt2 != cnt3 {
+		t.Fatalf("counter addresses diverge: %#x vs %#x", cnt2, cnt3)
+	}
+
+	fn2, rec := recordClamp(t, bk)
+	if err := m2.Install(fn2); err != nil {
+		t.Fatal(err)
+	}
+	ep := profile.NewEdgeProfiler(1)
+	if err := ep.Attach(m2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m2.Call(fn2, core.I(int32(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := superblock.Form(rec, func(site int) (uint64, uint64, bool) {
+		return ep.EdgeAt(fn2.Addr() + 4*uint64(site))
+	}, superblock.Options{CounterAddr: cnt3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SideExits != 2 {
+		t.Fatalf("side exits: got %d, want 2", plan.SideExits)
+	}
+	fn3, stats, err := plan.Compile(core.NewAsm(bk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CounterActive {
+		t.Fatal("counter stubs not emitted")
+	}
+	if err := m3.Install(fn3); err != nil {
+		t.Fatal(err)
+	}
+
+	readCounter := func() uint64 {
+		v, err := m3.Mem().Load(cnt3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	call := func(x int32) uint64 {
+		v, err := m3.Call(fn3, core.I(x))
+		if err != nil {
+			t.Fatalf("clamp(%d): %v", x, err)
+		}
+		return v.Bits
+	}
+
+	if got := call(42); got != 42 {
+		t.Fatalf("clamp(42) = %d", got)
+	}
+	if c := readCounter(); c != 0 {
+		t.Fatalf("hot-path call bumped counter to %d", c)
+	}
+	if got := call(-5); got != 0 {
+		t.Fatalf("clamp(-5) = %d", got)
+	}
+	if got := call(500); got != 100 {
+		t.Fatalf("clamp(500) = %d", got)
+	}
+	if c := readCounter(); c != 2 {
+		t.Fatalf("counter after two cold calls: got %d, want 2", c)
+	}
+	for i := 0; i < 5; i++ {
+		call(-1)
+	}
+	if c := readCounter(); c != 7 {
+		t.Fatalf("counter after five more cold calls: got %d, want 7", c)
+	}
+}
+
+// TestConstFold checks constant folding and strength reduction through a
+// straight-line chain, asserting both the rewrite statistics and the
+// executed result.
+func TestConstFold(t *testing.T) {
+	bk := mipsBackend()
+	a := core.NewAsm(bk)
+	a.Record(true)
+	a.SetName("constfold")
+	args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := args[0]
+	var c1, c2, c3, r core.Reg
+	for _, rr := range []*core.Reg{&c1, &c2, &c3, &r} {
+		if *rr, err = a.GetReg(core.Temp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.SetI(core.TypeI, c1, 3)
+	a.SetI(core.TypeI, c2, 5)
+	a.ALU(core.OpAdd, core.TypeI, c3, c1, c2) // fold: 8
+	a.ALUI(core.OpMul, core.TypeI, c3, c3, 8) // fold: 64
+	a.ALU(core.OpMul, core.TypeI, r, x, c3)   // strength-reduce: x << 6
+	a.ALUI(core.OpDiv, core.TypeI, c1, c1, 3) // fold: 1 (div is exact, no trap)
+	a.ALU(core.OpAdd, core.TypeI, r, r, c1)
+	a.Ret(core.TypeI, r)
+	if _, err := a.End(); err != nil {
+		t.Fatal(err)
+	}
+	rec := a.TakeRecording()
+	plan, err := superblock.Form(rec, noBias, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn3, stats, err := plan.Compile(core.NewAsm(bk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Folded < 3 {
+		t.Errorf("folded: got %d, want >=3 (%+v)", stats.Folded, stats)
+	}
+	if stats.Reduced < 1 {
+		t.Errorf("reduced: got %d, want >=1 (%+v)", stats.Reduced, stats)
+	}
+	m := mipsMachine()
+	if err := m.Install(fn3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Call(fn3, core.I(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(7*64 + 1); v.Bits != want {
+		t.Fatalf("constfold(7) = %d, want %d", v.Bits, want)
+	}
+}

@@ -1,0 +1,463 @@
+package superblock_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/regtest"
+	"repro/internal/superblock"
+)
+
+// The differential oracle: every function is built twice — tier 2 (plain
+// emission, recorded) and tier 3 (superblock-formed from the recording and
+// a trained edge profile) — on machine pairs with identical allocation
+// histories.  For every input the two tiers must produce the same return
+// value, the same trap behavior, the same data memory, and the same
+// contents in every architectural register except the backend's reserved
+// scratch registers.  Tier 2 is the reference semantics; no Go-level
+// model is consulted.
+type oracle struct {
+	t      *testing.T
+	tgt    regtest.Target
+	m2, m3 *core.Machine
+	edges  *profile.EdgeProfiler
+
+	dataAddr uint64
+	dataLen  int
+}
+
+func newOracle(t *testing.T, tgt regtest.Target) *oracle {
+	t.Helper()
+	o := &oracle{t: t, tgt: tgt, m2: tgt.NewMachine(), m3: tgt.NewMachine(), dataLen: 256}
+	a2, err := o.m2.Alloc(o.dataLen)
+	if err != nil {
+		t.Fatalf("alloc tier-2 data: %v", err)
+	}
+	a3, err := o.m3.Alloc(o.dataLen)
+	if err != nil {
+		t.Fatalf("alloc tier-3 data: %v", err)
+	}
+	if a2 != a3 {
+		t.Fatalf("data regions diverge: %#x vs %#x", a2, a3)
+	}
+	o.dataAddr = a2
+	// Stride 1: training counts every branch resolution, so formation
+	// sees exact bias.
+	o.edges = profile.NewEdgeProfiler(1)
+	if err := o.edges.Attach(o.m2); err != nil {
+		t.Fatalf("attach edge profiler: %v", err)
+	}
+	return o
+}
+
+// seedBoth writes the same deterministic pattern into both machines' data
+// buffers.
+func (o *oracle) seedBoth() {
+	buf := make([]byte, o.dataLen)
+	for i := range buf {
+		buf[i] = byte(i*7 + 3)
+	}
+	if err := o.m2.Mem().WriteBytes(o.dataAddr, buf); err != nil {
+		o.t.Fatalf("seed tier-2: %v", err)
+	}
+	if err := o.m3.Mem().WriteBytes(o.dataAddr, buf); err != nil {
+		o.t.Fatalf("seed tier-3: %v", err)
+	}
+}
+
+// syncRegs copies tier-2's architectural register state onto tier-3, so a
+// comparison after the next call pair sees only divergence that call pair
+// created (residue from earlier cases and training calls differs
+// legitimately).
+func (o *oracle) syncRegs() {
+	rf := o.tgt.Backend.RegFile()
+	c2, c3 := o.m2.CPU(), o.m3.CPU()
+	for i := 0; i < rf.NumGPR; i++ {
+		r := core.GPR(i)
+		c3.SetReg(r, c2.Reg(r))
+	}
+	for i := 0; i < rf.NumFPR; i++ {
+		r := core.FPR(i)
+		c3.SetFReg(r, c2.FReg(r, false), false)
+	}
+}
+
+func (o *oracle) compareRegs(name string, caseIdx int) {
+	o.t.Helper()
+	rf := o.tgt.Backend.RegFile()
+	sc, scf := o.tgt.Backend.ScratchReg(), o.tgt.Backend.ScratchFPR()
+	c2, c3 := o.m2.CPU(), o.m3.CPU()
+	for i := 0; i < rf.NumGPR; i++ {
+		r := core.GPR(i)
+		if r == sc {
+			continue // scratch: holds per-build immediates, excluded
+		}
+		if v2, v3 := c2.Reg(r), c3.Reg(r); v2 != v3 {
+			o.t.Fatalf("%s[%d]: register %s: tier-2 %#x, tier-3 %#x",
+				name, caseIdx, rf.Name(r), v2, v3)
+		}
+	}
+	for i := 0; i < rf.NumFPR; i++ {
+		r := core.FPR(i)
+		if r == scf {
+			continue
+		}
+		if v2, v3 := c2.FReg(r, false), c3.FReg(r, false); v2 != v3 {
+			o.t.Fatalf("%s[%d]: fp register %s: tier-2 %#x, tier-3 %#x",
+				name, caseIdx, rf.Name(r), v2, v3)
+		}
+	}
+}
+
+func (o *oracle) compareData(name string, caseIdx int) {
+	o.t.Helper()
+	b2, err := o.m2.Mem().ReadBytes(o.dataAddr, o.dataLen)
+	if err != nil {
+		o.t.Fatalf("%s[%d]: read tier-2 data: %v", name, caseIdx, err)
+	}
+	b3, err := o.m3.Mem().ReadBytes(o.dataAddr, o.dataLen)
+	if err != nil {
+		o.t.Fatalf("%s[%d]: read tier-3 data: %v", name, caseIdx, err)
+	}
+	if !bytes.Equal(b2, b3) {
+		for i := range b2 {
+			if b2[i] != b3[i] {
+				o.t.Fatalf("%s[%d]: data byte %#x: tier-2 %#x, tier-3 %#x",
+					name, caseIdx, o.dataAddr+uint64(i), b2[i], b3[i])
+			}
+		}
+	}
+}
+
+// check runs one function through the full gauntlet.  train inputs run on
+// tier 2 only, feeding the edge profile; compare inputs run on both tiers
+// with aligned pre-state.  It returns the formed plan so callers can
+// assert on its shape.
+func (o *oracle) check(name string, build func(a *core.Asm) (*core.Func, error),
+	train, compare [][]core.Value) (*superblock.Plan, superblock.CompileStats) {
+	o.t.Helper()
+	a := core.NewAsm(o.tgt.Backend)
+	a.Record(true)
+	fn2, err := build(a)
+	if err != nil {
+		o.t.Fatalf("%s: tier-2 build: %v", name, err)
+	}
+	rec := a.TakeRecording()
+	if rec == nil {
+		o.t.Fatalf("%s: no recording", name)
+	}
+	if ok, why := rec.Eligible(); !ok {
+		o.t.Fatalf("%s: recording ineligible: %s", name, why)
+	}
+	if err := o.m2.Install(fn2); err != nil {
+		o.t.Fatalf("%s: install tier-2: %v", name, err)
+	}
+	for _, in := range train {
+		o.seedBoth()
+		o.m2.Call(fn2, in...) // traps during training are fine
+	}
+
+	bias := func(site int) (uint64, uint64, bool) {
+		return o.edges.EdgeAt(fn2.Addr() + 4*uint64(site))
+	}
+	// CounterAddr left zero: oracle mode, no side-exit counters, so the
+	// two tiers touch the same registers and the same memory.
+	plan, err := superblock.Form(rec, bias, superblock.Options{})
+	if err != nil {
+		o.t.Fatalf("%s: form: %v", name, err)
+	}
+	b := core.NewAsm(o.tgt.Backend)
+	fn3, stats, err := plan.Compile(b)
+	if err != nil {
+		o.t.Fatalf("%s: compile: %v", name, err)
+	}
+	if err := o.m3.Install(fn3); err != nil {
+		o.t.Fatalf("%s: install tier-3: %v", name, err)
+	}
+
+	for i, in := range compare {
+		o.seedBoth()
+		o.syncRegs()
+		v2, err2 := o.m2.Call(fn2, in...)
+		v3, err3 := o.m3.Call(fn3, in...)
+		if (err2 == nil) != (err3 == nil) {
+			o.t.Fatalf("%s[%d]: trap divergence: tier-2 %v, tier-3 %v", name, i, err2, err3)
+		}
+		if err2 != nil {
+			continue // both trapped: mid-function state is not comparable
+		}
+		if v2.Bits != v3.Bits {
+			o.t.Fatalf("%s[%d]: result: tier-2 %#x, tier-3 %#x", name, i, v2.Bits, v3.Bits)
+		}
+		o.compareRegs(name, i)
+		o.compareData(name, i)
+	}
+	return plan, stats
+}
+
+// TestOracleRegtestMatrix sweeps the regression-test matrix — every
+// binary op, branch, unary op, memory access type, and conversion on all
+// three backends — through the tier-2 vs tier-3 oracle.
+func TestOracleRegtestMatrix(t *testing.T) {
+	branchTypes := []core.Type{core.TypeI, core.TypeU, core.TypeL, core.TypeUL, core.TypeP, core.TypeF, core.TypeD}
+	memTypes := []core.Type{core.TypeC, core.TypeUC, core.TypeS, core.TypeUS,
+		core.TypeI, core.TypeU, core.TypeL, core.TypeUL, core.TypeP, core.TypeF, core.TypeD}
+
+	for _, tgt := range regtest.Targets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			o := newOracle(t, tgt)
+			rng := rand.New(rand.NewSource(7))
+			ptr := tgt.Backend.PtrBytes()
+
+			pairInputs := func(ty core.Type, n int) [][]core.Value {
+				xs, ys := regtest.Samples(ty, n, rng), regtest.Samples(ty, n, rng)
+				var out [][]core.Value
+				for i := 0; i < n; i++ {
+					out = append(out, []core.Value{
+						regtest.MakeValue(ty, xs[i], ptr),
+						regtest.MakeValue(ty, ys[i], ptr),
+					})
+				}
+				return out
+			}
+
+			for _, op := range regtest.BinaryOps() {
+				for _, ty := range regtest.ALUTypes(op) {
+					op, ty := op, ty
+					in := pairInputs(ty, 4)
+					o.check(regtest.CaseName(tgt.Name, op, ty),
+						func(a *core.Asm) (*core.Func, error) { return regtest.BuildALUOn(a, op, ty) },
+						nil, in)
+				}
+			}
+			for _, op := range regtest.BranchOps() {
+				for _, ty := range branchTypes {
+					op, ty := op, ty
+					in := pairInputs(ty, 4)
+					// Branch cases train on their own inputs so formation
+					// sees whatever bias the samples produce.
+					o.check(regtest.CaseName(tgt.Name, op, ty)+"-br",
+						func(a *core.Asm) (*core.Func, error) { return regtest.BuildBranchOn(a, op, ty) },
+						in, in)
+				}
+			}
+			for _, ty := range memTypes {
+				ty := ty
+				at := regtest.ArgTypeFor(ty)
+				var in [][]core.Value
+				for _, bits := range regtest.Samples(at, 4, rng) {
+					in = append(in, []core.Value{
+						regtest.MakeValue(core.TypeP, o.dataAddr, ptr),
+						regtest.MakeValue(at, bits, ptr),
+					})
+				}
+				o.check("mem"+ty.Letter(),
+					func(a *core.Asm) (*core.Func, error) { return regtest.BuildMemRoundtripOn(a, ty) },
+					nil, in)
+			}
+			for _, from := range branchTypes {
+				for _, to := range branchTypes {
+					from, to := from, to
+					var in [][]core.Value
+					for _, bits := range regtest.Samples(from, 4, rng) {
+						in = append(in, []core.Value{regtest.MakeValue(from, bits, ptr)})
+					}
+					// Illegal conversion pairs fail at build; skip those.
+					probe := core.NewAsm(tgt.Backend)
+					if _, err := regtest.BuildCvtOn(probe, from, to); err != nil {
+						continue
+					}
+					o.check("cv"+from.Letter()+"2"+to.Letter(),
+						func(a *core.Asm) (*core.Func, error) { return regtest.BuildCvtOn(a, from, to) },
+						nil, in)
+				}
+			}
+
+			sig := []core.Type{core.TypeI, core.TypeD, core.TypeP, core.TypeF, core.TypeL}
+			var in [][]core.Value
+			for i := 0; i < 3; i++ {
+				var row []core.Value
+				for _, ty := range sig {
+					row = append(row, regtest.MakeValue(ty, regtest.Samples(ty, 1+i, rng)[i], ptr))
+				}
+				in = append(in, row)
+			}
+			o.check("weightedsum",
+				func(a *core.Asm) (*core.Func, error) { return regtest.BuildWeightedSumOn(a, sig) },
+				nil, in)
+		})
+	}
+}
+
+// buildLoopSum emits the canonical hot loop the superblock tier targets:
+// a counted loop whose body multiplies by constants, reloads the same
+// address, and spills through a stack slot.  ty is the accumulator type —
+// the target's native word, so memory forwarding is full-width and legal.
+func buildLoopSum(ty core.Type) func(a *core.Asm) (*core.Func, error) {
+	return func(a *core.Asm) (*core.Func, error) {
+		a.SetName("loopsum")
+		args, err := a.BeginTypes([]core.Type{core.TypeI, core.TypeP}, core.Leaf)
+		if err != nil {
+			return nil, err
+		}
+		n, p := args[0], args[1]
+		var sum, i, t1, t2, t3 core.Reg
+		for _, r := range []*core.Reg{&sum, &i} {
+			if *r, err = a.GetReg(core.Var); err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range []*core.Reg{&t1, &t2, &t3} {
+			if *r, err = a.GetReg(core.Temp); err != nil {
+				return nil, err
+			}
+		}
+		slot := a.Local(ty)
+		a.SetI(ty, sum, 0)
+		a.SetI(core.TypeI, i, 0)
+		loop, done := a.NewLabel(), a.NewLabel()
+		a.Bind(loop)
+		a.Br(core.OpBge, core.TypeI, i, n, done)
+		a.LdI(ty, t1, p, 0)               // load
+		a.ALUI(core.OpMul, ty, t2, t1, 8) // strength-reducible multiply
+		a.ALU(core.OpAdd, ty, sum, sum, t2)
+		a.LdI(ty, t3, p, 0) // duplicate load: forwardable from t1
+		a.ALU(core.OpAdd, ty, sum, sum, t3)
+		a.StLocal(ty, sum, slot)
+		a.LdLocal(ty, t3, slot) // spill round trip: forwardable from sum
+		a.ALU(core.OpAdd, ty, sum, sum, t3)
+		a.ALUI(core.OpAdd, core.TypeI, i, i, 1)
+		a.Jmp(loop)
+		a.Bind(done)
+		a.Ret(ty, sum)
+		return a.End()
+	}
+}
+
+// buildClamp emits fn(x) { if x < 0 return 0; if x > 100 return 100;
+// return x } — two cold branches a trained profile turns into side exits,
+// and a straightened unconditional jump.
+func buildClamp(a *core.Asm) (*core.Func, error) {
+	a.SetName("clamp")
+	args, err := a.BeginTypes([]core.Type{core.TypeI}, core.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	x := args[0]
+	r, err := a.GetReg(core.Temp)
+	if err != nil {
+		return nil, err
+	}
+	neg, big, out := a.NewLabel(), a.NewLabel(), a.NewLabel()
+	a.BrI(core.OpBlt, core.TypeI, x, 0, neg)
+	a.BrI(core.OpBgt, core.TypeI, x, 100, big)
+	a.Unary(core.OpMov, core.TypeI, r, x)
+	a.Jmp(out)
+	a.Bind(neg)
+	a.SetI(core.TypeI, r, 0)
+	a.Jmp(out)
+	a.Bind(big)
+	a.SetI(core.TypeI, r, 100)
+	a.Bind(out)
+	a.Ret(core.TypeI, r)
+	return a.End()
+}
+
+// TestOracleHotLoops drives the loop-shaped workloads through the oracle
+// on all three backends, asserts formation actually restructured them,
+// and requires the optimized body to cost fewer cycles.
+func TestOracleHotLoops(t *testing.T) {
+	for _, tgt := range regtest.Targets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			o := newOracle(t, tgt)
+			ptr := tgt.Backend.PtrBytes()
+			pv := regtest.MakeValue(core.TypeP, o.dataAddr, ptr)
+			word := core.TypeI
+			if ptr == 8 {
+				word = core.TypeL
+			}
+			loopSum := buildLoopSum(word)
+
+			var train [][]core.Value
+			for i := 0; i < 6; i++ {
+				train = append(train, []core.Value{core.I(100), pv})
+			}
+			compare := [][]core.Value{
+				{core.I(0), pv}, {core.I(1), pv}, {core.I(7), pv}, {core.I(100), pv},
+			}
+			plan, stats := o.check("loopsum", loopSum, train, compare)
+			if !plan.Interesting() {
+				t.Fatalf("loopsum plan not interesting: %+v", plan)
+			}
+			if plan.SideExits < 1 || plan.Loops < 1 {
+				t.Fatalf("loopsum shape: side exits %d, loops %d", plan.SideExits, plan.Loops)
+			}
+			if stats.LoadsForwarded < 2 {
+				t.Fatalf("loopsum: expected >=2 forwarded loads, got %+v", stats)
+			}
+
+			// The optimized body must actually be cheaper on the hot path.
+			cycles := func(m *core.Machine, fn *core.Func) uint64 {
+				_, st, err := m.CallWithStats(context.Background(), core.CallOpts{}, fn, core.I(200), pv)
+				if err != nil {
+					t.Fatalf("cycles run: %v", err)
+				}
+				return st.Cycles
+			}
+			a2 := core.NewAsm(tgt.Backend)
+			a2.Record(true)
+			fn2, err := loopSum(a2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := a2.TakeRecording()
+			m2, m3 := tgt.NewMachine(), tgt.NewMachine()
+			if err := m2.Install(fn2); err != nil {
+				t.Fatal(err)
+			}
+			ep := profile.NewEdgeProfiler(1)
+			if err := ep.Attach(m2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m2.Call(fn2, core.I(200), pv); err != nil {
+				t.Fatal(err)
+			}
+			plan2, err := superblock.Form(rec, func(site int) (uint64, uint64, bool) {
+				return ep.EdgeAt(fn2.Addr() + 4*uint64(site))
+			}, superblock.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fn3, _, err := plan2.Compile(core.NewAsm(tgt.Backend))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m3.Install(fn3); err != nil {
+				t.Fatal(err)
+			}
+			ep.Detach(m2) // measure tier-2 cycles without probe overhead
+			c2, c3 := cycles(m2, fn2), cycles(m3, fn3)
+			if c3 >= c2 {
+				t.Fatalf("superblock not faster: tier-2 %d cycles, tier-3 %d", c2, c3)
+			}
+
+			var ctrain [][]core.Value
+			for i := 0; i < 8; i++ {
+				ctrain = append(ctrain, []core.Value{core.I(int32(i * 11))})
+			}
+			ccompare := [][]core.Value{
+				{core.I(-5)}, {core.I(0)}, {core.I(50)}, {core.I(100)}, {core.I(101)}, {core.I(500)},
+			}
+			cplan, _ := o.check("clamp", buildClamp, ctrain, ccompare)
+			if cplan.SideExits < 2 || cplan.Straightened < 1 {
+				t.Fatalf("clamp shape: side exits %d, straightened %d", cplan.SideExits, cplan.Straightened)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Package superblock is the profile-guided optimizing tier built on top
+// of VCODE's portable interface — the shape of client-side optimizer the
+// paper argues the substrate enables (§5.4 strength reduction, §6.2
+// peephole) without any intermediate representation in VCODE itself.
+//
+// The input is a core.Recording (the portable-emission trace of a tier-2
+// compile) plus branch-bias data from profile.EdgeProfiler.  Formation
+// (Form) walks the recording's control-flow graph and straightens a
+// single-entry trace — a superblock — through the likely direction of
+// each decisively biased branch: likely-taken branches are inverted so
+// the hot path falls through, unconditional jumps inside the trace
+// disappear, and the cold directions become side-exit stubs that jump to
+// an unmodified copy of the original body.  Compilation (Plan.Compile)
+// re-emits the trace through internal/peep with cross-block rewrites that
+// are only legal because the trace has one entry: constant folding,
+// strength reduction of multiplies by known constants (internal/reduce),
+// and store-to-load/load-to-load forwarding across the straightened
+// branches.
+//
+// Every rewrite is value- and destination-preserving: no instruction's
+// destination register is removed or retargeted, only the sequence
+// computing it changes.  A side exit therefore observes exactly the
+// architectural state the original body would have at that point, which
+// is what makes the stubs a plain jump rather than a state-repair
+// sequence — and what the tier-2 vs tier-3 differential oracle in this
+// package's tests checks across the full regtest matrix.
+//
+// Side-exit stubs optionally bump a counter in simulated memory (the
+// side-exit ABI: one word at Options.CounterAddr, incremented before the
+// jump to the cold body).  jit.Adaptive polls it to detect bias flips and
+// de-optimize back to tier 2.
+package superblock
+
+import "repro/internal/telemetry"
+
+// Options bounds formation and configures the side-exit ABI.
+type Options struct {
+	// MinBias is the taken (or not-taken) fraction at which a branch
+	// counts as decisively biased.  Zero selects 0.85.
+	MinBias float64
+	// MinSamples is the minimum number of recorded events at a branch
+	// before its bias is trusted.  Zero selects 4.
+	MinSamples uint64
+	// MaxBlocks bounds the trace length.  Zero selects 64.
+	MaxBlocks int
+	// CounterAddr is the simulated address of the side-exit counter
+	// word; zero disables counter stubs (the differential oracle runs
+	// this way so tier-2 and tier-3 memory images stay comparable).
+	CounterAddr uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinBias == 0 {
+		o.MinBias = 0.85
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 4
+	}
+	if o.MaxBlocks == 0 {
+		o.MaxBlocks = 64
+	}
+	return o
+}
+
+// BiasSource reports profile counts for the conditional branch emitted at
+// code-buffer word index site of the recorded function.  ok is false when
+// the profile has no data for that branch.
+type BiasSource func(site int) (taken, notTaken uint64, ok bool)
+
+// Telemetry counters: formation attempts that produced a plan, optimized
+// bodies actually installed, side exits taken at runtime (polled from the
+// counter word), and de-optimizations.
+var (
+	cFormed    = telemetry.Default.Counter("superblock.formed")
+	cInstalled = telemetry.Default.Counter("superblock.installed")
+	cSideExits = telemetry.Default.Counter("superblock.side_exits")
+	cDeopt     = telemetry.Default.Counter("superblock.deopt")
+)
+
+// NoteInstalled records that an optimized body was installed.
+func NoteInstalled() { cInstalled.Inc() }
+
+// NoteSideExits adds n observed runtime side exits.
+func NoteSideExits(n uint64) { cSideExits.Add(n) }
+
+// NoteDeopt records a de-optimization (tier-3 body evicted after a bias
+// flip).
+func NoteDeopt() { cDeopt.Inc() }

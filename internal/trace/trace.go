@@ -57,12 +57,18 @@ const (
 	// Name carries "tenant/request-id" so a lifecycle lane ties back to
 	// the network request that drove it.
 	KindRequest
+	// KindSuperblock covers one tier-3 promotion: superblock formation
+	// from the tier-2 recording plus the optimized re-emission.  Its N
+	// attribute is the trace's block count, Bytes the installed optimized
+	// body.
+	KindSuperblock
 
-	numKinds = int(KindRequest) + 1
+	numKinds = int(KindSuperblock) + 1
 )
 
 var kindNames = [numKinds]string{
 	"compile", "regalloc", "emit", "verify", "install", "call", "evict", "lookup", "batch", "request",
+	"superblock",
 }
 
 func (k Kind) String() string {
